@@ -1,0 +1,46 @@
+// Ablation AB1 (ours): the Citrus tree over each of the three RCU domains
+// (counter+flag, stock global-lock, epoch-based), under the update-heavy
+// mix where the grace-period mechanism dominates. Separates the
+// contribution of the paper's *tree* from the contribution of its *RCU
+// implementation*, and reports the grace-period counts per run.
+#include <iostream>
+
+#include "adapters/idictionary.hpp"
+#include "util/cli.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace citrus;
+  util::Options opts(argc, argv);
+  const auto threads = opts.get_int_list("threads", {1, 2, 4, 8, 16});
+  const double seconds = opts.get_double("seconds", 0.3);
+  const std::string csv = opts.get("csv", "");
+
+  workload::WorkloadConfig config;
+  config.key_range = opts.get_int("range", 200000);
+  config.contains_fraction = opts.get_double("contains", 0.5);
+  config.seconds = seconds;
+
+  std::vector<workload::SeriesPoint> points;
+  for (const char* algorithm :
+       {"citrus", "citrus-std-rcu", "citrus-epoch", "citrus-qsbr"}) {
+    for (const auto t : threads) {
+      config.threads = static_cast<int>(t);
+      auto dict = adapters::make_dictionary(algorithm);
+      const auto result = workload::run_workload(*dict, config);
+      util::Summary s;
+      s.count = 1;
+      s.mean = s.min = s.max = s.median = result.throughput;
+      points.push_back({algorithm, config.threads, s});
+      std::cout << "ablation-rcu " << algorithm << " threads=" << t << " -> "
+                << workload::format_ops(result.throughput) << " ops/s, "
+                << result.grace_periods << " grace periods" << std::endl;
+    }
+  }
+  workload::print_throughput_table(
+      std::cout, "Ablation: Citrus across RCU domains (50% contains)",
+      points);
+  workload::append_csv(csv, "ablation-rcu", points);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 10 — "Throughput of the different algorithms with key range
+// [0, 2e5] and [0, 2e6] under different operation distribution": the 2x3
+// grid {two key ranges} x {100%, 98%, 50% contains}.
+//
+// The paper's qualitative observations this harness lets you re-check:
+//   * 100% contains: the RCU trees (red-black, Bonsai) look good — more so
+//     at the large key range.
+//   * 98% contains: "the shortcomings of RCU-based trees with
+//     coarse-grained locks are seen already" — red-black and Bonsai stop
+//     scaling while Citrus tracks the fine-grained trees.
+//   * 50% contains: Citrus continues to scale, paying a visible
+//     synchronize_rcu cost; it and the lock-free tree skip the balancing
+//     cost the AVL tree pays.
+#include <iostream>
+
+#include "util/cli.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace citrus;
+  util::Options opts(argc, argv);
+  const auto threads = opts.get_int_list("threads", {1, 2, 4, 8, 16, 32, 64});
+  const double seconds = opts.get_double("seconds", 0.3);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 1));
+  const std::string csv = opts.get("csv", "");
+  const auto ranges = opts.get_int_list("ranges", {200000, 2000000});
+
+  const std::vector<std::string> algorithms = {"citrus", "avl",     "skiplist",
+                                               "bonsai", "rbtree", "lockfree"};
+  const double mixes[] = {1.0, 0.98, 0.5};
+
+  for (const auto range : ranges) {
+    for (const double mix : mixes) {
+      workload::WorkloadConfig config;
+      config.key_range = range;
+      config.contains_fraction = mix;
+      config.seconds = seconds;
+
+      std::vector<workload::SeriesPoint> points;
+      for (const auto& algorithm : algorithms) {
+        for (const auto t : threads) {
+          config.threads = static_cast<int>(t);
+          const auto summary =
+              workload::run_repeated(algorithm, config, repeats);
+          points.push_back({algorithm, config.threads, summary});
+          std::cout << "fig10 range=" << range << " mix=" << config.mix_label()
+                    << " " << algorithm << " threads=" << t << " -> "
+                    << workload::format_ops(summary.mean) << " ops/s"
+                    << std::endl;
+        }
+      }
+      workload::print_throughput_table(
+          std::cout,
+          "Figure 10: " + config.mix_label() + ", key range [0," +
+              std::to_string(range) + "]",
+          points);
+      workload::append_csv(
+          csv, "fig10-range" + std::to_string(range) + "-" + config.mix_label(),
+          points);
+    }
+  }
+  return 0;
+}

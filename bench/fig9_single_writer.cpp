@@ -1,0 +1,52 @@
+// Figure 9 — "Throughput of the different algorithms with a single
+// writer", key ranges [0, 2e5] and [0, 2e6].
+//
+// One thread executes updates (50% insert / 50% delete); the remaining
+// threads only run contains. This is the workload that most favors the
+// coarse-grained RCU trees (red-black, Bonsai): with one writer their
+// global update lock is uncontended. The paper's observations: Bonsai
+// still trails (path copying), Citrus sits with the leading group.
+#include <iostream>
+
+#include "util/cli.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace citrus;
+  util::Options opts(argc, argv);
+  const auto threads = opts.get_int_list("threads", {1, 2, 4, 8, 16, 32, 64});
+  const double seconds = opts.get_double("seconds", 0.4);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 1));
+  const std::string csv = opts.get("csv", "");
+  const auto ranges = opts.get_int_list("ranges", {200000, 2000000});
+
+  const std::vector<std::string> algorithms = {"citrus", "avl",     "skiplist",
+                                               "bonsai", "rbtree", "lockfree"};
+
+  for (const auto range : ranges) {
+    workload::WorkloadConfig config;
+    config.key_range = range;
+    config.single_writer = true;
+    config.seconds = seconds;
+
+    std::vector<workload::SeriesPoint> points;
+    for (const auto& algorithm : algorithms) {
+      for (const auto t : threads) {
+        config.threads = static_cast<int>(t);
+        const auto summary = workload::run_repeated(algorithm, config, repeats);
+        points.push_back({algorithm, config.threads, summary});
+        std::cout << "fig9 range=" << range << " " << algorithm
+                  << " threads=" << t << " -> "
+                  << workload::format_ops(summary.mean) << " ops/s"
+                  << std::endl;
+      }
+    }
+    workload::print_throughput_table(
+        std::cout,
+        "Figure 9: single writer, key range [0," + std::to_string(range) + "]",
+        points);
+    workload::append_csv(csv, "fig9-range" + std::to_string(range), points);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Latency profile (harness extension beyond the paper's throughput plots):
+// per-operation latency quantiles, split into reads and updates, for every
+// structure under the 50%-contains mix. The interesting tail: Citrus'
+// update p99/p999 carries the synchronize_rcu of two-child deletes, while
+// its read quantiles stay flat — the asymmetry RCU is designed to buy.
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+
+#include "adapters/idictionary.hpp"
+#include "util/cli.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace citrus;
+  util::Options opts(argc, argv);
+
+  workload::WorkloadConfig config;
+  config.key_range = opts.get_int("range", 200000);
+  config.threads = static_cast<int>(opts.get_int("threads", 4));
+  config.seconds = opts.get_double("seconds", 0.5);
+  config.contains_fraction = opts.get_double("contains", 0.5);
+  config.measure_latency = true;
+
+  std::printf("latency profile: %s, range [0,%" PRId64 "], %d threads\n",
+              config.mix_label().c_str(), config.key_range, config.threads);
+  std::printf("%-16s %10s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "algorithm",
+              "ops/s", "r-p50", "r-p90", "r-p99", "r-p999", "u-p50", "u-p90",
+              "u-p99", "u-p999");
+  for (const char* name :
+       {"citrus", "citrus-reclaim", "avl", "skiplist", "bonsai", "rbtree",
+        "lockfree"}) {
+    auto dict = adapters::make_dictionary(name);
+    const auto r = workload::run_workload(*dict, config);
+    std::printf(
+        "%-16s %10s | %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64
+        "n | %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n\n",
+        name, workload::format_ops(r.throughput).c_str(), r.read_latency.p50,
+        r.read_latency.p90, r.read_latency.p99, r.read_latency.p999,
+        r.update_latency.p50, r.update_latency.p90, r.update_latency.p99,
+        r.update_latency.p999);
+  }
+  std::printf(
+      "\n(quantile values are log2-bucket lower bounds in nanoseconds)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// MICRO1: cost of the RCU primitives per domain, via google-benchmark.
+//   * read_lock/read_unlock round-trip (the per-search overhead every
+//     Citrus get pays),
+//   * synchronize_rcu with no readers (the floor a two-child delete pays),
+//   * synchronize_rcu with active reader churn,
+//   * multi-threaded synchronize throughput (the Figure 8 mechanism in
+//     isolation: global-lock RCU serializes, the others do not).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/epoch_rcu.hpp"
+#include "rcu/global_lock_rcu.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+using citrus::rcu::EpochRcu;
+using citrus::rcu::GlobalLockRcu;
+
+template <typename Rcu>
+void BM_ReadSection(benchmark::State& state) {
+  static Rcu domain;
+  typename Rcu::Registration reg(domain);
+  for (auto _ : state) {
+    domain.read_lock();
+    benchmark::DoNotOptimize(&domain);
+    domain.read_unlock();
+  }
+}
+
+template <typename Rcu>
+void BM_SynchronizeNoReaders(benchmark::State& state) {
+  static Rcu domain;
+  typename Rcu::Registration reg(domain);
+  for (auto _ : state) domain.synchronize();
+}
+
+template <typename Rcu>
+void BM_SynchronizeWithReaderChurn(benchmark::State& state) {
+  static Rcu domain;
+  typename Rcu::Registration reg(domain);
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    typename Rcu::Registration r(domain);
+    while (!stop.load(std::memory_order_relaxed)) {
+      domain.read_lock();
+      benchmark::DoNotOptimize(&domain);
+      domain.read_unlock();
+    }
+  });
+  for (auto _ : state) domain.synchronize();
+  stop.store(true);
+  churner.join();
+}
+
+// Threaded: every benchmark thread synchronizes concurrently. This is the
+// contention point Figure 8 exposes.
+template <typename Rcu>
+void BM_ConcurrentSynchronize(benchmark::State& state) {
+  static Rcu domain;
+  typename Rcu::Registration reg(domain);
+  for (auto _ : state) domain.synchronize();
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_ReadSection, CounterFlagRcu);
+BENCHMARK_TEMPLATE(BM_ReadSection, GlobalLockRcu);
+BENCHMARK_TEMPLATE(BM_ReadSection, EpochRcu);
+
+BENCHMARK_TEMPLATE(BM_SynchronizeNoReaders, CounterFlagRcu);
+BENCHMARK_TEMPLATE(BM_SynchronizeNoReaders, GlobalLockRcu);
+BENCHMARK_TEMPLATE(BM_SynchronizeNoReaders, EpochRcu);
+
+BENCHMARK_TEMPLATE(BM_SynchronizeWithReaderChurn, CounterFlagRcu)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_SynchronizeWithReaderChurn, GlobalLockRcu)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_SynchronizeWithReaderChurn, EpochRcu)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, CounterFlagRcu)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, GlobalLockRcu)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, EpochRcu)->Threads(2)->Threads(4);

@@ -1,0 +1,79 @@
+// MICRO3: reclamation strategies in isolation.
+//   * synchronous retire (DomainBase::retire): the retiring thread pays
+//     one grace period per batch — the simple scheme whose latency lands
+//     on the update path;
+//   * asynchronous Reclaimer (call_rcu-style worker): enqueue cost only;
+//     grace periods happen off the critical path;
+//   * immediate delete (no safety) as the floor.
+// Also measures how the retire batch size amortizes grace periods.
+#include <benchmark/benchmark.h>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/reclaimer.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+
+struct Payload {
+  std::uint64_t data[8];
+};
+
+void BM_ImmediateDelete(benchmark::State& state) {
+  for (auto _ : state) {
+    auto* p = new Payload();
+    benchmark::DoNotOptimize(p);
+    delete p;
+  }
+}
+
+void BM_SyncRetire(benchmark::State& state) {
+  static CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  domain.set_retire_batch(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto* p = new Payload();
+    benchmark::DoNotOptimize(p);
+    citrus::rcu::retire_delete(domain, p);
+  }
+  domain.flush_retired();
+  state.SetLabel("batch=" + std::to_string(state.range(0)));
+}
+
+void BM_AsyncReclaimer(benchmark::State& state) {
+  static CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::rcu::Reclaimer<CounterFlagRcu> reclaimer(domain);
+  for (auto _ : state) {
+    auto* p = new Payload();
+    benchmark::DoNotOptimize(p);
+    reclaimer.enqueue_delete(p);
+  }
+}
+
+// Grace-period amortization: how many synchronize calls a fixed number of
+// retires costs at each batch size.
+void BM_GracePeriodsPerThousandRetires(benchmark::State& state) {
+  for (auto _ : state) {
+    CounterFlagRcu domain;
+    CounterFlagRcu::Registration reg(domain);
+    domain.set_retire_batch(static_cast<std::size_t>(state.range(0)));
+    for (int i = 0; i < 1000; ++i) {
+      citrus::rcu::retire_delete(domain, new Payload());
+    }
+    domain.flush_retired();
+    state.counters["grace_periods"] =
+        static_cast<double>(domain.synchronize_calls());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ImmediateDelete);
+BENCHMARK(BM_SyncRetire)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_AsyncReclaimer);
+BENCHMARK(BM_GracePeriodsPerThousandRetires)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);

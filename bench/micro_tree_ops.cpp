@@ -1,0 +1,91 @@
+// MICRO2: single-threaded per-operation latency of every structure
+// (contains hit/miss, insert+erase round-trip) at two tree sizes, plus the
+// sequential BST as the "what concurrency costs" floor.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adapters/idictionary.hpp"
+#include "baselines/seq_bst.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::adapters::make_dictionary;
+
+void fill(citrus::adapters::IDictionary& dict, std::int64_t range) {
+  const auto scope = dict.enter_thread();
+  citrus::util::Xoshiro256 rng(1);
+  std::int64_t inserted = 0;
+  while (inserted < range / 2) {
+    if (dict.insert(static_cast<std::int64_t>(rng.bounded(
+                        static_cast<std::uint64_t>(range))),
+                    1)) {
+      ++inserted;
+    }
+  }
+}
+
+void BM_Contains(benchmark::State& state, const char* name) {
+  const std::int64_t range = state.range(0);
+  auto dict = make_dictionary(name);
+  fill(*dict, range);
+  const auto scope = dict->enter_thread();
+  citrus::util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict->contains(static_cast<std::int64_t>(
+        rng.bounded(static_cast<std::uint64_t>(range)))));
+  }
+}
+
+void BM_InsertErase(benchmark::State& state, const char* name) {
+  const std::int64_t range = state.range(0);
+  auto dict = make_dictionary(name);
+  fill(*dict, range);
+  const auto scope = dict->enter_thread();
+  citrus::util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const auto k = static_cast<std::int64_t>(
+        rng.bounded(static_cast<std::uint64_t>(range)));
+    if (!dict->insert(k, k)) dict->erase(k);
+  }
+}
+
+void BM_SeqBstContains(benchmark::State& state) {
+  const std::int64_t range = state.range(0);
+  citrus::baselines::SeqBst<std::int64_t, std::int64_t> tree;
+  citrus::util::Xoshiro256 rng(1);
+  std::int64_t inserted = 0;
+  while (inserted < range / 2) {
+    if (tree.insert(static_cast<std::int64_t>(
+                        rng.bounded(static_cast<std::uint64_t>(range))),
+                    1)) {
+      ++inserted;
+    }
+  }
+  citrus::util::Xoshiro256 rng2(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.contains(static_cast<std::int64_t>(
+        rng2.bounded(static_cast<std::uint64_t>(range)))));
+  }
+}
+
+}  // namespace
+
+#define TREE_BENCH(name)                                              \
+  BENCHMARK_CAPTURE(BM_Contains, name, #name)                        \
+      ->Arg(1 << 14)                                                  \
+      ->Arg(1 << 18);                                                 \
+  BENCHMARK_CAPTURE(BM_InsertErase, name, #name)->Arg(1 << 14)->Arg(1 << 18)
+
+TREE_BENCH(citrus);
+TREE_BENCH(avl);
+TREE_BENCH(skiplist);
+TREE_BENCH(bonsai);
+TREE_BENCH(rbtree);
+TREE_BENCH(lockfree);
+BENCHMARK_CAPTURE(BM_Contains, rcu_hash, "rcu-hash")->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK_CAPTURE(BM_InsertErase, rcu_hash, "rcu-hash")->Arg(1 << 14)->Arg(1 << 18);
+
+
+BENCHMARK(BM_SeqBstContains)->Arg(1 << 14)->Arg(1 << 18);

@@ -1,0 +1,34 @@
+// The dictionary abstraction (paper, Section 2):
+//
+//   insert(k,val) adds (k, val); true iff k was absent.
+//   delete(k)     removes k; true iff k was present.      (here: erase)
+//   contains(k)   returns val if present, false otherwise. (here: find)
+//
+// Two forms are provided: a compile-time concept the tests and typed
+// benchmarks use (zero-overhead), and a type-erased interface + registry
+// (idictionary.hpp) the figure-reproduction binaries use to iterate over
+// algorithms by name.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+
+namespace citrus::adapters {
+
+template <typename D>
+concept dictionary = requires(D d, const D cd,
+                              const typename D::key_type& k,
+                              const typename D::mapped_type& v) {
+  typename D::key_type;
+  typename D::mapped_type;
+  { d.insert(k, v) } -> std::convertible_to<bool>;
+  { d.erase(k) } -> std::convertible_to<bool>;
+  { cd.contains(k) } -> std::convertible_to<bool>;
+  {
+    cd.find(k)
+  } -> std::convertible_to<std::optional<typename D::mapped_type>>;
+  { cd.size() } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace citrus::adapters

@@ -1,0 +1,64 @@
+// Type-erased dictionary over int64 keys/values, plus the by-name registry
+// used by the figure-reproduction benchmarks. Each adapter owns its RCU
+// domain and its tree; worker threads obtain a ThreadScope (RAII thread
+// registration with the underlying RCU domain) before operating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace citrus::adapters {
+
+// Held by a worker thread for as long as it uses the dictionary.
+class ThreadScope {
+ public:
+  virtual ~ThreadScope() = default;
+};
+
+class IDictionary {
+ public:
+  virtual ~IDictionary() = default;
+
+  // Must be called (and the result kept alive) by every thread before it
+  // invokes the operations below.
+  virtual std::unique_ptr<ThreadScope> enter_thread() = 0;
+
+  virtual bool insert(std::int64_t key, std::int64_t value) = 0;
+  virtual bool erase(std::int64_t key) = 0;
+  virtual bool contains(std::int64_t key) const = 0;
+  virtual std::optional<std::int64_t> find(std::int64_t key) const = 0;
+  virtual std::size_t size() const = 0;
+
+  // Quiescent structural audit; true if the implementation has none.
+  virtual bool check_structure(std::string* error) const = 0;
+
+  // Grace periods driven so far (0 for non-RCU structures) — Figure 8's
+  // diagnostic.
+  virtual std::uint64_t grace_periods() const { return 0; }
+
+  virtual std::string name() const = 0;
+};
+
+using DictionaryFactory = std::function<std::unique_ptr<IDictionary>()>;
+
+// Global algorithm registry. Names used by the benches:
+//   citrus            Citrus tree, paper's counter+flag RCU, no reclamation
+//   citrus-std-rcu    Citrus over the stock (global-lock) RCU — Fig 8 left
+//   citrus-epoch      Citrus over epoch-based RCU — RCU-choice ablation
+//   citrus-qsbr       Citrus over quiescent-state-based RCU (cheapest reads)
+//   citrus-reclaim    Citrus with full memory reclamation on
+//   citrus-mutex      Citrus with std::mutex node locks — lock ablation
+//   rbtree            relativistic red-black tree (global writer lock)
+//   bonsai            Bonsai path-copying balanced tree (global writer lock)
+//   avl               Bronson optimistic AVL
+//   lockfree          Natarajan-Mittal lock-free external BST
+//   skiplist          Herlihy lazy skiplist
+//   rcu-hash          relativistic hash table (per-bucket locks, RCU resize)
+std::vector<std::string> registered_dictionaries();
+std::unique_ptr<IDictionary> make_dictionary(const std::string& name);
+
+}  // namespace citrus::adapters

@@ -1,0 +1,178 @@
+#include "adapters/idictionary.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "adapters/dictionary.hpp"
+#include "baselines/avl_bronson.hpp"
+#include "baselines/bonsai.hpp"
+#include "baselines/lazy_skiplist.hpp"
+#include "baselines/lockfree_bst.hpp"
+#include "baselines/rcu_rbtree.hpp"
+#include "baselines/relativistic_hash.hpp"
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/epoch_rcu.hpp"
+#include "rcu/global_lock_rcu.hpp"
+#include "rcu/qsbr_rcu.hpp"
+
+namespace citrus::adapters {
+
+namespace {
+
+template <typename Rcu>
+class RcuThreadScope final : public ThreadScope {
+ public:
+  explicit RcuThreadScope(Rcu& domain) : registration_(domain) {}
+
+ private:
+  typename Rcu::Registration registration_;
+};
+
+// Adapter owning a domain and a tree built on it. `Tree` must be
+// constructible from `Rcu&` and satisfy the dictionary concept.
+template <typename Rcu, typename Tree>
+class TreeAdapter final : public IDictionary {
+ public:
+  explicit TreeAdapter(std::string name) : name_(std::move(name)) {}
+
+  std::unique_ptr<ThreadScope> enter_thread() override {
+    return std::make_unique<RcuThreadScope<Rcu>>(domain_);
+  }
+
+  bool insert(std::int64_t key, std::int64_t value) override {
+    return tree_.insert(key, value);
+  }
+  bool erase(std::int64_t key) override { return tree_.erase(key); }
+  bool contains(std::int64_t key) const override {
+    return tree_.contains(key);
+  }
+  std::optional<std::int64_t> find(std::int64_t key) const override {
+    return tree_.find(key);
+  }
+  std::size_t size() const override { return tree_.size(); }
+
+  bool check_structure(std::string* error) const override {
+    return check_impl(error);
+  }
+
+  std::uint64_t grace_periods() const override {
+    return domain_.synchronize_calls();
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  template <typename T = Tree>
+  bool check_impl(std::string* error) const {
+    if constexpr (requires(const T& t, std::string* e) {
+                    { t.check_structure(e) } -> std::convertible_to<bool>;
+                  }) {
+      return tree_.check_structure(error);
+    } else {
+      // Citrus reports through a StructureReport.
+      auto rep = tree_.check_structure();
+      if (!rep.ok && error != nullptr) *error = rep.error;
+      return rep.ok;
+    }
+  }
+
+  std::string name_;
+  Rcu domain_;       // destroyed after the tree (declaration order)
+  Tree tree_{domain_};
+};
+
+using Key = std::int64_t;
+using Value = std::int64_t;
+
+template <typename Rcu, typename Tree>
+DictionaryFactory factory(const char* name) {
+  return [name] {
+    return std::make_unique<TreeAdapter<Rcu, Tree>>(name);
+  };
+}
+
+// Citrus node-lock ablation traits.
+struct CitrusMutexTraits : core::BenchTraits {
+  using LockTag = sync::UseStdMutex;
+};
+
+const std::map<std::string, DictionaryFactory>& registry() {
+  using rcu::CounterFlagRcu;
+  using rcu::EpochRcu;
+  using rcu::QsbrRcu;
+  using rcu::GlobalLockRcu;
+  static const std::map<std::string, DictionaryFactory> map = {
+      {"citrus",
+       factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
+                                                core::BenchTraits>>("citrus")},
+      {"citrus-std-rcu",
+       factory<GlobalLockRcu, core::CitrusTree<Key, Value, GlobalLockRcu,
+                                               core::BenchTraits>>(
+           "citrus-std-rcu")},
+      {"citrus-epoch",
+       factory<EpochRcu,
+               core::CitrusTree<Key, Value, EpochRcu, core::BenchTraits>>(
+           "citrus-epoch")},
+      {"citrus-qsbr",
+       factory<QsbrRcu,
+               core::CitrusTree<Key, Value, QsbrRcu, core::BenchTraits>>(
+           "citrus-qsbr")},
+      {"citrus-reclaim",
+       factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
+                                                core::DefaultTraits>>(
+           "citrus-reclaim")},
+      {"citrus-mutex",
+       factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
+                                                CitrusMutexTraits>>(
+           "citrus-mutex")},
+      {"rbtree",
+       factory<CounterFlagRcu,
+               baselines::RcuRedBlackTree<Key, Value, CounterFlagRcu,
+                                          baselines::RbBenchTraits>>(
+           "rbtree")},
+      {"bonsai",
+       factory<CounterFlagRcu,
+               baselines::BonsaiTree<Key, Value, CounterFlagRcu,
+                                     baselines::BonsaiBenchTraits>>("bonsai")},
+      {"avl",
+       factory<CounterFlagRcu,
+               baselines::BronsonAvlTree<Key, Value, CounterFlagRcu,
+                                         baselines::AvlBenchTraits>>("avl")},
+      {"lockfree",
+       factory<CounterFlagRcu,
+               baselines::LockFreeBst<Key, Value, CounterFlagRcu,
+                                      baselines::LfBstBenchTraits>>(
+           "lockfree")},
+      {"rcu-hash",
+       factory<CounterFlagRcu,
+               baselines::RelativisticHashTable<Key, Value, CounterFlagRcu,
+                                                baselines::RelHashBenchTraits>>(
+           "rcu-hash")},
+      {"skiplist",
+       factory<CounterFlagRcu,
+               baselines::LazySkiplist<Key, Value, CounterFlagRcu,
+                                       baselines::SkiplistBenchTraits>>(
+           "skiplist")},
+  };
+  return map;
+}
+
+}  // namespace
+
+std::vector<std::string> registered_dictionaries() {
+  std::vector<std::string> names;
+  for (const auto& [name, unused] : registry()) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<IDictionary> make_dictionary(const std::string& name) {
+  const auto& map = registry();
+  const auto it = map.find(name);
+  if (it == map.end()) {
+    throw std::invalid_argument("unknown dictionary: " + name);
+  }
+  return it->second();
+}
+
+}  // namespace citrus::adapters

@@ -1,0 +1,806 @@
+// Optimistic concurrent AVL tree — the paper's "AVL" comparator, after
+// Bronson, Casper, Chafi and Olukotun, "A Practical Concurrent Binary
+// Search Tree" (PPoPP 2010).
+//
+// The design points, mirrored here from the reference algorithm:
+//
+//   * Partially external: a delete of a node with two children does not
+//     restructure the tree; it just clears the node's value, turning it
+//     into a *routing* node. Routing nodes with fewer than two children
+//     are unlinked opportunistically during rebalancing.
+//   * Hand-over-hand optimistic validation: searches take no locks.
+//     Every node carries a *version* word; a node that is about to move
+//     down in a rotation sets its SHRINKING bit first and bumps the
+//     version after. A search (i) reads the child pointer, (ii) waits out
+//     a shrinking child, (iii) re-checks that the parent's version is
+//     unchanged before descending, and on mismatch retries from the
+//     parent above — the "grow means no false negatives, shrink means
+//     retry" argument of the paper.
+//   * Relaxed balance: updates fix heights and rotate bottom-up along
+//     their own path (fixHeightAndRebalance); transient imbalance is
+//     tolerated while repairs propagate.
+//
+// Citrus' evaluation singles this tree out as the strongest fine-grained
+// lock-based competitor; unlike Citrus it pays for balancing, which the
+// paper notes "is not cost-effective when considering a uniform
+// distribution of keys".
+//
+// Reclamation (extension; the C reference leaks): with Traits::kReclaim
+// all operations run inside RCU read-side critical sections, and unlinked
+// routing nodes / replaced values are retired through the domain.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "baselines/bounded_key.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+#include "sync/backoff.hpp"
+#include "sync/spinlock.hpp"
+
+namespace citrus::baselines {
+
+struct AvlTraits {
+  static constexpr bool kReclaim = true;
+  using LockTag = sync::UseSpinLock;
+};
+struct AvlBenchTraits : AvlTraits {
+  static constexpr bool kReclaim = false;
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = AvlTraits>
+class BronsonAvlTree {
+  using Lock = typename Traits::LockTag::type;
+  static constexpr int kLeft = 0;
+  static constexpr int kRight = 1;
+
+  // Version word: UNLINKED and SHRINKING flags plus a change counter.
+  static constexpr std::uint64_t kUnlinked = 1;
+  static constexpr std::uint64_t kShrinking = 2;
+  static constexpr std::uint64_t kOvlIncr = 4;
+
+  struct Node {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<int> height{1};
+    std::atomic<Node*> parent{nullptr};
+    std::atomic<Node*> child[2] = {nullptr, nullptr};
+    // null = routing node (key logically absent). Written under this
+    // node's lock; read locklessly by gets.
+    std::atomic<const Value*> value{nullptr};
+    Lock lock;
+    Bound bound;
+    alignas(Key) unsigned char key_buf[sizeof(Key)];
+
+    explicit Node(Bound b) : bound(b) {}
+    Node(const Key& k, const Value* v) : bound(Bound::kKey) {
+      new (key_buf) Key(k);
+      value.store(v, std::memory_order_relaxed);
+    }
+    ~Node() {
+      if (bound == Bound::kKey) key().~Key();
+      delete value.load(std::memory_order_relaxed);
+    }
+    const Key& key() const {
+      return *std::launder(reinterpret_cast<const Key*>(key_buf));
+    }
+  };
+
+  static bool is_unlinked(std::uint64_t v) { return (v & kUnlinked) != 0; }
+  static bool is_shrinking(std::uint64_t v) { return (v & kShrinking) != 0; }
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+
+  explicit BronsonAvlTree(Rcu& domain) : rcu_(domain) {
+    // The root holder acts as -inf: searches always descend right; it
+    // never shrinks, so its version is a permanent 0.
+    root_holder_ = new Node(Bound::kMin);
+    root_holder_->height.store(0, std::memory_order_relaxed);
+  }
+
+  BronsonAvlTree(const BronsonAvlTree&) = delete;
+  BronsonAvlTree& operator=(const BronsonAvlTree&) = delete;
+
+  ~BronsonAvlTree() {
+    std::vector<Node*> stack{root_holder_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (int d = 0; d < 2; ++d) {
+        if (Node* c = n->child[d].load(std::memory_order_relaxed)) {
+          stack.push_back(c);
+        }
+      }
+      delete n;
+    }
+  }
+
+  bool contains(const Key& key) const { return find(key).has_value(); }
+
+  std::optional<Value> find(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    for (;;) {
+      GetResult r = attempt_get(key, root_holder_, kRight, 0);
+      if (r.state == GetState::kFound) return *r.value;  // copy inside guard
+      if (r.state == GetState::kNotFound) return std::nullopt;
+      // kRetry at the root holder: start over.
+    }
+  }
+
+  bool insert(const Key& key, const Value& value) {
+    MaybeGuard guard(rcu_);
+    for (;;) {
+      const UpdateResult r = attempt_insert(key, value, root_holder_, kRight, 0);
+      if (r != UpdateResult::kRetry) return r == UpdateResult::kTrue;
+    }
+  }
+
+  bool erase(const Key& key) {
+    bool result;
+    {
+      MaybeGuard guard(rcu_);
+      for (;;) {
+        const UpdateResult r = attempt_erase(key, root_holder_, kRight, 0);
+        if (r != UpdateResult::kRetry) {
+          result = r == UpdateResult::kTrue;
+          break;
+        }
+      }
+    }
+    if constexpr (Traits::kReclaim) rcu_.maybe_flush_retired();
+    return result;
+  }
+
+  std::size_t size() const noexcept {
+    const std::int64_t s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  // Quiescent audit: BST order, consistent parent pointers, no reachable
+  // unlinked node, logical size. Balance and stored heights are *not*
+  // checked strictly: the algorithm intentionally defers repairs that a
+  // routing node blocks ("if necessary n will be balanced later" in the
+  // reference implementation), so they are not quiescent invariants —
+  // max_imbalance() reports how relaxed the balance currently is.
+  bool check_structure(std::string* error = nullptr) const {
+    std::size_t count = 0;
+    int imbalance = 0;
+    const int h =
+        audit(root_holder_->child[kRight].load(std::memory_order_relaxed),
+              root_holder_, nullptr, nullptr, count, imbalance, error);
+    if (h < 0) return false;
+    if (count != size()) return set_error(error, "size mismatch");
+    return true;
+  }
+
+  // Largest |height(left) - height(right)| over all nodes (recomputed
+  // heights, not the stored heuristics). 1 = perfectly AVL.
+  int max_imbalance() const {
+    std::size_t count = 0;
+    int imbalance = 0;
+    audit(root_holder_->child[kRight].load(std::memory_order_relaxed),
+          root_holder_, nullptr, nullptr, count, imbalance, nullptr);
+    return imbalance;
+  }
+
+ private:
+  enum class GetState { kFound, kNotFound, kRetry };
+  struct GetResult {
+    GetState state;
+    const Value* value = nullptr;
+  };
+  enum class UpdateResult { kTrue, kFalse, kRetry };
+
+  class MaybeGuard {
+   public:
+    explicit MaybeGuard(Rcu& rcu) : rcu_(rcu) {
+      if constexpr (Traits::kReclaim) rcu_.read_lock();
+    }
+    ~MaybeGuard() {
+      if constexpr (Traits::kReclaim) rcu_.read_unlock();
+    }
+    MaybeGuard(const MaybeGuard&) = delete;
+    MaybeGuard& operator=(const MaybeGuard&) = delete;
+
+   private:
+    Rcu& rcu_;
+  };
+
+  static int height_of(const Node* n) {
+    return n == nullptr ? 0 : n->height.load(std::memory_order_relaxed);
+  }
+
+  int cmp(const Key& k, const Node* n) const {
+    return compare_bounded(k, n->bound,
+                           n->bound == Bound::kKey ? n->key() : k);
+  }
+
+  // Wait for an in-flight rotation at `n` to finish.
+  static void wait_until_not_shrinking(const Node* n) {
+    sync::Backoff bo;
+    while (is_shrinking(n->version.load(std::memory_order_acquire))) {
+      bo.pause();
+    }
+  }
+
+  // ── get (paper Fig. 2: attemptGet) ────────────────────────────────
+  //
+  // `node_v` is the version of `node` captured by the caller before
+  // descending into it; any change means `node` shrank and the search may
+  // have entered the wrong subtree — return kRetry to the caller.
+  GetResult attempt_get(const Key& key, const Node* node, int dir_to_c,
+                        std::uint64_t node_v) const {
+    for (;;) {
+      const Node* child = node->child[dir_to_c].load(std::memory_order_acquire);
+      if (node->version.load(std::memory_order_acquire) != node_v) {
+        return {GetState::kRetry};
+      }
+      if (child == nullptr) return {GetState::kNotFound};
+      const int c = cmp(key, child);
+      if (c == 0) {
+        const Value* v = child->value.load(std::memory_order_acquire);
+        return v != nullptr ? GetResult{GetState::kFound, v}
+                            : GetResult{GetState::kNotFound};
+      }
+      const std::uint64_t child_v =
+          child->version.load(std::memory_order_acquire);
+      if (is_shrinking(child_v)) {
+        wait_until_not_shrinking(child);
+        continue;  // re-read the child pointer
+      }
+      if (is_unlinked(child_v) ||
+          child != node->child[dir_to_c].load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (node->version.load(std::memory_order_acquire) != node_v) {
+        return {GetState::kRetry};
+      }
+      const GetResult r =
+          attempt_get(key, child, c < 0 ? kLeft : kRight, child_v);
+      if (r.state != GetState::kRetry) return r;
+      // Child shrank under us: retry from here (node is still valid).
+    }
+  }
+
+  // ── insert ────────────────────────────────────────────────────────
+  UpdateResult attempt_insert(const Key& key, const Value& value, Node* node,
+                              int dir_to_c, std::uint64_t node_v) {
+    for (;;) {
+      Node* child = node->child[dir_to_c].load(std::memory_order_acquire);
+      if (node->version.load(std::memory_order_acquire) != node_v) {
+        return UpdateResult::kRetry;
+      }
+      if (child == nullptr) {
+        // Try to link a fresh leaf here.
+        {
+          std::lock_guard<Lock> g(node->lock);
+          if (node->version.load(std::memory_order_relaxed) != node_v) {
+            return UpdateResult::kRetry;
+          }
+          if (node->child[dir_to_c].load(std::memory_order_relaxed) !=
+              nullptr) {
+            continue;  // somebody linked a subtree; descend into it
+          }
+          Node* leaf = new Node(key, new Value(value));
+          leaf->parent.store(node, std::memory_order_relaxed);
+          node->child[dir_to_c].store(leaf, std::memory_order_release);
+        }
+        size_.fetch_add(1, std::memory_order_relaxed);
+        fix_height_and_rebalance(node);
+        return UpdateResult::kTrue;
+      }
+      const int c = cmp(key, child);
+      if (c == 0) {
+        // Key position exists; succeed only if it is currently routing.
+        std::lock_guard<Lock> g(child->lock);
+        if (is_unlinked(child->version.load(std::memory_order_relaxed))) {
+          continue;  // unlinked under us: re-read the child pointer
+        }
+        if (child->value.load(std::memory_order_relaxed) != nullptr) {
+          return UpdateResult::kFalse;
+        }
+        child->value.store(new Value(value), std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return UpdateResult::kTrue;
+      }
+      const std::uint64_t child_v =
+          child->version.load(std::memory_order_acquire);
+      if (is_shrinking(child_v)) {
+        wait_until_not_shrinking(child);
+        continue;
+      }
+      if (is_unlinked(child_v) ||
+          child != node->child[dir_to_c].load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (node->version.load(std::memory_order_acquire) != node_v) {
+        return UpdateResult::kRetry;
+      }
+      const UpdateResult r =
+          attempt_insert(key, value, child, c < 0 ? kLeft : kRight, child_v);
+      if (r != UpdateResult::kRetry) return r;
+    }
+  }
+
+  // ── erase ─────────────────────────────────────────────────────────
+  UpdateResult attempt_erase(const Key& key, Node* node, int dir_to_c,
+                             std::uint64_t node_v) {
+    for (;;) {
+      Node* child = node->child[dir_to_c].load(std::memory_order_acquire);
+      if (node->version.load(std::memory_order_acquire) != node_v) {
+        return UpdateResult::kRetry;
+      }
+      if (child == nullptr) return UpdateResult::kFalse;
+      const int c = cmp(key, child);
+      if (c == 0) {
+        const UpdateResult r = attempt_rm_node(node, child);
+        if (r != UpdateResult::kRetry) return r;
+        continue;  // the parent-child relation moved; re-examine
+      }
+      const std::uint64_t child_v =
+          child->version.load(std::memory_order_acquire);
+      if (is_shrinking(child_v)) {
+        wait_until_not_shrinking(child);
+        continue;
+      }
+      if (is_unlinked(child_v) ||
+          child != node->child[dir_to_c].load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (node->version.load(std::memory_order_acquire) != node_v) {
+        return UpdateResult::kRetry;
+      }
+      const UpdateResult r =
+          attempt_erase(key, child, c < 0 ? kLeft : kRight, child_v);
+      if (r != UpdateResult::kRetry) return r;
+    }
+  }
+
+  bool has_two_children(const Node* n) const {
+    return n->child[kLeft].load(std::memory_order_acquire) != nullptr &&
+           n->child[kRight].load(std::memory_order_acquire) != nullptr;
+  }
+
+  // Remove the mapping held by `n` (whose parent was observed to be
+  // `par`). Two-children nodes only lose their value (partial
+  // externality); others are unlinked under parent+node locks.
+  UpdateResult attempt_rm_node(Node* par, Node* n) {
+    if (n->value.load(std::memory_order_acquire) == nullptr) {
+      return UpdateResult::kFalse;
+    }
+    for (;;) {
+      if (has_two_children(n)) {
+        // Routing conversion: value removal only, no structural change.
+        std::lock_guard<Lock> g(n->lock);
+        if (is_unlinked(n->version.load(std::memory_order_relaxed))) {
+          return UpdateResult::kRetry;
+        }
+        if (!has_two_children(n)) continue;  // take the unlink path
+        const Value* prev = n->value.load(std::memory_order_relaxed);
+        if (prev == nullptr) return UpdateResult::kFalse;
+        n->value.store(nullptr, std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        retire_value(prev);
+        return UpdateResult::kTrue;
+      }
+      bool unlinked = false;
+      {
+        std::lock_guard<Lock> gp(par->lock);
+        if (is_unlinked(par->version.load(std::memory_order_relaxed)) ||
+            n->parent.load(std::memory_order_relaxed) != par) {
+          return UpdateResult::kRetry;
+        }
+        std::lock_guard<Lock> gn(n->lock);
+        const Value* prev = n->value.load(std::memory_order_relaxed);
+        if (prev == nullptr) return UpdateResult::kFalse;
+        n->value.store(nullptr, std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        retire_value(prev);
+        if (!has_two_children(n)) {
+          unlink(par, n);  // both locks held
+          unlinked = true;
+        }
+      }
+      if (unlinked) fix_height_and_rebalance(par);
+      return UpdateResult::kTrue;
+    }
+  }
+
+  // Splice a routing node with at most one child out of the tree.
+  // Precondition: par and n locked, n->parent == par, n has <= 1 child.
+  void unlink(Node* par, Node* n) {
+    Node* left = n->child[kLeft].load(std::memory_order_relaxed);
+    Node* right = n->child[kRight].load(std::memory_order_relaxed);
+    Node* splice = left != nullptr ? left : right;
+    const int dir =
+        par->child[kLeft].load(std::memory_order_relaxed) == n ? kLeft
+                                                               : kRight;
+    par->child[dir].store(splice, std::memory_order_release);
+    if (splice != nullptr) splice->parent.store(par, std::memory_order_release);
+    // Keep n's children intact: a paused search inside n must still see a
+    // path to everything below. Mark it so validators bail out.
+    const std::uint64_t v = n->version.load(std::memory_order_relaxed);
+    n->version.store((v + kOvlIncr) | kUnlinked, std::memory_order_release);
+    retire_node(n);
+  }
+
+  // ── relaxed rebalancing (paper Sec. 5) ────────────────────────────
+
+  static constexpr int kNothingRequired = -1;
+  static constexpr int kUnlinkRequired = -2;
+  static constexpr int kRebalanceRequired = -3;
+
+  // What does `n` need? Returns one of the markers above or the replacement
+  // height.
+  int node_condition(const Node* n) const {
+    const Node* l = n->child[kLeft].load(std::memory_order_acquire);
+    const Node* r = n->child[kRight].load(std::memory_order_acquire);
+    if ((l == nullptr || r == nullptr) &&
+        n->value.load(std::memory_order_acquire) == nullptr) {
+      return kUnlinkRequired;
+    }
+    const int hn = n->height.load(std::memory_order_relaxed);
+    const int hl = height_of(l);
+    const int hr = height_of(r);
+    const int repl = 1 + std::max(hl, hr);
+    if (hl - hr < -1 || hl - hr > 1) return kRebalanceRequired;
+    return hn != repl ? repl : kNothingRequired;
+  }
+
+  void fix_height_and_rebalance(Node* node) {
+    // A rotation can leave damage both at an inner node (which it returns)
+    // and at the parent whose child-subtree height changed. The inner
+    // repair is done first; parents of every rotation are queued so their
+    // heights are re-validated before the repair pass finishes.
+    std::vector<Node*> pending;
+    for (;;) {
+      if (node == root_holder_ || node == nullptr) {
+        if (pending.empty()) return;
+        node = pending.back();
+        pending.pop_back();
+        continue;
+      }
+      const int condition = node_condition(node);
+      if (condition == kNothingRequired ||
+          is_unlinked(node->version.load(std::memory_order_acquire))) {
+        node = nullptr;  // this chain is clean; drain the pending queue
+        continue;
+      }
+      if (condition != kUnlinkRequired && condition != kRebalanceRequired) {
+        std::lock_guard<Lock> g(node->lock);
+        node = fix_height(node);
+      } else {
+        Node* par = node->parent.load(std::memory_order_acquire);
+        if (par == nullptr) {
+          node = nullptr;
+          continue;
+        }
+        std::lock_guard<Lock> gp(par->lock);
+        if (is_unlinked(par->version.load(std::memory_order_relaxed)) ||
+            node->parent.load(std::memory_order_relaxed) != par) {
+          continue;  // re-read the parent
+        }
+        std::lock_guard<Lock> gn(node->lock);
+        pending.push_back(par);
+        node = rebalance(par, node);
+      }
+    }
+  }
+
+  // Recompute the height of a locked node; returns the next damaged node.
+  Node* fix_height(Node* n) {
+    const int c = node_condition(n);
+    switch (c) {
+      case kRebalanceRequired:
+      case kUnlinkRequired:
+        return n;  // needs the larger-scope repair
+      case kNothingRequired:
+        return nullptr;
+      default:
+        n->height.store(c, std::memory_order_relaxed);
+        return n->parent.load(std::memory_order_acquire);
+    }
+  }
+
+  // Repair a locked (par, n) pair; returns the next damaged node.
+  Node* rebalance(Node* par, Node* n) {
+    Node* l = n->child[kLeft].load(std::memory_order_relaxed);
+    Node* r = n->child[kRight].load(std::memory_order_relaxed);
+    if ((l == nullptr || r == nullptr) &&
+        n->value.load(std::memory_order_relaxed) == nullptr) {
+      unlink(par, n);
+      // The parent may now be damaged.
+      return par;
+    }
+    const int hn = n->height.load(std::memory_order_relaxed);
+    const int hl = height_of(l);
+    const int hr = height_of(r);
+    const int repl = 1 + std::max(hl, hr);
+    if (hl - hr > 1) return rebalance_to_right(par, n, l, hr);
+    if (hl - hr < -1) return rebalance_to_left(par, n, r, hl);
+    if (repl != hn) {
+      n->height.store(repl, std::memory_order_relaxed);
+      return par;
+    }
+    return nullptr;
+  }
+
+  // Left subtree too tall: rotate right (single or double). par and n are
+  // locked.
+  Node* rebalance_to_right(Node* par, Node* n, Node* l, int hr0) {
+    std::lock_guard<Lock> gl(l->lock);
+    const int hl = l->height.load(std::memory_order_relaxed);
+    if (hl - hr0 <= 1) return n;  // condition changed; re-examine
+    Node* lr = l->child[kRight].load(std::memory_order_relaxed);
+    const int hll = height_of(l->child[kLeft].load(std::memory_order_relaxed));
+    const int hlr0 = height_of(lr);
+    if (hll >= hlr0) return rotate_right(par, n, l, hr0, hll, lr, hlr0);
+    if (lr == nullptr) return n;  // inconsistent snapshot
+    {
+      std::lock_guard<Lock> glr(lr->lock);
+      const int hlr = lr->height.load(std::memory_order_relaxed);
+      if (hll >= hlr) return rotate_right(par, n, l, hr0, hll, lr, hlr);
+      const int hlrl =
+          height_of(lr->child[kLeft].load(std::memory_order_relaxed));
+      const int b = hll - hlrl;
+      if (b >= -1 && b <= 1 &&
+          !((hll == 0 || hlrl == 0) &&
+            l->value.load(std::memory_order_relaxed) == nullptr)) {
+        return rotate_right_over_left(par, n, l, hr0, hll, lr, hlrl);
+      }
+    }
+    // First shorten the inner chain, then try again from n.
+    return rebalance_to_left(n, l, lr, hll);
+  }
+
+  Node* rebalance_to_left(Node* par, Node* n, Node* r, int hl0) {
+    std::lock_guard<Lock> gr(r->lock);
+    const int hr = r->height.load(std::memory_order_relaxed);
+    if (hr - hl0 <= 1) return n;
+    Node* rl = r->child[kLeft].load(std::memory_order_relaxed);
+    const int hrr =
+        height_of(r->child[kRight].load(std::memory_order_relaxed));
+    const int hrl0 = height_of(rl);
+    if (hrr >= hrl0) return rotate_left(par, n, r, hl0, hrr, rl, hrl0);
+    if (rl == nullptr) return n;
+    {
+      std::lock_guard<Lock> grl(rl->lock);
+      const int hrl = rl->height.load(std::memory_order_relaxed);
+      if (hrr >= hrl) return rotate_left(par, n, r, hl0, hrr, rl, hrl);
+      const int hrlr =
+          height_of(rl->child[kRight].load(std::memory_order_relaxed));
+      const int b = hrr - hrlr;
+      if (b >= -1 && b <= 1 &&
+          !((hrr == 0 || hrlr == 0) &&
+            r->value.load(std::memory_order_relaxed) == nullptr)) {
+        return rotate_left_over_right(par, n, r, hl0, hrr, rl, hrlr);
+      }
+    }
+    return rebalance_to_right(n, r, rl, hrr);
+  }
+
+  // Single right rotation: l rises, n shrinks. Locks held: par, n, l.
+  Node* rotate_right(Node* par, Node* n, Node* l, int hr, int hll, Node* lr,
+                     int hlr) {
+    const std::uint64_t nv = n->version.load(std::memory_order_relaxed);
+    n->version.store(nv | kShrinking, std::memory_order_release);
+
+    const int dir =
+        par->child[kLeft].load(std::memory_order_relaxed) == n ? kLeft
+                                                               : kRight;
+    n->child[kLeft].store(lr, std::memory_order_release);
+    if (lr != nullptr) lr->parent.store(n, std::memory_order_release);
+    l->child[kRight].store(n, std::memory_order_release);
+    n->parent.store(l, std::memory_order_release);
+    par->child[dir].store(l, std::memory_order_release);
+    l->parent.store(par, std::memory_order_release);
+
+    const int hn_repl = 1 + std::max(hlr, hr);
+    n->height.store(hn_repl, std::memory_order_relaxed);
+    l->height.store(1 + std::max(hll, hn_repl), std::memory_order_relaxed);
+
+    n->version.store(nv + kOvlIncr, std::memory_order_release);
+
+    // Damage analysis (which node might still need repair?).
+    const int bal_n = hlr - hr;
+    if (bal_n < -1 || bal_n > 1) return n;
+    if ((lr == nullptr || hr == 0) &&
+        n->value.load(std::memory_order_relaxed) == nullptr) {
+      return n;  // n may be an unlinkable routing node now
+    }
+    const int bal_l = hll - hn_repl;
+    if (bal_l < -1 || bal_l > 1) return l;
+    return par;
+  }
+
+  Node* rotate_left(Node* par, Node* n, Node* r, int hl, int hrr, Node* rl,
+                    int hrl) {
+    const std::uint64_t nv = n->version.load(std::memory_order_relaxed);
+    n->version.store(nv | kShrinking, std::memory_order_release);
+
+    const int dir =
+        par->child[kLeft].load(std::memory_order_relaxed) == n ? kLeft
+                                                               : kRight;
+    n->child[kRight].store(rl, std::memory_order_release);
+    if (rl != nullptr) rl->parent.store(n, std::memory_order_release);
+    r->child[kLeft].store(n, std::memory_order_release);
+    n->parent.store(r, std::memory_order_release);
+    par->child[dir].store(r, std::memory_order_release);
+    r->parent.store(par, std::memory_order_release);
+
+    const int hn_repl = 1 + std::max(hrl, hl);
+    n->height.store(hn_repl, std::memory_order_relaxed);
+    r->height.store(1 + std::max(hrr, hn_repl), std::memory_order_relaxed);
+
+    n->version.store(nv + kOvlIncr, std::memory_order_release);
+
+    const int bal_n = hrl - hl;
+    if (bal_n < -1 || bal_n > 1) return n;
+    if ((rl == nullptr || hl == 0) &&
+        n->value.load(std::memory_order_relaxed) == nullptr) {
+      return n;
+    }
+    const int bal_r = hrr - hn_repl;
+    if (bal_r < -1 || bal_r > 1) return r;
+    return par;
+  }
+
+  // Double rotation: lr rises over l and n. Locks held: par, n, l, lr.
+  Node* rotate_right_over_left(Node* par, Node* n, Node* l, int hr, int hll,
+                               Node* lr, int hlrl) {
+    const std::uint64_t nv = n->version.load(std::memory_order_relaxed);
+    const std::uint64_t lv = l->version.load(std::memory_order_relaxed);
+    n->version.store(nv | kShrinking, std::memory_order_release);
+    l->version.store(lv | kShrinking, std::memory_order_release);
+
+    const int dir =
+        par->child[kLeft].load(std::memory_order_relaxed) == n ? kLeft
+                                                               : kRight;
+    Node* lrl = lr->child[kLeft].load(std::memory_order_relaxed);
+    Node* lrr = lr->child[kRight].load(std::memory_order_relaxed);
+    const int hlrr = height_of(lrr);
+
+    n->child[kLeft].store(lrr, std::memory_order_release);
+    if (lrr != nullptr) lrr->parent.store(n, std::memory_order_release);
+    l->child[kRight].store(lrl, std::memory_order_release);
+    if (lrl != nullptr) lrl->parent.store(l, std::memory_order_release);
+    lr->child[kLeft].store(l, std::memory_order_release);
+    l->parent.store(lr, std::memory_order_release);
+    lr->child[kRight].store(n, std::memory_order_release);
+    n->parent.store(lr, std::memory_order_release);
+    par->child[dir].store(lr, std::memory_order_release);
+    lr->parent.store(par, std::memory_order_release);
+
+    const int hn_repl = 1 + std::max(hlrr, hr);
+    n->height.store(hn_repl, std::memory_order_relaxed);
+    const int hl_repl = 1 + std::max(hll, hlrl);
+    l->height.store(hl_repl, std::memory_order_relaxed);
+    lr->height.store(1 + std::max(hn_repl, hl_repl),
+                     std::memory_order_relaxed);
+
+    n->version.store(nv + kOvlIncr, std::memory_order_release);
+    l->version.store(lv + kOvlIncr, std::memory_order_release);
+
+    const int bal_n = hlrr - hr;
+    if (bal_n < -1 || bal_n > 1) return n;
+    if ((lrr == nullptr || hr == 0) &&
+        n->value.load(std::memory_order_relaxed) == nullptr) {
+      return n;
+    }
+    const int bal_lr = hl_repl - hn_repl;
+    if (bal_lr < -1 || bal_lr > 1) return lr;
+    return par;
+  }
+
+  Node* rotate_left_over_right(Node* par, Node* n, Node* r, int hl, int hrr,
+                               Node* rl, int hrlr) {
+    const std::uint64_t nv = n->version.load(std::memory_order_relaxed);
+    const std::uint64_t rv = r->version.load(std::memory_order_relaxed);
+    n->version.store(nv | kShrinking, std::memory_order_release);
+    r->version.store(rv | kShrinking, std::memory_order_release);
+
+    const int dir =
+        par->child[kLeft].load(std::memory_order_relaxed) == n ? kLeft
+                                                               : kRight;
+    Node* rll = rl->child[kLeft].load(std::memory_order_relaxed);
+    Node* rlr = rl->child[kRight].load(std::memory_order_relaxed);
+    const int hrll = height_of(rll);
+
+    n->child[kRight].store(rll, std::memory_order_release);
+    if (rll != nullptr) rll->parent.store(n, std::memory_order_release);
+    r->child[kLeft].store(rlr, std::memory_order_release);
+    if (rlr != nullptr) rlr->parent.store(r, std::memory_order_release);
+    rl->child[kRight].store(r, std::memory_order_release);
+    r->parent.store(rl, std::memory_order_release);
+    rl->child[kLeft].store(n, std::memory_order_release);
+    n->parent.store(rl, std::memory_order_release);
+    par->child[dir].store(rl, std::memory_order_release);
+    rl->parent.store(par, std::memory_order_release);
+
+    const int hn_repl = 1 + std::max(hrll, hl);
+    n->height.store(hn_repl, std::memory_order_relaxed);
+    const int hr_repl = 1 + std::max(hrr, hrlr);
+    r->height.store(hr_repl, std::memory_order_relaxed);
+    rl->height.store(1 + std::max(hn_repl, hr_repl),
+                     std::memory_order_relaxed);
+
+    n->version.store(nv + kOvlIncr, std::memory_order_release);
+    r->version.store(rv + kOvlIncr, std::memory_order_release);
+
+    const int bal_n = hrll - hl;
+    if (bal_n < -1 || bal_n > 1) return n;
+    if ((rll == nullptr || hl == 0) &&
+        n->value.load(std::memory_order_relaxed) == nullptr) {
+      return n;
+    }
+    const int bal_rl = hr_repl - hn_repl;
+    if (bal_rl < -1 || bal_rl > 1) return rl;
+    return par;
+  }
+
+  // ── reclamation hooks ─────────────────────────────────────────────
+
+  void retire_node(Node* n) {
+    if constexpr (Traits::kReclaim) {
+      rcu_.retire(
+          n, [](void* p, void*) { delete static_cast<Node*>(p); }, nullptr);
+    } else {
+      (void)n;
+    }
+  }
+
+  void retire_value(const Value* v) {
+    if constexpr (Traits::kReclaim) {
+      rcu_.retire(
+          const_cast<Value*>(v),
+          [](void* p, void*) { delete static_cast<Value*>(p); }, nullptr);
+    } else {
+      (void)v;
+    }
+  }
+
+  // Returns the recomputed height, or -1 on violation.
+  int audit(const Node* n, const Node* parent, const Key* lo, const Key* hi,
+            std::size_t& count, int& imbalance, std::string* error) const {
+    if (n == nullptr) return 0;
+    if (n->parent.load(std::memory_order_relaxed) != parent) {
+      return set_error(error, "bad parent pointer"), -1;
+    }
+    if (is_unlinked(n->version.load(std::memory_order_relaxed))) {
+      return set_error(error, "unlinked node reachable"), -1;
+    }
+    if (n->bound != Bound::kKey) return set_error(error, "bad bound"), -1;
+    const Key& k = n->key();
+    if ((lo != nullptr && !(*lo < k)) || (hi != nullptr && !(k < *hi))) {
+      return set_error(error, "BST order violated"), -1;
+    }
+    if (n->value.load(std::memory_order_relaxed) != nullptr) ++count;
+    const int hl = audit(n->child[kLeft].load(std::memory_order_relaxed), n,
+                         lo, &k, count, imbalance, error);
+    if (hl < 0) return -1;
+    const int hr = audit(n->child[kRight].load(std::memory_order_relaxed), n,
+                         &k, hi, count, imbalance, error);
+    if (hr < 0) return -1;
+    imbalance = std::max({imbalance, hl - hr, hr - hl});
+    return 1 + std::max(hl, hr);
+  }
+
+  static bool set_error(std::string* error, const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  }
+
+  Rcu& rcu_;
+  Node* root_holder_;
+  std::atomic<std::int64_t> size_{0};
+};
+
+}  // namespace citrus::baselines

@@ -1,0 +1,335 @@
+// Bonsai — an RCU-based balanced search tree in the style of Clements,
+// Kaashoek and Zeldovich, "Scalable Address Spaces Using RCU Balanced
+// Trees" (ASPLOS 2012): one of the two RCU-tree comparators in the paper's
+// evaluation.
+//
+// "Inspired by functional programming, Bonsai never modifies the tree in
+// place, creating instead a new instance for the changed data structure"
+// (paper, Section 6). Every update: (a) takes the single writer lock — this
+// is precisely the coarse-grained updater synchronization whose scaling
+// collapse Figures 9 and 10 show — (b) rebuilds the root-to-leaf path
+// functionally (nodes are immutable once published), (c) publishes the new
+// root with one atomic store, and (d) only then retires the replaced nodes,
+// whose memory is reclaimed after a grace period. Readers run inside an
+// RCU read-side critical section, load the root once, and traverse a fully
+// immutable snapshot — so reads are wait-free and even multi-item
+// operations (see snapshot()) are trivially linearizable, which is the one
+// capability Citrus deliberately gives up in exchange for concurrent
+// updaters.
+//
+// Balance: weight-balanced tree with Adams' parameters (delta=3, gamma=2;
+// the scheme of Haskell's Data.Map), giving O(log n) height like the
+// original's "bonsai" (Nievergelt-Reingold) balance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+
+namespace citrus::baselines {
+
+struct BonsaiTraits {
+  static constexpr bool kReclaim = true;
+};
+struct BonsaiBenchTraits : BonsaiTraits {
+  static constexpr bool kReclaim = false;
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = BonsaiTraits>
+class BonsaiTree {
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+
+  explicit BonsaiTree(Rcu& domain) : rcu_(domain) {}
+  BonsaiTree(const BonsaiTree&) = delete;
+  BonsaiTree& operator=(const BonsaiTree&) = delete;
+
+  ~BonsaiTree() {
+    free_subtree(root_.load(std::memory_order_relaxed));
+  }
+
+  bool contains(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    return locate(root_.load(std::memory_order_acquire), key) != nullptr;
+  }
+
+  std::optional<Value> find(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* n = locate(root_.load(std::memory_order_acquire), key);
+    if (n == nullptr) return std::nullopt;
+    return n->value;
+  }
+
+  bool insert(const Key& key, const Value& value) {
+    std::lock_guard<std::mutex> writer(writer_lock_);
+    garbage_.clear();
+    bool inserted = false;
+    Node* new_root =
+        insert_rec(root_.load(std::memory_order_relaxed), key, value,
+                   inserted);
+    if (!inserted) return false;
+    publish_and_reclaim(new_root);
+    return true;
+  }
+
+  bool erase(const Key& key) {
+    std::lock_guard<std::mutex> writer(writer_lock_);
+    garbage_.clear();
+    bool erased = false;
+    Node* new_root =
+        erase_rec(root_.load(std::memory_order_relaxed), key, erased);
+    if (!erased) return false;
+    publish_and_reclaim(new_root);
+    return true;
+  }
+
+  std::size_t size() const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    return weight_of(root_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+
+  // Linearizable multi-item read: an in-order dump of one immutable
+  // snapshot. (The anomaly of the paper's Figure 1 cannot happen here;
+  // this is what coarse-grained RCU trees buy with their single writer.)
+  std::vector<std::pair<Key, Value>> snapshot() const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    std::vector<std::pair<Key, Value>> out;
+    const Node* root = root_.load(std::memory_order_acquire);
+    out.reserve(weight_of(root));
+    std::vector<const Node*> stack;
+    const Node* n = root;
+    while (n != nullptr || !stack.empty()) {
+      while (n != nullptr) {
+        stack.push_back(n);
+        n = n->left;
+      }
+      n = stack.back();
+      stack.pop_back();
+      out.emplace_back(n->key, n->value);
+      n = n->right;
+    }
+    return out;
+  }
+
+  // Quiescent audit: BST order, correct subtree weights, and Adams'
+  // balance invariant at every node.
+  bool check_structure(std::string* error = nullptr) const {
+    return audit(root_.load(std::memory_order_relaxed), nullptr, nullptr,
+                 error) != kBad;
+  }
+
+ private:
+  struct Node {
+    const Key key;
+    const Value value;
+    Node* const left;
+    Node* const right;
+    const std::size_t weight;  // nodes in this subtree, inclusive
+
+    Node(const Key& k, const Value& v, Node* l, Node* r)
+        : key(k),
+          value(v),
+          left(l),
+          right(r),
+          weight(1 + weight_of(l) + weight_of(r)) {}
+  };
+
+  static std::size_t weight_of(const Node* n) {
+    return n == nullptr ? 0 : n->weight;
+  }
+
+  static const Node* locate(const Node* n, const Key& key) {
+    while (n != nullptr) {
+      if (key < n->key) {
+        n = n->left;
+      } else if (n->key < key) {
+        n = n->right;
+      } else {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  // ── Functional rebuilding (writer lock held) ──────────────────────
+
+  Node* make(const Key& k, const Value& v, Node* l, Node* r) {
+    return new Node(k, v, l, r);
+  }
+
+  // A node consumed by the rebuild: unreachable from the new version.
+  void discard(Node* n) { garbage_.push_back(n); }
+
+  // Adams' delta/gamma balance. `l`/`r` differ from the originals by at
+  // most one element, which single/double rotations restore.
+  static constexpr std::size_t kDelta = 3;
+  static constexpr std::size_t kGamma = 2;
+
+  Node* balance(const Key& k, const Value& v, Node* l, Node* r) {
+    const std::size_t lw = weight_of(l);
+    const std::size_t rw = weight_of(r);
+    if (lw + rw <= 1) return make(k, v, l, r);
+    if (rw > kDelta * lw) {  // right too heavy
+      Node* rl = r->left;
+      Node* rr = r->right;
+      discard(r);
+      if (weight_of(rl) < kGamma * weight_of(rr)) {  // single left
+        return make(r->key, r->value, make(k, v, l, rl), rr);
+      }
+      // double: rotate rl up
+      Node* a = rl->left;
+      Node* b = rl->right;
+      discard(rl);
+      return make(rl->key, rl->value, make(k, v, l, a),
+                  make(r->key, r->value, b, rr));
+    }
+    if (lw > kDelta * rw) {  // left too heavy
+      Node* ll = l->left;
+      Node* lr = l->right;
+      discard(l);
+      if (weight_of(lr) < kGamma * weight_of(ll)) {  // single right
+        return make(l->key, l->value, ll, make(k, v, lr, r));
+      }
+      Node* a = lr->left;
+      Node* b = lr->right;
+      discard(lr);
+      return make(lr->key, lr->value, make(l->key, l->value, ll, a),
+                  make(k, v, b, r));
+    }
+    return make(k, v, l, r);
+  }
+
+  Node* insert_rec(Node* n, const Key& key, const Value& value,
+                   bool& inserted) {
+    if (n == nullptr) {
+      inserted = true;
+      return make(key, value, nullptr, nullptr);
+    }
+    if (key < n->key) {
+      Node* nl = insert_rec(n->left, key, value, inserted);
+      if (!inserted) return n;
+      discard(n);
+      return balance(n->key, n->value, nl, n->right);
+    }
+    if (n->key < key) {
+      Node* nr = insert_rec(n->right, key, value, inserted);
+      if (!inserted) return n;
+      discard(n);
+      return balance(n->key, n->value, n->left, nr);
+    }
+    inserted = false;  // already present
+    return n;
+  }
+
+  Node* erase_rec(Node* n, const Key& key, bool& erased) {
+    if (n == nullptr) {
+      erased = false;
+      return nullptr;
+    }
+    if (key < n->key) {
+      Node* nl = erase_rec(n->left, key, erased);
+      if (!erased) return n;
+      discard(n);
+      return balance(n->key, n->value, nl, n->right);
+    }
+    if (n->key < key) {
+      Node* nr = erase_rec(n->right, key, erased);
+      if (!erased) return n;
+      discard(n);
+      return balance(n->key, n->value, n->left, nr);
+    }
+    erased = true;
+    discard(n);
+    return join(n->left, n->right);
+  }
+
+  // Glue two subtrees where everything in l < everything in r.
+  Node* join(Node* l, Node* r) {
+    if (l == nullptr) return r;
+    if (r == nullptr) return l;
+    const Key* min_key;
+    const Value* min_value;
+    Node* nr = extract_min(r, min_key, min_value);
+    return balance(*min_key, *min_value, l, nr);
+  }
+
+  // Functionally remove the leftmost node of `n`; its payload outlives the
+  // call because the node is only *queued* as garbage (freed after the
+  // caller publishes and a grace period passes).
+  Node* extract_min(Node* n, const Key*& k, const Value*& v) {
+    if (n->left == nullptr) {
+      k = &n->key;
+      v = &n->value;
+      discard(n);
+      return n->right;
+    }
+    Node* nl = extract_min(n->left, k, v);
+    discard(n);
+    return balance(n->key, n->value, nl, n->right);
+  }
+
+  void publish_and_reclaim(Node* new_root) {
+    root_.store(new_root, std::memory_order_release);
+    // Old-path nodes become invisible to new readers at the store above;
+    // pre-existing readers are covered by the grace period behind retire.
+    if constexpr (Traits::kReclaim) {
+      for (Node* dead : garbage_) rcu::retire_delete(rcu_, dead);
+    }
+    garbage_.clear();
+  }
+
+  static void free_subtree(Node* n) {
+    std::vector<Node*> stack;
+    if (n != nullptr) stack.push_back(n);
+    while (!stack.empty()) {
+      Node* cur = stack.back();
+      stack.pop_back();
+      if (cur->left != nullptr) stack.push_back(cur->left);
+      if (cur->right != nullptr) stack.push_back(cur->right);
+      delete cur;
+    }
+  }
+
+  static constexpr std::size_t kBad = static_cast<std::size_t>(-1);
+
+  // Returns subtree weight, or kBad on invariant violation.
+  std::size_t audit(const Node* n, const Key* lo, const Key* hi,
+                    std::string* error) const {
+    if (n == nullptr) return 0;
+    if ((lo != nullptr && !(*lo < n->key)) ||
+        (hi != nullptr && !(n->key < *hi))) {
+      if (error != nullptr) *error = "BST order violated";
+      return kBad;
+    }
+    const std::size_t lw = audit(n->left, lo, &n->key, error);
+    if (lw == kBad) return kBad;
+    const std::size_t rw = audit(n->right, &n->key, hi, error);
+    if (rw == kBad) return kBad;
+    if (n->weight != 1 + lw + rw) {
+      if (error != nullptr) *error = "stale subtree weight";
+      return kBad;
+    }
+    if (lw + rw > 1 && (lw > kDelta * rw || rw > kDelta * lw)) {
+      if (error != nullptr) *error = "weight balance violated";
+      return kBad;
+    }
+    return n->weight;
+  }
+
+  Rcu& rcu_;
+  std::atomic<Node*> root_{nullptr};
+  std::mutex writer_lock_;
+  std::vector<Node*> garbage_;  // writer-lock protected scratch
+};
+
+}  // namespace citrus::baselines

@@ -1,0 +1,36 @@
+// Sentinel-aware key comparison shared by the baseline structures.
+//
+// The classic pseudocode for these algorithms assumes keys −∞ and +∞ for the
+// sentinels. To stay generic over any `operator<`-ordered key type, each
+// node carries a Bound discriminator; sentinel nodes compare below/above
+// every real key without reserving key values.
+#pragma once
+
+#include <cstdint>
+
+namespace citrus::baselines {
+
+enum class Bound : std::uint8_t {
+  kMin = 0,  // -inf sentinel
+  kKey = 1,  // a real key
+  kMax = 2,  // +inf sentinel
+};
+
+// Three-way comparison of search key `k` against a (bound, key) pair:
+// negative if k is smaller, 0 if equal, positive if greater.
+template <typename Key>
+int compare_bounded(const Key& k, Bound bound, const Key& node_key) {
+  switch (bound) {
+    case Bound::kMin:
+      return +1;
+    case Bound::kMax:
+      return -1;
+    case Bound::kKey:
+      break;
+  }
+  if (k < node_key) return -1;
+  if (node_key < k) return +1;
+  return 0;
+}
+
+}  // namespace citrus::baselines

@@ -1,0 +1,380 @@
+// Lock-based optimistic ("lazy") skiplist.
+//
+// Herlihy, Lev, Luchangco, Shavit: "A Simple Optimistic Skiplist Algorithm"
+// (SIROCCO 2007) — the paper's "Skiplist" comparator, which it describes as
+// the "lock-based lazy skiplist" with Gramoli's synchrobench C version as
+// the reference. Searches are lock-free and never retry; updates lock the
+// predecessors at every level, validate (predecessor unmarked, still linked
+// to the expected successor), and retry on validation failure. A node is
+// logically deleted by its `marked` bit and physically unlinked afterwards
+// — the same lazy two-step Citrus borrows for its own marked bit.
+//
+// Reclamation (extension): with Traits::kReclaim every operation runs
+// inside an RCU read-side critical section of the supplied domain, and
+// unlinked nodes are retired through the domain; with it off the structure
+// matches the evaluation setups of the paper (no reclamation — unlinked
+// nodes are dropped).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "baselines/bounded_key.hpp"
+#include "sync/backoff.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+#include "sync/spinlock.hpp"
+#include "util/rng.hpp"
+
+namespace citrus::baselines {
+
+struct SkiplistTraits {
+  static constexpr int kMaxLevel = 20;  // 2^20 keys expected max
+  static constexpr bool kReclaim = true;
+  using LockTag = sync::UseSpinLock;
+};
+
+struct SkiplistBenchTraits : SkiplistTraits {
+  static constexpr bool kReclaim = false;
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = SkiplistTraits>
+class LazySkiplist {
+  using Lock = typename Traits::LockTag::type;
+  static constexpr int kMaxLevel = Traits::kMaxLevel;
+  struct Node;
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+
+  explicit LazySkiplist(Rcu& domain) : rcu_(domain) {
+    head_ = new Node(Bound::kMin, kMaxLevel - 1);
+    tail_ = new Node(Bound::kMax, kMaxLevel - 1);
+    for (int l = 0; l < kMaxLevel; ++l) {
+      head_->next[l].store(tail_, std::memory_order_relaxed);
+    }
+  }
+
+  LazySkiplist(const LazySkiplist&) = delete;
+  LazySkiplist& operator=(const LazySkiplist&) = delete;
+
+  ~LazySkiplist() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    const int found = find_node(key, preds, succs);
+    return found != -1 && succs[found]->fully_linked.load(std::memory_order_acquire) &&
+           !succs[found]->marked.load(std::memory_order_acquire);
+  }
+
+  std::optional<Value> find(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    const int found = find_node(key, preds, succs);
+    if (found == -1 ||
+        !succs[found]->fully_linked.load(std::memory_order_acquire) ||
+        succs[found]->marked.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    return succs[found]->value();
+  }
+
+  bool insert(const Key& key, const Value& value) {
+    const int top_level = random_level();
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    for (;;) {
+      MaybeGuard guard(rcu_);
+      const int found = find_node(key, preds, succs);
+      if (found != -1) {
+        Node* existing = succs[found];
+        if (!existing->marked.load(std::memory_order_acquire)) {
+          // Key present (possibly mid-insert: wait until fully linked so
+          // our linearization point is after its).
+          sync::Backoff bo;
+          while (!existing->fully_linked.load(std::memory_order_acquire)) {
+            bo.pause();
+          }
+          return false;
+        }
+        continue;  // marked victim still in the way: retry
+      }
+      // Lock the predecessors bottom-up and validate each level.
+      int highest_locked = -1;
+      bool valid = true;
+      Node* locked_pred = nullptr;
+      for (int l = 0; valid && l <= top_level; ++l) {
+        Node* pred = preds[l];
+        Node* succ = succs[l];
+        if (pred != locked_pred) {  // consecutive levels often share preds
+          pred->lock.lock();
+          locked_pred = pred;
+          highest_locked = l;
+        }
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                !succ->marked.load(std::memory_order_acquire) &&
+                pred->next[l].load(std::memory_order_acquire) == succ;
+      }
+      if (!valid) {
+        unlock_preds(preds, highest_locked);
+        continue;
+      }
+      Node* node = new Node(key, value, top_level);
+      for (int l = 0; l <= top_level; ++l) {
+        node->next[l].store(succs[l], std::memory_order_relaxed);
+      }
+      for (int l = 0; l <= top_level; ++l) {
+        preds[l]->next[l].store(node, std::memory_order_release);
+      }
+      node->fully_linked.store(true, std::memory_order_release);
+      unlock_preds(preds, highest_locked);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  bool erase(const Key& key) {
+    Node* victim = nullptr;
+    bool is_marked = false;
+    int top_level = -1;
+    for (;;) {
+      const EraseStep step = erase_attempt(key, victim, is_marked, top_level);
+      if (step == EraseStep::kFalse) return false;
+      if (step == EraseStep::kDone) {
+        // Retire outside the read-side critical section so the reclamation
+        // batch can be flushed (a grace period inside our own section
+        // would deadlock).
+        if constexpr (Traits::kReclaim) rcu::retire_delete(rcu_, victim);
+        return true;
+      }
+    }
+  }
+
+ private:
+  enum class EraseStep { kRetry, kFalse, kDone };
+
+  EraseStep erase_attempt(const Key& key, Node*& victim, bool& is_marked,
+                          int& top_level) {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    {
+      MaybeGuard guard(rcu_);
+      const int found = find_node(key, preds, succs);
+      if (!is_marked) {
+        if (found == -1) return EraseStep::kFalse;
+        victim = succs[found];
+        if (!victim->fully_linked.load(std::memory_order_acquire) ||
+            victim->top_level != found ||
+            victim->marked.load(std::memory_order_acquire)) {
+          return EraseStep::kFalse;
+        }
+        top_level = victim->top_level;
+        victim->lock.lock();
+        if (victim->marked.load(std::memory_order_acquire)) {
+          victim->lock.unlock();  // someone else won the logical delete
+          return EraseStep::kFalse;
+        }
+        victim->marked.store(true, std::memory_order_release);
+        is_marked = true;
+      }
+      // Physical unlink under predecessor locks.
+      int highest_locked = -1;
+      bool valid = true;
+      Node* locked_pred = nullptr;
+      for (int l = 0; valid && l <= top_level; ++l) {
+        Node* pred = preds[l];
+        if (pred != locked_pred) {
+          pred->lock.lock();
+          locked_pred = pred;
+          highest_locked = l;
+        }
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[l].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) {
+        unlock_preds(preds, highest_locked);
+        return EraseStep::kRetry;
+      }
+      for (int l = top_level; l >= 0; --l) {
+        preds[l]->next[l].store(
+            victim->next[l].load(std::memory_order_acquire),
+            std::memory_order_release);
+      }
+      victim->lock.unlock();
+      unlock_preds(preds, highest_locked);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return EraseStep::kDone;
+  }
+
+ public:
+
+  std::size_t size() const noexcept {
+    const std::int64_t s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  // Quiescent audit: bottom-level list strictly sorted, counts match, and
+  // every node is linked at every level up to its top_level.
+  bool check_structure(std::string* error = nullptr) const {
+    std::size_t count = 0;
+    const Node* prev = head_;
+    for (const Node* n = head_->next[0].load(std::memory_order_relaxed);
+         n != tail_; n = n->next[0].load(std::memory_order_relaxed)) {
+      if (n == nullptr) return set_error(error, "level-0 list broke");
+      if (n->bound != Bound::kKey) {
+        return set_error(error, "sentinel inside the list");
+      }
+      if (prev->bound == Bound::kKey && !(prev->key() < n->key())) {
+        return set_error(error, "level-0 keys out of order");
+      }
+      if (n->marked.load(std::memory_order_relaxed)) {
+        return set_error(error, "marked node still linked");
+      }
+      ++count;
+      prev = n;
+    }
+    if (count != size()) return set_error(error, "size() mismatch");
+    // Each upper level must be a sublist of level 0 (strictly sorted too).
+    for (int l = 1; l < kMaxLevel; ++l) {
+      const Node* p = head_;
+      for (const Node* n = head_->next[l].load(std::memory_order_relaxed);
+           n != tail_; n = n->next[l].load(std::memory_order_relaxed)) {
+        if (n == nullptr) return set_error(error, "upper list broke");
+        if (n->top_level < l) {
+          return set_error(error, "node linked above its top level");
+        }
+        if (p->bound == Bound::kKey && n->bound == Bound::kKey &&
+            !(p->key() < n->key())) {
+          return set_error(error, "upper-level keys out of order");
+        }
+        p = n;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next[kMaxLevel];
+    Lock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    Bound bound;
+    int top_level;
+    alignas(Key) unsigned char key_buf[sizeof(Key)];
+    alignas(Value) unsigned char value_buf[sizeof(Value)];
+
+    Node(const Key& k, const Value& v, int top)
+        : bound(Bound::kKey), top_level(top) {
+      new (key_buf) Key(k);
+      new (value_buf) Value(v);
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+    }
+    Node(Bound b, int top) : bound(b), top_level(top) {
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+      fully_linked.store(true, std::memory_order_relaxed);
+    }
+    ~Node() {
+      if (bound == Bound::kKey) {
+        key().~Key();
+        value().~Value();
+      }
+    }
+    const Key& key() const {
+      return *std::launder(reinterpret_cast<const Key*>(key_buf));
+    }
+    const Value& value() const {
+      return *std::launder(reinterpret_cast<const Value*>(value_buf));
+    }
+  };
+
+  class MaybeGuard {
+   public:
+    explicit MaybeGuard(Rcu& rcu) : rcu_(rcu) {
+      if constexpr (Traits::kReclaim) rcu_.read_lock();
+    }
+    ~MaybeGuard() {
+      if constexpr (Traits::kReclaim) rcu_.read_unlock();
+    }
+    MaybeGuard(const MaybeGuard&) = delete;
+    MaybeGuard& operator=(const MaybeGuard&) = delete;
+
+   private:
+    Rcu& rcu_;
+  };
+
+  // Classic skiplist search: records the predecessor and successor at every
+  // level; returns the highest level where the key was found, else -1.
+  int find_node(const Key& key, Node** preds, Node** succs) const {
+    int found = -1;
+    Node* pred = head_;
+    for (int l = kMaxLevel - 1; l >= 0; --l) {
+      Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (compare_bounded(key, curr->bound,
+                             curr->bound == Bound::kKey ? curr->key() : key) >
+             0) {
+        pred = curr;
+        curr = pred->next[l].load(std::memory_order_acquire);
+      }
+      if (found == -1 && curr->bound == Bound::kKey &&
+          compare_bounded(key, curr->bound, curr->key()) == 0) {
+        found = l;
+      }
+      preds[l] = pred;
+      succs[l] = curr;
+    }
+    return found;
+  }
+
+  void unlock_preds(Node** preds, int highest_locked) {
+    Node* last = nullptr;
+    for (int l = 0; l <= highest_locked; ++l) {
+      if (preds[l] != last) {
+        preds[l]->lock.unlock();
+        last = preds[l];
+      }
+    }
+  }
+
+  // Geometric level distribution (p = 1/2) from a per-thread generator.
+  int random_level() {
+    thread_local util::Xoshiro256 rng(
+        0x9E3779B97F4A7C15ull ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    int level = 0;
+    while (level < kMaxLevel - 1 && (rng() & 1) != 0) ++level;
+    return level;
+  }
+
+  static bool set_error(std::string* error, const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  }
+
+  Rcu& rcu_;
+  Node* head_;
+  Node* tail_;
+  std::atomic<std::int64_t> size_{0};
+};
+
+}  // namespace citrus::baselines

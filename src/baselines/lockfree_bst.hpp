@@ -1,0 +1,424 @@
+// Lock-free external binary search tree — the paper's "Lock-Free"
+// comparator, after Natarajan and Mittal, "Fast Concurrent Lock-free
+// Binary Search Trees" (PPoPP 2014).
+//
+// External tree: keys live in leaves; internal nodes are binary routers
+// (always exactly two children). Coordination happens on *edges*: the two
+// low bits of every child pointer hold a FLAG (the leaf below is being
+// deleted) and a TAG (the edge is frozen because its parent is condemned).
+// An operation that encounters a marked edge helps complete the deletion
+// that owns it, so the structure is lock-free.
+//
+//   insert: seek to the leaf; CAS the parent edge from the leaf to a fresh
+//     internal node routing {old leaf, new leaf}.
+//   delete: two phases. *Injection* CASes the flag onto the parent→leaf
+//     edge (the linearization point of a successful delete). *Cleanup*
+//     tags the sibling edge, then CASes the *ancestor* edge (the lowest
+//     untagged edge above, recorded by seek) from the successor to the
+//     surviving sibling — splicing out the whole condemned chain at once.
+//
+// The three sentinel ranks (inf0 < inf1 < inf2, all above every real key)
+// build the static scaffold R(inf2) → S(inf1) → leaf(inf0) the algorithm
+// requires so every real leaf has both a parent and an ancestor edge.
+//
+// Reclamation (extension; the original leaks): with Traits::kReclaim every
+// operation runs in an RCU read-side critical section and the cleanup
+// winner retires the condemned chain; a per-node claim bit makes
+// retirement idempotent under helping races.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+
+namespace citrus::baselines {
+
+struct LfBstTraits {
+  static constexpr bool kReclaim = true;
+};
+struct LfBstBenchTraits : LfBstTraits {
+  static constexpr bool kReclaim = false;
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = LfBstTraits>
+class LockFreeBst {
+  static constexpr int kLeft = 0;
+  static constexpr int kRight = 1;
+  static constexpr std::uintptr_t kFlag = 1;  // leaf below is being deleted
+  static constexpr std::uintptr_t kTag = 2;   // edge frozen (parent condemned)
+  static constexpr std::uintptr_t kMask = ~std::uintptr_t{3};
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+
+  explicit LockFreeBst(Rcu& domain) : rcu_(domain) {
+    Node* leaf0 = new Node(1);  // rank inf0
+    Node* leaf1 = new Node(2);
+    Node* leaf2 = new Node(3);
+    s_ = new Node(2);  // S routes at inf1
+    s_->child[kLeft].store(pack(leaf0), std::memory_order_relaxed);
+    s_->child[kRight].store(pack(leaf1), std::memory_order_relaxed);
+    r_ = new Node(3);  // R routes at inf2
+    r_->child[kLeft].store(pack(s_), std::memory_order_relaxed);
+    r_->child[kRight].store(pack(leaf2), std::memory_order_relaxed);
+  }
+
+  LockFreeBst(const LockFreeBst&) = delete;
+  LockFreeBst& operator=(const LockFreeBst&) = delete;
+
+  ~LockFreeBst() {
+    std::vector<Node*> stack{r_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (int d = 0; d < 2; ++d) {
+        if (Node* c = unpack(n->child[d].load(std::memory_order_relaxed))) {
+          stack.push_back(c);
+        }
+      }
+      delete n;
+    }
+  }
+
+  bool contains(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    const Node* leaf = descend(key);
+    return leaf->is_key(key);
+  }
+
+  std::optional<Value> find(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    const Node* leaf = descend(key);
+    if (!leaf->is_key(key)) return std::nullopt;
+    return leaf->value();
+  }
+
+  bool insert(const Key& key, const Value& value) {
+    Node* new_leaf = nullptr;
+    for (;;) {
+      MaybeGuard guard(rcu_);
+      SeekRecord s = seek(key);
+      if (s.leaf->is_key(key)) {
+        delete new_leaf;
+        return false;
+      }
+      if (new_leaf == nullptr) new_leaf = new Node(key, value);
+      // The new router's key is the larger of the two leaves; the smaller
+      // leaf goes left. (Routing sends key < node left, key >= node right.)
+      Node* router;
+      if (s.leaf->less_than(key)) {
+        router = new Node(key, RouterTag{});
+        router->child[kLeft].store(pack(s.leaf), std::memory_order_relaxed);
+        router->child[kRight].store(pack(new_leaf),
+                                    std::memory_order_relaxed);
+      } else {
+        router = new Node(*s.leaf, RouterTag{});
+        router->child[kLeft].store(pack(new_leaf), std::memory_order_relaxed);
+        router->child[kRight].store(pack(s.leaf), std::memory_order_relaxed);
+      }
+      const int d = child_dir(s.parent, key);
+      std::uintptr_t expected = pack(s.leaf);
+      if (s.parent->child[d].compare_exchange_strong(
+              expected, pack(router), std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      delete router;
+      // CAS failed. If the edge still leads to our leaf but is marked, a
+      // deletion owns it: help it finish before retrying.
+      if (unpack(expected) == s.leaf && (expected & (kFlag | kTag)) != 0) {
+        cleanup(key, s);
+      }
+    }
+  }
+
+  bool erase(const Key& key) {
+    bool injected = false;
+    Node* leaf = nullptr;
+    for (;;) {
+      bool done = false;
+      bool result = false;
+      {
+        MaybeGuard guard(rcu_);
+        SeekRecord s = seek(key);
+        if (!injected) {
+          leaf = s.leaf;
+          if (!leaf->is_key(key)) {
+            done = true;  // not present
+          } else {
+            const int d = child_dir(s.parent, key);
+            std::uintptr_t expected = pack(leaf);
+            if (s.parent->child[d].compare_exchange_strong(
+                    expected, pack(leaf) | kFlag, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+              injected = true;  // linearization point of the delete
+              size_.fetch_sub(1, std::memory_order_relaxed);
+              if (cleanup(key, s)) {
+                done = true;
+                result = true;
+              }
+            } else if (unpack(expected) == leaf &&
+                       (expected & (kFlag | kTag)) != 0) {
+              cleanup(key, s);  // help the deletion blocking our edge
+            }
+          }
+        } else {
+          // Our flag is set; keep trying to physically remove until someone
+          // (possibly a helper) has done it.
+          if (s.leaf != leaf || cleanup(key, s)) {
+            done = true;
+            result = true;
+          }
+        }
+      }
+      if (done) {
+        // Outside the read-side section: give the deferred-reclamation
+        // queue a chance to flush (it cannot inside our own section).
+        if constexpr (Traits::kReclaim) rcu_.maybe_flush_retired();
+        return result;
+      }
+    }
+  }
+
+  std::size_t size() const noexcept {
+    const std::int64_t s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  // Quiescent audit: external-BST shape (internal nodes have exactly two
+  // children, leaves none), correct routing, no surviving flags or tags,
+  // leaf count matches size().
+  bool check_structure(std::string* error = nullptr) const {
+    std::size_t leaves = 0;
+    if (!audit(r_, nullptr, nullptr, leaves, error)) return false;
+    // The three sentinel leaves are counted too.
+    if (leaves != size() + 3) return set_error(error, "size mismatch");
+    return true;
+  }
+
+ private:
+  struct RouterTag {};
+
+  // rank 0 = real key; ranks 1..3 are the inf0 < inf1 < inf2 sentinels.
+  struct alignas(8) Node {
+    std::atomic<std::uintptr_t> child[2] = {0, 0};
+    std::uint8_t rank;
+    bool has_value = false;
+    std::atomic<bool> claimed{false};  // retirement dedup under helping
+    alignas(Key) unsigned char key_buf[sizeof(Key)];
+    alignas(Value) unsigned char value_buf[sizeof(Value)];
+
+    explicit Node(std::uint8_t r) : rank(r) {}  // sentinel (never rank 0)
+    Node(const Key& k, const Value& v) : rank(0), has_value(true) {
+      new (key_buf) Key(k);
+      new (value_buf) Value(v);
+    }
+    // Router carrying a real key.
+    Node(const Key& k, RouterTag) : rank(0) { new (key_buf) Key(k); }
+    // Router copying another node's routing point (key or sentinel rank).
+    Node(const Node& src, RouterTag) : rank(src.rank) {
+      if (rank == 0) new (key_buf) Key(src.key());
+    }
+    ~Node() {
+      if (rank == 0) {
+        key().~Key();
+        if (has_value) value().~Value();
+      }
+    }
+    const Key& key() const {
+      return *std::launder(reinterpret_cast<const Key*>(key_buf));
+    }
+    const Value& value() const {
+      return *std::launder(reinterpret_cast<const Value*>(value_buf));
+    }
+
+    // True iff this node's routing point is strictly less than `k`.
+    bool less_than(const Key& k) const {
+      return rank == 0 && key() < k;
+    }
+    bool is_key(const Key& k) const {
+      return rank == 0 && !(key() < k) && !(k < key());
+    }
+    // Routing: key < node goes left, key >= node goes right. Sentinels
+    // exceed every real key.
+    int route(const Key& k) const {
+      if (rank != 0) return kLeft;
+      return k < key() ? kLeft : kRight;
+    }
+  };
+
+  struct SeekRecord {
+    Node* ancestor;
+    Node* successor;
+    Node* parent;
+    Node* leaf;
+  };
+
+  class MaybeGuard {
+   public:
+    explicit MaybeGuard(Rcu& rcu) : rcu_(rcu) {
+      if constexpr (Traits::kReclaim) rcu_.read_lock();
+    }
+    ~MaybeGuard() {
+      if constexpr (Traits::kReclaim) rcu_.read_unlock();
+    }
+    MaybeGuard(const MaybeGuard&) = delete;
+    MaybeGuard& operator=(const MaybeGuard&) = delete;
+
+   private:
+    Rcu& rcu_;
+  };
+
+  static std::uintptr_t pack(const Node* n) {
+    return reinterpret_cast<std::uintptr_t>(n);
+  }
+  static Node* unpack(std::uintptr_t w) {
+    return reinterpret_cast<Node*>(w & kMask);
+  }
+
+  int child_dir(const Node* n, const Key& key) const { return n->route(key); }
+
+  // Plain search for the read side: route to the terminal leaf.
+  const Node* descend(const Key& key) const {
+    const Node* n = r_;
+    for (;;) {
+      const Node* c =
+          unpack(n->child[n->route(key)].load(std::memory_order_acquire));
+      if (c == nullptr) return n;
+      n = c;
+    }
+  }
+
+  // Algorithm 2 of Natarajan-Mittal: walk to the leaf, remembering the
+  // last edge whose word was untagged (ancestor→successor) and the final
+  // edge (parent→leaf).
+  SeekRecord seek(const Key& key) const {
+    SeekRecord s;
+    s.ancestor = r_;
+    s.successor = s_;
+    s.parent = s_;
+    std::uintptr_t parent_field =
+        s_->child[s_->route(key)].load(std::memory_order_acquire);
+    s.leaf = unpack(parent_field);
+    std::uintptr_t current_field =
+        s.leaf->child[s.leaf->route(key)].load(std::memory_order_acquire);
+    Node* current = unpack(current_field);
+    while (current != nullptr) {
+      if ((parent_field & kTag) == 0) {
+        s.ancestor = s.parent;
+        s.successor = s.leaf;
+      }
+      s.parent = s.leaf;
+      s.leaf = current;
+      parent_field = current_field;
+      current_field =
+          current->child[current->route(key)].load(std::memory_order_acquire);
+      current = unpack(current_field);
+    }
+    return s;
+  }
+
+  // Physically remove the condemned chain: tag the surviving sibling's
+  // edge at the parent, then swing the ancestor edge from the successor to
+  // that sibling. Returns true iff this call's CAS performed the removal.
+  bool cleanup(const Key& key, const SeekRecord& s) {
+    Node* parent = s.parent;
+    int d = child_dir(parent, key);
+    int sibling_dir = 1 - d;
+    // If the edge on our side is not flagged, the deletion in progress at
+    // this parent targets the *other* child; we survive, it goes.
+    if ((parent->child[d].load(std::memory_order_acquire) & kFlag) == 0) {
+      sibling_dir = d;
+    }
+    // Freeze the surviving edge so no insert/delete can slip below it
+    // between our reads and the ancestor CAS.
+    parent->child[sibling_dir].fetch_or(kTag, std::memory_order_acq_rel);
+    const std::uintptr_t sibling_field =
+        parent->child[sibling_dir].load(std::memory_order_acquire);
+    Node* sibling = unpack(sibling_field);
+    const std::uintptr_t flag = sibling_field & kFlag;
+
+    const int ad = child_dir(s.ancestor, key);
+    std::uintptr_t expected = pack(s.successor);
+    const bool won = s.ancestor->child[ad].compare_exchange_strong(
+        expected, pack(sibling) | flag, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    if (won && Traits::kReclaim) retire_chain(s, key, sibling);
+    return won;
+  }
+
+  // Retire every node detached by a successful cleanup: the internal chain
+  // successor→…→parent and the condemned leaves hanging off it (everything
+  // except the surviving sibling subtree). The claim bit makes this safe
+  // if two cleanups' chains ever overlap.
+  void retire_chain(const SeekRecord& s, const Key& key, Node* sibling) {
+    Node* n = s.successor;
+    while (n != nullptr && n != sibling) {
+      Node* next = nullptr;
+      for (int d = 0; d < 2; ++d) {
+        Node* c = unpack(n->child[d].load(std::memory_order_acquire));
+        if (c == nullptr || c == sibling) continue;
+        if (d == child_dir(n, key) && c != sibling) {
+          next = c;  // continue down the condemned path
+        } else if (!c->claimed.exchange(true, std::memory_order_acq_rel)) {
+          rcu::retire_delete(rcu_, c);  // condemned off-path leaf
+        }
+      }
+      if (!n->claimed.exchange(true, std::memory_order_acq_rel)) {
+        rcu::retire_delete(rcu_, n);
+      }
+      n = next;
+    }
+  }
+
+  bool audit(const Node* n, const Key* lo, const Key* hi, std::size_t& leaves,
+             std::string* error) const {
+    const std::uintptr_t lw = n->child[kLeft].load(std::memory_order_relaxed);
+    const std::uintptr_t rw = n->child[kRight].load(std::memory_order_relaxed);
+    if (((lw | rw) & (kFlag | kTag)) != 0) {
+      return set_error(error, "flag/tag survived to quiescence");
+    }
+    const Node* l = unpack(lw);
+    const Node* r = unpack(rw);
+    if ((l == nullptr) != (r == nullptr)) {
+      return set_error(error, "internal node with one child");
+    }
+    if (n->rank == 0) {
+      const Key& k = n->key();
+      if ((lo != nullptr && k < *lo) || (hi != nullptr && !(k < *hi))) {
+        return set_error(error, "routing violated");
+      }
+    }
+    if (l == nullptr) {
+      ++leaves;
+      return true;
+    }
+    // Left subtree: keys < n. Right subtree: keys >= n (sentinel ranks
+    // always route left of themselves, so only real-keyed bounds matter).
+    const Key* nk = n->rank == 0 ? &n->key() : hi;
+    return audit(l, lo, nk, leaves, error) &&
+           audit(r, n->rank == 0 ? &n->key() : lo, hi, leaves, error);
+  }
+
+  static bool set_error(std::string* error, const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  }
+
+  Rcu& rcu_;
+  Node* r_;
+  Node* s_;
+  std::atomic<std::int64_t> size_{0};
+};
+
+}  // namespace citrus::baselines

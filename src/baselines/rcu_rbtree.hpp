@@ -1,0 +1,399 @@
+// Relativistic red-black tree — the paper's "Red-Black" comparator, after
+// Howard and Walpole, "Relativistic red-black trees" (CC:P&E 2013).
+//
+// One writer at a time (a global mutex — the coarse-grained updater
+// synchronization whose collapse under update load Figures 9/10 show);
+// readers traverse concurrently under RCU with no locks and no retries.
+// What makes the tree "relativistic" is that every restructuring step is
+// expressed so that a concurrent reader can never miss a key:
+//
+//   * Linking a fresh leaf or splicing out a node with at most one child
+//     is a single child-pointer store: readers see the tree before or
+//     after, both valid.
+//   * A rotation never moves nodes in place. rotate() builds a *copy* of
+//     the pivot in its post-rotation position, links the copy below the
+//     rising child, and only then publishes the rising child at the old
+//     parent slot. A reader paused on the old pivot still has a correct
+//     view through the pivot's (unchanged) children; the old pivot is
+//     retired behind a grace period. (In-place rotation is exactly the
+//     step Howard shows can lose readers.) Colors and parent pointers are
+//     writer-only fields, so the rotation's recoloring is invisible to
+//     readers.
+//   * Deleting a node with two children copies the successor's payload
+//     into a new node at the victim's position, publishes it, waits for
+//     pre-existing readers with synchronize_rcu, and only then unlinks
+//     the original successor — the same move Citrus makes, here serialized
+//     with all other updates.
+//
+// Rebalancing follows the classic insert/delete fixups (CLRS), adapted to
+// the copying rotation: a rotation invalidates the rotated node, so the
+// fixup continues on the copy the rotation returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+
+namespace citrus::baselines {
+
+struct RbTraits {
+  static constexpr bool kReclaim = true;
+};
+struct RbBenchTraits : RbTraits {
+  static constexpr bool kReclaim = false;
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = RbTraits>
+class RcuRedBlackTree {
+  static constexpr int kLeft = 0;
+  static constexpr int kRight = 1;
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+
+  explicit RcuRedBlackTree(Rcu& domain) : rcu_(domain) {}
+  RcuRedBlackTree(const RcuRedBlackTree&) = delete;
+  RcuRedBlackTree& operator=(const RcuRedBlackTree&) = delete;
+
+  ~RcuRedBlackTree() {
+    std::vector<Node*> stack;
+    if (Node* r = root_.load(std::memory_order_relaxed)) stack.push_back(r);
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (int d = 0; d < 2; ++d) {
+        if (Node* c = n->child[d].load(std::memory_order_relaxed)) {
+          stack.push_back(c);
+        }
+      }
+      delete n;
+    }
+  }
+
+  bool contains(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    return reader_locate(key) != nullptr;
+  }
+
+  std::optional<Value> find(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* n = reader_locate(key);
+    if (n == nullptr) return std::nullopt;
+    return n->value;
+  }
+
+  bool insert(const Key& key, const Value& value) {
+    std::lock_guard<std::mutex> writer(writer_lock_);
+    Node* parent = nullptr;
+    int dir = kLeft;
+    Node* n = root_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      if (key < n->key) {
+        parent = n;
+        dir = kLeft;
+      } else if (n->key < key) {
+        parent = n;
+        dir = kRight;
+      } else {
+        return false;
+      }
+      n = parent->child[dir].load(std::memory_order_relaxed);
+    }
+    Node* leaf = new Node(key, value);
+    leaf->red = true;
+    leaf->parent = parent;
+    set_child(parent, dir, leaf);
+    insert_fixup(leaf);
+    ++size_;
+    return true;
+  }
+
+  bool erase(const Key& key) {
+    std::lock_guard<std::mutex> writer(writer_lock_);
+    Node* z = writer_locate(key);
+    if (z == nullptr) return false;
+
+    bool removed_black;
+    Node* x;        // the node (possibly null) taking the removed position
+    Node* x_parent; // its parent after the splice
+    Node* zl = z->child[kLeft].load(std::memory_order_relaxed);
+    Node* zr = z->child[kRight].load(std::memory_order_relaxed);
+
+    if (zl == nullptr || zr == nullptr) {
+      // Splice z out with a single published store.
+      x = zl != nullptr ? zl : zr;
+      x_parent = z->parent;
+      removed_black = !z->red;
+      set_child(z->parent, z->parent == nullptr ? kLeft : dir_of(z), x);
+      retire(z);
+    } else {
+      // Two children: relativistic successor move (copy + grace period).
+      Node* y = zr;
+      while (Node* l = y->child[kLeft].load(std::memory_order_relaxed)) {
+        y = l;
+      }
+      removed_black = !y->red;
+      x = y->child[kRight].load(std::memory_order_relaxed);
+
+      Node* z2 = new Node(y->key, y->value);
+      z2->red = z->red;
+      z2->parent = z->parent;
+      z2->child[kLeft].store(zl, std::memory_order_relaxed);
+      z2->child[kRight].store(zr, std::memory_order_relaxed);
+      zl->parent = z2;
+      zr->parent = z2;
+      set_child(z->parent, z->parent == nullptr ? kLeft : dir_of(z), z2);
+      retire(z);
+
+      // Readers that began before the publication may still be en route to
+      // the successor's old position; wait them out before unlinking it
+      // (otherwise a search for y->key could miss it both places — the
+      // false negative of the paper's Figure 4).
+      rcu_.synchronize();
+
+      if (y == zr) {
+        // The successor was z's right child, which z2 adopted.
+        x_parent = z2;
+        z2->child[kRight].store(x, std::memory_order_release);
+      } else {
+        x_parent = y->parent;
+        y->parent->child[kLeft].store(x, std::memory_order_release);
+      }
+      if (x != nullptr) x->parent = x_parent;
+      retire(y);
+    }
+
+    if (removed_black) erase_fixup(x, x_parent);
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  // Quiescent audit: BST order, no red node with a red child, equal black
+  // height on every path, consistent parent pointers, size match.
+  bool check_structure(std::string* error = nullptr) const {
+    const Node* root = root_.load(std::memory_order_relaxed);
+    if (root != nullptr && root->red) {
+      return set_error(error, "root is red");
+    }
+    std::size_t count = 0;
+    const int bh = audit(root, nullptr, nullptr, nullptr, count, error);
+    if (bh < 0) return false;
+    if (count != size_) return set_error(error, "size mismatch");
+    return true;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> child[2] = {nullptr, nullptr};
+    Node* parent = nullptr;  // writer-only
+    bool red = false;        // writer-only
+    const Key key;
+    const Value value;
+
+    Node(const Key& k, const Value& v) : key(k), value(v) {}
+  };
+
+  const Node* reader_locate(const Key& key) const {
+    const Node* n = root_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      if (key < n->key) {
+        n = n->child[kLeft].load(std::memory_order_acquire);
+      } else if (n->key < key) {
+        n = n->child[kRight].load(std::memory_order_acquire);
+      } else {
+        break;
+      }
+    }
+    return n;
+  }
+
+  Node* writer_locate(const Key& key) {
+    Node* n = root_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      if (key < n->key) {
+        n = n->child[kLeft].load(std::memory_order_relaxed);
+      } else if (n->key < key) {
+        n = n->child[kRight].load(std::memory_order_relaxed);
+      } else {
+        break;
+      }
+    }
+    return n;
+  }
+
+  int dir_of(const Node* n) const {
+    return n->parent->child[kRight].load(std::memory_order_relaxed) == n
+               ? kRight
+               : kLeft;
+  }
+
+  void set_child(Node* parent, int dir, Node* c) {
+    if (parent == nullptr) {
+      root_.store(c, std::memory_order_release);
+    } else {
+      parent->child[dir].store(c, std::memory_order_release);
+    }
+    if (c != nullptr) c->parent = parent;
+  }
+
+  // Copying rotation. `dir` is the direction the pivot x moves: dir==kLeft
+  // is the classic left-rotation (x's right child rises). Returns {rising
+  // child, copy of x}; the original x is retired and must not be used.
+  std::pair<Node*, Node*> rotate(Node* x, int dir) {
+    Node* y = x->child[1 - dir].load(std::memory_order_relaxed);
+    Node* x2 = new Node(x->key, x->value);
+    x2->red = x->red;
+    Node* inner = y->child[dir].load(std::memory_order_relaxed);
+    Node* outer = x->child[dir].load(std::memory_order_relaxed);
+    x2->child[dir].store(outer, std::memory_order_relaxed);
+    x2->child[1 - dir].store(inner, std::memory_order_relaxed);
+    if (outer != nullptr) outer->parent = x2;
+    if (inner != nullptr) inner->parent = x2;
+    x2->parent = y;
+    Node* p = x->parent;
+    const int xd = p == nullptr ? kLeft : dir_of(x);
+    // Order matters for readers: the copy must be reachable below y
+    // before y is published in x's place, or a search could miss x's key.
+    y->child[dir].store(x2, std::memory_order_release);
+    set_child(p, xd, y);
+    retire(x);
+    return {y, x2};
+  }
+
+  void insert_fixup(Node* z) {
+    while (z->parent != nullptr && z->parent->red) {
+      Node* p = z->parent;
+      Node* g = p->parent;  // exists: p is red, so p is not the root
+      const int side = p == g->child[kLeft].load(std::memory_order_relaxed)
+                           ? kLeft
+                           : kRight;
+      Node* u = g->child[1 - side].load(std::memory_order_relaxed);
+      if (u != nullptr && u->red) {
+        p->red = false;
+        u->red = false;
+        g->red = true;
+        z = g;
+        continue;
+      }
+      if (z == p->child[1 - side].load(std::memory_order_relaxed)) {
+        // Inner grandchild: rotate the parent; continue from its copy.
+        auto [up, copy] = rotate(p, side);
+        (void)up;
+        z = copy;
+        p = z->parent;
+        g = p->parent;
+      }
+      p->red = false;
+      g->red = true;
+      rotate(g, 1 - side);
+      break;
+    }
+    Node* root = root_.load(std::memory_order_relaxed);
+    root->red = false;
+  }
+
+  static bool is_black(const Node* n) { return n == nullptr || !n->red; }
+
+  // CLRS delete-fixup. `x` (possibly null, counted black) sits at
+  // `x_parent`; each copying rotation of x_parent re-parents x to the
+  // returned copy, which the loop adopts.
+  void erase_fixup(Node* x, Node* x_parent) {
+    while (x_parent != nullptr && is_black(x)) {
+      const int side =
+          x_parent->child[kLeft].load(std::memory_order_relaxed) == x
+              ? kLeft
+              : kRight;
+      Node* w = x_parent->child[1 - side].load(std::memory_order_relaxed);
+      // w is non-null: x is doubly black, so its sibling subtree has
+      // black height >= 1.
+      if (w->red) {
+        w->red = false;
+        x_parent->red = true;
+        auto [up, copy] = rotate(x_parent, side);
+        (void)up;
+        x_parent = copy;  // x's parent is now the copy
+        w = x_parent->child[1 - side].load(std::memory_order_relaxed);
+      }
+      Node* wn = w->child[side].load(std::memory_order_relaxed);      // near
+      Node* wf = w->child[1 - side].load(std::memory_order_relaxed);  // far
+      if (is_black(wn) && is_black(wf)) {
+        w->red = true;
+        x = x_parent;
+        x_parent = x->parent;
+        continue;
+      }
+      if (is_black(wf)) {
+        // Near nephew red: rotate w away; the risen near nephew is the
+        // new sibling.
+        wn->red = false;
+        w->red = true;
+        rotate(w, 1 - side);
+        w = x_parent->child[1 - side].load(std::memory_order_relaxed);
+        wf = w->child[1 - side].load(std::memory_order_relaxed);
+      }
+      w->red = x_parent->red;
+      x_parent->red = false;
+      wf->red = false;
+      rotate(x_parent, side);
+      x = nullptr;
+      x_parent = nullptr;  // done
+    }
+    if (x != nullptr) x->red = false;
+  }
+
+  void retire(Node* n) {
+    if constexpr (Traits::kReclaim) {
+      rcu::retire_delete(rcu_, n);
+    } else {
+      (void)n;  // paper evaluation mode: drop without reclaiming
+    }
+  }
+
+  // Returns black height, or -1 on violation.
+  int audit(const Node* n, const Key* lo, const Key* hi, const Node* parent,
+            std::size_t& count, std::string* error) const {
+    if (n == nullptr) return 0;
+    if (n->parent != parent) return set_error(error, "bad parent"), -1;
+    if ((lo != nullptr && !(*lo < n->key)) ||
+        (hi != nullptr && !(n->key < *hi))) {
+      return set_error(error, "BST order violated"), -1;
+    }
+    const Node* l = n->child[kLeft].load(std::memory_order_relaxed);
+    const Node* r = n->child[kRight].load(std::memory_order_relaxed);
+    if (n->red && ((l != nullptr && l->red) || (r != nullptr && r->red))) {
+      return set_error(error, "red node with red child"), -1;
+    }
+    ++count;
+    const int lb = audit(l, lo, &n->key, n, count, error);
+    if (lb < 0) return -1;
+    const int rb = audit(r, &n->key, hi, n, count, error);
+    if (rb < 0) return -1;
+    if (lb != rb) return set_error(error, "black height mismatch"), -1;
+    return lb + (n->red ? 0 : 1);
+  }
+
+  static bool set_error(std::string* error, const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  }
+
+  Rcu& rcu_;
+  std::atomic<Node*> root_{nullptr};
+  std::mutex writer_lock_;
+  std::size_t size_ = 0;  // writer-lock protected
+};
+
+}  // namespace citrus::baselines

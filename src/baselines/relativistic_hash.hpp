@@ -1,0 +1,285 @@
+// Relativistic hash table, after Triplett, McKenney and Walpole ("Scalable
+// Concurrent Hash Tables via Relativistic Programming", SIGOPS OSR 2010,
+// and "Resizable, Scalable, Concurrent Hash Tables", USENIX ATC 2011) —
+// the hash-table instance of the coarse-to-medium-grained RCU designs the
+// paper's related-work section contrasts Citrus with: "the data structure
+// is partitioned into segments, e.g., buckets in a hash table, each guarded
+// by a single lock".
+//
+// Readers traverse a bucket's singly-linked chain inside an RCU read-side
+// critical section — wait-free, never blocked by writers or by a resize.
+// Updates hash to a bucket and take that bucket's spinlock only (concurrent
+// updates to different buckets proceed in parallel; per-bucket locking is
+// exactly the paper's characterization). Unlinked nodes are retired through
+// the domain.
+//
+// Resize: the table (bucket array + mask) is itself RCU-published. Growth
+// builds a fresh table with *copied* nodes under all bucket locks, installs
+// it with one atomic store, and retires the old table and nodes — readers
+// mid-traversal keep a fully consistent old version (copy-based resize;
+// the USENIX'11 paper's incremental unzip achieves the same reader
+// guarantee without the copy, at considerably more algorithmic machinery —
+// see DESIGN.md). Resizing is triggered automatically at load factor 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+#include "sync/cache.hpp"
+#include "sync/spinlock.hpp"
+
+namespace citrus::baselines {
+
+struct RelHashTraits {
+  static constexpr bool kReclaim = true;
+  static constexpr std::size_t kInitialBuckets = 16;  // power of two
+};
+struct RelHashBenchTraits : RelHashTraits {
+  static constexpr bool kReclaim = false;
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = RelHashTraits, typename Hash = std::hash<Key>>
+class RelativisticHashTable {
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+
+  explicit RelativisticHashTable(Rcu& domain) : rcu_(domain) {
+    table_.store(new Table(Traits::kInitialBuckets),
+                 std::memory_order_release);
+  }
+
+  RelativisticHashTable(const RelativisticHashTable&) = delete;
+  RelativisticHashTable& operator=(const RelativisticHashTable&) = delete;
+
+  ~RelativisticHashTable() {
+    Table* t = table_.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < t->bucket_count; ++b) {
+      Node* n = t->buckets[b].head.load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        Node* next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+      }
+    }
+    delete t;
+  }
+
+  bool contains(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    return locate(key) != nullptr;
+  }
+
+  std::optional<Value> find(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* n = locate(key);
+    if (n == nullptr) return std::nullopt;
+    return n->value;
+  }
+
+  bool insert(const Key& key, const Value& value) {
+    bool inserted = false;
+    {
+      rcu::ReadGuard<Rcu> guard(rcu_);
+      Table* t = table_.load(std::memory_order_acquire);
+      Bucket& bucket = t->bucket_for(hash_(key));
+      std::lock_guard<sync::SpinLock> lock(bucket.lock);
+      // Re-check the current table: a resize may have swapped it while we
+      // waited for the lock; bucket locks belong to a specific table.
+      if (t != table_.load(std::memory_order_acquire)) {
+        return insert(key, value);  // rare: retry against the new table
+      }
+      for (Node* n = bucket.head.load(std::memory_order_relaxed);
+           n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+        if (!(n->key < key) && !(key < n->key)) return false;
+      }
+      Node* node = new Node(key, value);
+      node->next.store(bucket.head.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      bucket.head.store(node, std::memory_order_release);  // publish at head
+      size_.fetch_add(1, std::memory_order_relaxed);
+      inserted = true;
+    }
+    if (inserted) maybe_grow();
+    return true;
+  }
+
+  bool erase(const Key& key) {
+    Node* victim = nullptr;
+    {
+      rcu::ReadGuard<Rcu> guard(rcu_);
+      Table* t = table_.load(std::memory_order_acquire);
+      Bucket& bucket = t->bucket_for(hash_(key));
+      std::lock_guard<sync::SpinLock> lock(bucket.lock);
+      if (t != table_.load(std::memory_order_acquire)) {
+        return erase(key);
+      }
+      std::atomic<Node*>* slot = &bucket.head;
+      for (Node* n = slot->load(std::memory_order_relaxed); n != nullptr;
+           n = slot->load(std::memory_order_relaxed)) {
+        if (!(n->key < key) && !(key < n->key)) {
+          // Unlink: the victim's own next pointer stays intact so a reader
+          // paused on it still reaches the rest of the chain.
+          slot->store(n->next.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          victim = n;
+          break;
+        }
+        slot = &n->next;
+      }
+    }
+    if (victim == nullptr) return false;
+    retire_node(victim);
+    if constexpr (Traits::kReclaim) rcu_.maybe_flush_retired();
+    return true;
+  }
+
+  std::size_t size() const noexcept {
+    const std::int64_t s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  std::size_t bucket_count() const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    return table_.load(std::memory_order_acquire)->bucket_count;
+  }
+
+  std::uint64_t resizes() const noexcept {
+    return resizes_.load(std::memory_order_relaxed);
+  }
+
+  // Quiescent audit: every node hashes to the bucket that holds it, no
+  // duplicate keys, chain count matches size().
+  bool check_structure(std::string* error = nullptr) const {
+    const Table* t = table_.load(std::memory_order_relaxed);
+    std::size_t count = 0;
+    for (std::size_t b = 0; b < t->bucket_count; ++b) {
+      for (const Node* n = t->buckets[b].head.load(std::memory_order_relaxed);
+           n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+        if ((hash_(n->key) & t->mask) != b) {
+          return set_error(error, "node in the wrong bucket");
+        }
+        for (const Node* m = n->next.load(std::memory_order_relaxed);
+             m != nullptr; m = m->next.load(std::memory_order_relaxed)) {
+          if (!(m->key < n->key) && !(n->key < m->key)) {
+            return set_error(error, "duplicate key in a chain");
+          }
+        }
+        ++count;
+      }
+    }
+    if (count != size()) return set_error(error, "size mismatch");
+    return true;
+  }
+
+ private:
+  struct Node {
+    const Key key;
+    const Value value;
+    std::atomic<Node*> next{nullptr};
+    Node(const Key& k, const Value& v) : key(k), value(v) {}
+  };
+
+  struct alignas(sync::kDestructiveInterference) Bucket {
+    std::atomic<Node*> head{nullptr};
+    sync::SpinLock lock;
+  };
+
+  struct Table {
+    const std::size_t bucket_count;
+    const std::size_t mask;
+    std::vector<Bucket> buckets;
+
+    explicit Table(std::size_t n)
+        : bucket_count(n), mask(n - 1), buckets(n) {}
+
+    Bucket& bucket_for(std::size_t h) { return buckets[h & mask]; }
+    const Bucket& bucket_for(std::size_t h) const { return buckets[h & mask]; }
+  };
+
+  const Node* locate(const Key& key) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    const Bucket& bucket = t->bucket_for(hash_(key));
+    for (const Node* n = bucket.head.load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (!(n->key < key) && !(key < n->key)) return n;
+    }
+    return nullptr;
+  }
+
+  void maybe_grow() {
+    Table* t = table_.load(std::memory_order_acquire);
+    if (size() <= t->bucket_count) return;  // load factor <= 1
+    std::lock_guard<std::mutex> resize_guard(resize_lock_);
+    t = table_.load(std::memory_order_acquire);
+    if (size() <= t->bucket_count) return;  // someone else grew already
+
+    // Freeze all updates to the old table.
+    for (auto& bucket : t->buckets) bucket.lock.lock();
+
+    auto* fresh = new Table(t->bucket_count * 2);
+    std::vector<Node*> old_nodes;
+    for (auto& bucket : t->buckets) {
+      for (Node* n = bucket.head.load(std::memory_order_relaxed);
+           n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+        // Copy, don't move: readers may be anywhere in the old chains.
+        Bucket& target = fresh->bucket_for(hash_(n->key));
+        Node* copy = new Node(n->key, n->value);
+        copy->next.store(target.head.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        target.head.store(copy, std::memory_order_release);
+        old_nodes.push_back(n);
+      }
+    }
+    table_.store(fresh, std::memory_order_release);  // one-shot publish
+    resizes_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& bucket : t->buckets) bucket.lock.unlock();
+
+    // Pre-existing readers may still traverse the old version; retire it.
+    if constexpr (Traits::kReclaim) {
+      for (Node* n : old_nodes) rcu::retire_delete(rcu_, n);
+      rcu::retire_delete(rcu_, t);
+      rcu_.maybe_flush_retired();
+    } else {
+      // Paper-parity leak mode still frees the (node-free) old table
+      // after a grace period paid here, to bound array growth.
+      rcu_.synchronize();
+      delete t;
+      (void)old_nodes;  // nodes leak, as elsewhere in bench mode
+    }
+  }
+
+  void retire_node(Node* n) {
+    if constexpr (Traits::kReclaim) {
+      rcu::retire_delete(rcu_, n);
+    } else {
+      (void)n;
+    }
+  }
+
+  static bool set_error(std::string* error, const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  }
+
+  Rcu& rcu_;
+  Hash hash_;
+  std::atomic<Table*> table_;
+  std::mutex resize_lock_;
+  std::atomic<std::int64_t> size_{0};
+  std::atomic<std::uint64_t> resizes_{0};
+};
+
+}  // namespace citrus::baselines

@@ -1,0 +1,143 @@
+// Sequential internal binary search tree.
+//
+// The single-threaded reference implementation the paper's Section 3 says
+// Citrus "greatly resembles". It serves two purposes here:
+//   * the oracle for the concurrent test suites (same dictionary semantics,
+//     no synchronization), and
+//   * the single-thread performance baseline in bench/micro_tree_ops, which
+//     shows what each concurrent structure pays at one thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace citrus::baselines {
+
+template <typename Key, typename Value>
+class SeqBst {
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+
+  SeqBst() = default;
+  SeqBst(const SeqBst&) = delete;
+  SeqBst& operator=(const SeqBst&) = delete;
+  ~SeqBst() { clear(); }
+
+  bool insert(const Key& key, const Value& value) {
+    Node** slot = locate(key);
+    if (*slot != nullptr) return false;
+    *slot = new Node{key, value, nullptr, nullptr};
+    ++size_;
+    return true;
+  }
+
+  bool erase(const Key& key) {
+    Node** slot = locate(key);
+    Node* victim = *slot;
+    if (victim == nullptr) return false;
+    if (victim->left == nullptr || victim->right == nullptr) {
+      *slot = victim->left != nullptr ? victim->left : victim->right;
+    } else {
+      // Two children: splice out the successor node and put it in the
+      // victim's place (node replacement, mirroring what Citrus does
+      // concurrently with a copy).
+      Node** succ_slot = &victim->right;
+      while ((*succ_slot)->left != nullptr) succ_slot = &(*succ_slot)->left;
+      Node* succ = *succ_slot;
+      *succ_slot = succ->right;
+      succ->left = victim->left;
+      succ->right = victim->right;
+      *slot = succ;
+    }
+    delete victim;
+    --size_;
+    return true;
+  }
+
+  bool contains(const Key& key) const { return locate_const(key) != nullptr; }
+
+  std::optional<Value> find(const Key& key) const {
+    const Node* n = locate_const(key);
+    if (n == nullptr) return std::nullopt;
+    return n->value;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    std::vector<Node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
+      delete n;
+    }
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    std::vector<const Node*> stack;
+    const Node* n = root_;
+    while (n != nullptr || !stack.empty()) {
+      while (n != nullptr) {
+        stack.push_back(n);
+        n = n->left;
+      }
+      n = stack.back();
+      stack.pop_back();
+      f(n->key, n->value);
+      n = n->right;
+    }
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    Node* left;
+    Node* right;
+  };
+
+  // Pointer to the child slot where `key` is or would be.
+  Node** locate(const Key& key) {
+    Node** slot = &root_;
+    while (*slot != nullptr) {
+      if (key < (*slot)->key) {
+        slot = &(*slot)->left;
+      } else if ((*slot)->key < key) {
+        slot = &(*slot)->right;
+      } else {
+        break;
+      }
+    }
+    return slot;
+  }
+
+  const Node* locate_const(const Key& key) const {
+    const Node* n = root_;
+    while (n != nullptr) {
+      if (key < n->key) {
+        n = n->left;
+      } else if (n->key < key) {
+        n = n->right;
+      } else {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace citrus::baselines

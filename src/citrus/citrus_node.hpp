@@ -1,0 +1,112 @@
+// Node layout for the Citrus tree.
+//
+// Per the paper (Section 3): each node stores a key (immutable), a value,
+// two child pointers, two per-direction ABA *tags* ("a tag field is
+// initialized to zero, and incremented every time the corresponding child
+// field is set to ⊥"), a `marked` bit ("indicating that the node was
+// deleted, in a manner similar to [the lazy list]"), and a lock.
+//
+// Beyond the paper, a node carries:
+//   * `kind` — sentinel discrimination. The paper uses dummy keys −1 and ∞;
+//     a generic C++ dictionary cannot steal key values, so the two dummies
+//     (root with key −∞ and its right child with key +∞) are expressed as
+//     node kinds that compare below/above every real key.
+//   * `generation` — reuse counter for the type-stable pool (node_pool.hpp),
+//     checked by `validate` so that an updater holding a stale pointer from
+//     before a reclamation cycle always restarts.
+//
+// Field order follows the evaluation section's observation that node layout
+// dominates performance: the search-hot fields (kind, key, children) share
+// the first cache line; the update-only fields (lock, tags, marked,
+// generation) come after.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace citrus::core {
+
+enum class NodeKind : std::uint8_t {
+  kMinusInf = 0,  // the root sentinel; every key is greater
+  kPlusInf = 1,   // the root's right child; every key is smaller
+  kReal = 2,
+};
+
+enum Direction : int { kLeft = 0, kRight = 1 };
+
+template <typename Key, typename Value, typename Lock>
+struct CitrusNode {
+  using KeyType = Key;
+  using ValueType = Value;
+
+  // ---- search-hot ----
+  std::atomic<CitrusNode*> child[2] = {nullptr, nullptr};
+  NodeKind kind = NodeKind::kReal;
+
+  // ---- update-side ----
+  std::atomic<bool> marked{false};
+  std::atomic<std::uint64_t> tag[2] = {0, 0};
+  std::atomic<std::uint64_t> generation{0};
+  Lock lock;
+
+  // ---- pool plumbing ----
+  CitrusNode* pool_next = nullptr;
+
+  // Payload storage; constructed/destroyed per pool lifetime so the node
+  // header (lock, generation, marked) stays type-stable across reuse.
+  alignas(Key) unsigned char key_buf[sizeof(Key)];
+  alignas(Value) unsigned char value_buf[sizeof(Value)];
+
+  CitrusNode() = default;
+  CitrusNode(const CitrusNode&) = delete;
+  CitrusNode& operator=(const CitrusNode&) = delete;
+
+  const Key& key() const noexcept {
+    return *std::launder(reinterpret_cast<const Key*>(key_buf));
+  }
+  const Value& value() const noexcept {
+    return *std::launder(reinterpret_cast<const Value*>(value_buf));
+  }
+
+  // Pool hook: (re)build this slot as a live node.
+  void construct_payload(NodeKind k, const Key* key, const Value* value,
+                         CitrusNode* left, CitrusNode* right) {
+    kind = k;
+    if (k == NodeKind::kReal) {
+      new (key_buf) Key(*key);
+      new (value_buf) Value(*value);
+    }
+    child[kLeft].store(left, std::memory_order_relaxed);
+    child[kRight].store(right, std::memory_order_relaxed);
+    tag[kLeft].store(0, std::memory_order_relaxed);
+    tag[kRight].store(0, std::memory_order_relaxed);
+  }
+
+  // Pool hook: tear down the payload (slot stays alive for reuse).
+  void destroy_payload() {
+    if (kind == NodeKind::kReal) {
+      key().~Key();
+      value().~Value();
+    }
+  }
+
+  // Three-way comparison of a search key against this node, treating the
+  // sentinels as -inf / +inf. Only requires operator< on Key.
+  int compare(const Key& k) const noexcept {
+    switch (kind) {
+      case NodeKind::kMinusInf:
+        return +1;  // k > node
+      case NodeKind::kPlusInf:
+        return -1;  // k < node
+      case NodeKind::kReal:
+        break;
+    }
+    if (k < key()) return -1;
+    if (key() < k) return +1;
+    return 0;
+  }
+};
+
+}  // namespace citrus::core

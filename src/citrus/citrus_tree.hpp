@@ -1,0 +1,721 @@
+// CITRUS — a binary search tree with RCU readers and concurrently locking
+// updaters, from:
+//
+//   Maya Arbel and Hagit Attiya. "Concurrent Updates with RCU: Search Tree
+//   as an Example". PODC 2014.
+//
+// The tree is *internal* (key/value pairs in every node) and unbalanced.
+// Its three operations follow Section 3 of the paper:
+//
+//   contains/find — a sequential-style search wrapped in an RCU read-side
+//     critical section. Wait-free: no locks, no retries, no helping.
+//   insert — search (get), lock the parent, validate, link a new leaf.
+//   erase  — search, lock parent+victim, validate; a victim with at most
+//     one child is *bypassed*; a victim with two children is replaced by a
+//     fresh COPY of its successor, then the updater waits for all
+//     pre-existing readers (synchronize_rcu) before unlinking the original
+//     successor, so a concurrent search can always find the successor in
+//     either its old or its new position (never in neither — the false
+//     negative of the paper's Figure 4).
+//
+// Validation after locking (the paper's `validate`) checks that the locked
+// nodes are unmarked, still in the expected parent-child relation, and — for
+// an insert into an empty slot — that the slot's ABA tag is unchanged ("a
+// tag field is ... incremented every time the corresponding child field is
+// set to ⊥").
+//
+// ── Extensions over the paper ──────────────────────────────────────────
+//
+// 1. Memory reclamation (the paper's stated future-work item). With
+//    Traits::kReclaim, unlinked nodes are retired to per-tree sharded
+//    queues; a batch is recycled into the type-stable NodePool after one
+//    grace period covering the whole batch. Updaters lock nodes *outside*
+//    read-side critical sections (the paper's deadlock-avoidance rule), so
+//    a grace period alone cannot protect them; safety instead comes from
+//    (a) type-stable slots — locking recycled memory is memory-safe — and
+//    (b) a per-slot generation counter sampled during the search and
+//    re-checked by validate, so a stale updater always fails validation
+//    and restarts. The marked bit stays set from retirement until the slot
+//    is re-initialized under its own lock, closing the recycle/validate
+//    race (see node_pool.hpp).
+// 2. Bounded lock acquisition: every lock is acquired with a bounded
+//    try-lock; on timeout the operation releases everything and restarts
+//    from the root. This makes update deadlock impossible by construction
+//    (even in the reclaim-mode corner where stale pointers could order
+//    lock acquisitions inconsistently) and guarantees that a blocked
+//    updater periodically reaches a quiescent point, which the QSBR
+//    domain's grace periods depend on.
+// 3. Generic keys: the paper's dummy keys −1/∞ become sentinel node kinds,
+//    so any `operator<`-ordered key type works, with no reserved values.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "citrus/citrus_node.hpp"
+#include "citrus/node_pool.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+#include "sync/backoff.hpp"
+#include "sync/spinlock.hpp"
+
+namespace citrus::core {
+
+// Named execution points a test Traits can intercept (see
+// tests/test_citrus_scenarios.cpp, which replays the races of the paper's
+// Figures 4 and 5 deterministically). Production traits define no
+// `pause`, so the hooks compile to nothing.
+enum class PausePoint {
+  kInsertAfterGet,      // insert: search done, parent not yet locked
+  kEraseAfterGet,       // erase: search done, nothing locked
+  kAfterReplacementPublish,  // two-child erase: copy linked, pre-grace
+  kBeforeSuccessorUnlink,    // two-child erase: grace elapsed
+};
+
+// Compile-time policy knobs for the tree.
+struct DefaultTraits {
+  // Node lock implementation (bench/ablation_lock_type compares these).
+  using LockTag = sync::UseSpinLock;
+  // Reclaim unlinked nodes through grace periods + the type-stable pool.
+  // Off reproduces the paper's evaluation setup ("without performing any
+  // memory reclamation").
+  static constexpr bool kReclaim = true;
+  // Unlinked nodes per shard before a grace period is paid to recycle them.
+  static constexpr std::size_t kRetireBatch = 64;
+  // try-lock budget (backoff pauses) for second-and-later locks.
+  static constexpr std::uint32_t kLockAttempts = 1u << 12;
+  // Maintain operation statistics (retry counters etc.).
+  static constexpr bool kStats = true;
+};
+
+// Paper-faithful evaluation configuration: no reclamation, no stats.
+struct BenchTraits : DefaultTraits {
+  static constexpr bool kReclaim = false;
+  static constexpr bool kStats = false;
+};
+
+// Mutable-operation statistics; exact only at quiescence.
+struct CitrusStats {
+  std::uint64_t insert_retries = 0;
+  std::uint64_t erase_retries = 0;
+  std::uint64_t two_child_erases = 0;
+  std::uint64_t lock_timeouts = 0;
+  std::uint64_t recycled_nodes = 0;
+};
+
+// Result of check_structure(): quiescent structural audit used by tests.
+struct StructureReport {
+  bool ok = true;
+  std::string error;
+  std::size_t node_count = 0;  // real (non-sentinel) reachable nodes
+  std::size_t height = 0;      // edges on the longest root→leaf path
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = DefaultTraits>
+class CitrusTree {
+  using Lock = typename Traits::LockTag::type;
+  using Node = CitrusNode<Key, Value, Lock>;
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+  using rcu_type = Rcu;
+
+  // The domain is shared infrastructure (several structures may use one
+  // domain, as in the kernel); the tree does not own it. Every thread
+  // operating on the tree must hold a Rcu::Registration for `domain`.
+  explicit CitrusTree(Rcu& domain) : rcu_(domain) {
+    // Dummy layout from the paper: "The root of the tree always points to
+    // a node with key −1, this node has a right child with key ∞; all
+    // other nodes are in the left sub-tree of ∞."
+    root_ = pool_.allocate(false, NodeKind::kMinusInf, nullptr, nullptr,
+                           nullptr, nullptr);
+    Node* inf = pool_.allocate(false, NodeKind::kPlusInf, nullptr, nullptr,
+                               nullptr, nullptr);
+    root_->child[kRight].store(inf, std::memory_order_release);
+  }
+
+  CitrusTree(const CitrusTree&) = delete;
+  CitrusTree& operator=(const CitrusTree&) = delete;
+
+  // Quiescent destruction: no concurrent operations, and the caller must
+  // not destroy the tree while other threads still hold unflushed state
+  // referring to it (worker threads are expected to have been joined).
+  ~CitrusTree() {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (Node* l = n->child[kLeft].load(std::memory_order_relaxed)) {
+        stack.push_back(l);
+      }
+      if (Node* r = n->child[kRight].load(std::memory_order_relaxed)) {
+        stack.push_back(r);
+      }
+      pool_.destroy_with_pool(n);
+    }
+    for (RetireShard& shard : retire_shards_) {
+      for (Node* n : shard.nodes) pool_.destroy_with_pool(n);
+    }
+  }
+
+  // ── Read side ─────────────────────────────────────────────────────
+
+  // Wait-free: returns a copy of the value mapped to `key`, if present.
+  // The copy is taken inside the read-side critical section, so it is safe
+  // even when reclamation is on.
+  std::optional<Value> find(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* curr = search_locked_free(key);
+    if (curr == nullptr) return std::nullopt;
+    return curr->value();
+  }
+
+  // Paper's `contains`: presence only (avoids the value copy).
+  bool contains(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    return search_locked_free(key) != nullptr;
+  }
+
+  // ── Update side ───────────────────────────────────────────────────
+
+  // Adds (key, value); returns false (and changes nothing) if the key is
+  // already present.
+  bool insert(const Key& key, const Value& value) {
+    for (;;) {
+      GetResult g = get(key);
+      if (g.curr != nullptr) return false;  // the key was found
+      pause(PausePoint::kInsertAfterGet);
+
+      LockSet locks;
+      if (!locks.acquire_timed(g.prev)) {
+        bump(&CitrusStats::lock_timeouts);
+        continue;
+      }
+      if (validate(g.prev, g.prev_gen, g.tag, nullptr, 0, g.direction)) {
+        Node* leaf = pool_.allocate(false, NodeKind::kReal, &key, &value,
+                                    nullptr, nullptr);
+        g.prev->child[g.direction].store(leaf, std::memory_order_release);
+        locks.release_all();
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      bump(&CitrusStats::insert_retries);  // LockSet releases on scope exit
+    }
+  }
+
+  // Replaces the value mapped to `key`; returns false (and changes
+  // nothing) if the key is absent.
+  //
+  // Extension over the paper (whose insert never overwrites): values are
+  // immutable per node — that is what makes find's unsynchronized value
+  // read safe and what lets a two-child delete publish a successor *copy*
+  // — so assignment is implemented as node replacement: lock parent and
+  // node, validate, publish a copy carrying the new value and the old
+  // children, mark the original, retire it. Unlike a two-child delete, no
+  // grace period is needed before returning: the key never changes
+  // position, so a concurrent search finds the old or the new node —
+  // either way the correct key, with one of the two values this operation
+  // linearizes between.
+  bool assign(const Key& key, const Value& value) {
+    for (;;) {
+      GetResult g = get(key);
+      if (g.curr == nullptr) return false;  // the key was not found
+
+      LockSet locks;
+      if (!locks.acquire_timed(g.prev) || !locks.acquire_timed(g.curr)) {
+        bump(&CitrusStats::lock_timeouts);
+        continue;
+      }
+      if (!validate(g.prev, g.prev_gen, 0, g.curr, g.curr_gen, g.direction)) {
+        bump(&CitrusStats::erase_retries);
+        continue;
+      }
+      Node* left = g.curr->child[kLeft].load(std::memory_order_acquire);
+      Node* right = g.curr->child[kRight].load(std::memory_order_acquire);
+      Node* replacement = pool_.allocate(false, NodeKind::kReal,
+                                         &g.curr->key(), &value, left, right);
+      // Lemma 1 discipline: only marked nodes may become unreachable.
+      g.curr->marked.store(true, std::memory_order_release);
+      g.prev->child[g.direction].store(replacement,
+                                       std::memory_order_release);
+      locks.release_all();
+      retire(g.curr);
+      return true;
+    }
+  }
+
+  // insert-or-assign composite: returns true if the key was inserted,
+  // false if an existing mapping was overwritten.
+  bool insert_or_assign(const Key& key, const Value& value) {
+    for (;;) {
+      if (insert(key, value)) return true;
+      if (assign(key, value)) return false;
+      // The key vanished between the two calls; start over.
+    }
+  }
+
+  // Removes `key`; returns false if it is not present.
+  bool erase(const Key& key) {
+    for (;;) {
+      GetResult g = get(key);
+      if (g.curr == nullptr) return false;  // the key was not found
+      pause(PausePoint::kEraseAfterGet);
+
+      LockSet locks;
+      if (!locks.acquire_timed(g.prev) || !locks.acquire_timed(g.curr)) {
+        bump(&CitrusStats::lock_timeouts);
+        continue;
+      }
+      if (!validate(g.prev, g.prev_gen, 0, g.curr, g.curr_gen, g.direction)) {
+        bump(&CitrusStats::erase_retries);
+        continue;  // LockSet destructor releases
+      }
+
+      // Child pointers of a locked node are stable (all writers lock).
+      Node* left = g.curr->child[kLeft].load(std::memory_order_acquire);
+      Node* right = g.curr->child[kRight].load(std::memory_order_acquire);
+
+      if (left == nullptr || right == nullptr) {
+        erase_single_child(g, left, right);
+        locks.release_all();
+        retire(g.curr);
+        return true;
+      }
+      if (erase_two_children(g, left, right, locks)) return true;
+      bump(&CitrusStats::erase_retries);
+    }
+  }
+
+  // ── Introspection (quiescent unless noted) ────────────────────────
+
+  // Key count; maintained with relaxed counters, exact at quiescence.
+  std::size_t size() const noexcept {
+    const std::int64_t s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  CitrusStats stats() const {
+    CitrusStats out;
+    if constexpr (Traits::kStats) {
+      out.insert_retries = stats_.insert_retries.load(std::memory_order_relaxed);
+      out.erase_retries = stats_.erase_retries.load(std::memory_order_relaxed);
+      out.two_child_erases =
+          stats_.two_child_erases.load(std::memory_order_relaxed);
+      out.lock_timeouts = stats_.lock_timeouts.load(std::memory_order_relaxed);
+      out.recycled_nodes = stats_.recycled_nodes.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  // In-order visit of (key, value) pairs. Quiescent only: concurrent
+  // updates make multi-item reads unlinearizable (the paper's Figure 1 is
+  // exactly this anomaly), which is why this is not part of the concurrent
+  // API.
+  template <typename F>
+  void for_each_quiescent(F&& f) const {
+    in_order(real_root(), f);
+  }
+
+  std::vector<Key> keys_quiescent() const {
+    std::vector<Key> out;
+    for_each_quiescent([&out](const Key& k, const Value&) { out.push_back(k); });
+    return out;
+  }
+
+  // Structural audit: strict BST order under the sentinels, no reachable
+  // marked node, no node with two parents, node count vs size().
+  StructureReport check_structure() const {
+    StructureReport rep;
+    std::unordered_set<const Node*> seen;
+    // (lo, hi) exclusive bounds as node pointers; nullptr = unbounded.
+    struct Frame {
+      const Node* n;
+      const Key* lo;
+      const Key* hi;
+      std::size_t depth;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root_, nullptr, nullptr, 0});
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      if (f.n == nullptr) continue;
+      if (!seen.insert(f.n).second) {
+        return fail(rep, "node reachable through two parents");
+      }
+      if (f.n->marked.load(std::memory_order_relaxed)) {
+        return fail(rep, "reachable node is marked");
+      }
+      rep.height = std::max(rep.height, f.depth);
+      const Key* lo = f.lo;
+      const Key* hi = f.hi;
+      if (f.n->kind == NodeKind::kReal) {
+        ++rep.node_count;
+        const Key& k = f.n->key();
+        if ((lo != nullptr && !(*lo < k)) || (hi != nullptr && !(k < *hi))) {
+          return fail(rep, "BST order violated");
+        }
+        stack.push_back(
+            {f.n->child[kLeft].load(std::memory_order_relaxed), lo, &f.n->key(),
+             f.depth + 1});
+        stack.push_back({f.n->child[kRight].load(std::memory_order_relaxed),
+                         &f.n->key(), hi, f.depth + 1});
+      } else {
+        // Sentinels: −∞ bounds nothing on the left; +∞ keeps all real keys
+        // in its left subtree.
+        if (f.n->kind == NodeKind::kMinusInf &&
+            f.n->child[kLeft].load(std::memory_order_relaxed) != nullptr) {
+          return fail(rep, "-inf sentinel grew a left child");
+        }
+        if (f.n->kind == NodeKind::kPlusInf &&
+            f.n->child[kRight].load(std::memory_order_relaxed) != nullptr) {
+          return fail(rep, "+inf sentinel grew a right child");
+        }
+        stack.push_back({f.n->child[kLeft].load(std::memory_order_relaxed), lo,
+                         hi, f.depth + 1});
+        stack.push_back({f.n->child[kRight].load(std::memory_order_relaxed), lo,
+                         hi, f.depth + 1});
+      }
+    }
+    if (rep.node_count != size()) {
+      return fail(rep, "size() does not match reachable node count");
+    }
+    return rep;
+  }
+
+  Rcu& domain() noexcept { return rcu_; }
+  std::int64_t pool_live_nodes() const noexcept { return pool_.live(); }
+
+ private:
+  // Result of the paper's `get` (Lines 1-15) plus the generation snapshots
+  // used by reclaim-mode validation.
+  struct GetResult {
+    Node* prev = nullptr;
+    Node* curr = nullptr;
+    std::uint64_t tag = 0;
+    std::uint64_t prev_gen = 0;
+    std::uint64_t curr_gen = 0;
+    int direction = kRight;
+  };
+
+  // Bounded multi-lock helper: every acquisition is a bounded try-lock
+  // (on timeout the whole operation restarts from the root), so update
+  // deadlock is impossible by construction and no thread ever blocks
+  // indefinitely without passing a quiescent point — a requirement for
+  // running over the QSBR domain. Releases everything on destruction
+  // unless release_all() already ran.
+  class LockSet {
+   public:
+    ~LockSet() { release_all(); }
+
+    bool acquire_timed(Node* n) {
+      sync::Backoff bo;
+      for (std::uint32_t i = 0; i < Traits::kLockAttempts; ++i) {
+        if (n->lock.try_lock()) {
+          held_[count_++] = n;
+          return true;
+        }
+        bo.pause();
+      }
+      return false;
+    }
+
+    // Adopt a lock acquired elsewhere (the pool returns delete's
+    // replacement node already locked).
+    void adopt(Node* n) { held_[count_++] = n; }
+
+    void release_all() {
+      while (count_ > 0) held_[--count_]->lock.unlock();
+    }
+
+   private:
+    Node* held_[5] = {};
+    int count_ = 0;
+  };
+
+  // Paper `get` (Lines 1-15): wait-free search inside a read-side critical
+  // section; returns the last edge followed plus the tag of the final slot
+  // ("Save tag inside read-side critical section", Line 13).
+  GetResult get(const Key& key) const {
+    GetResult r;
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    Node* prev = root_;
+    int direction = kRight;
+    Node* curr = prev->child[kRight].load(std::memory_order_acquire);
+    int c = curr->compare(key);  // root's right child is never null
+    while (curr != nullptr && c != 0) {
+      prev = curr;
+      direction = c < 0 ? kLeft : kRight;
+      curr = prev->child[direction].load(std::memory_order_acquire);
+      if (curr != nullptr) c = curr->compare(key);
+    }
+    r.prev = prev;
+    r.curr = curr;
+    r.direction = direction;
+    r.tag = prev->tag[direction].load(std::memory_order_acquire);
+    r.prev_gen = prev->generation.load(std::memory_order_acquire);
+    if (curr != nullptr) {
+      r.curr_gen = curr->generation.load(std::memory_order_acquire);
+    }
+    return r;
+  }
+
+  // Lock-free search used by find/contains; caller holds the read guard.
+  const Node* search_locked_free(const Key& key) const {
+    const Node* curr = root_->child[kRight].load(std::memory_order_acquire);
+    while (curr != nullptr) {
+      const int c = curr->compare(key);
+      if (c == 0) return curr;
+      curr = curr->child[c < 0 ? kLeft : kRight].load(
+          std::memory_order_acquire);
+    }
+    return nullptr;
+  }
+
+  // Paper `validate` (Lines 33-38) extended with generation checks (always
+  // compiled; generations never change when reclamation is off, so the
+  // extra comparisons are branch-predicted away in bench mode).
+  bool validate(Node* prev, std::uint64_t prev_gen, std::uint64_t tag,
+                Node* curr, std::uint64_t curr_gen, int direction) const {
+    if (prev->generation.load(std::memory_order_acquire) != prev_gen) {
+      return false;
+    }
+    if (prev->marked.load(std::memory_order_acquire)) return false;
+    if (prev->child[direction].load(std::memory_order_acquire) != curr) {
+      return false;
+    }
+    if (curr != nullptr) {
+      return curr->generation.load(std::memory_order_acquire) == curr_gen &&
+             !curr->marked.load(std::memory_order_acquire);
+    }
+    return prev->tag[direction].load(std::memory_order_acquire) == tag;
+  }
+
+  // Paper `incrementTag` (Lines 39-41); caller holds node's lock.
+  void increment_tag(Node* node, int direction) {
+    if (node->child[direction].load(std::memory_order_relaxed) == nullptr) {
+      node->tag[direction].fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  // Paper Lines 50-56: the victim has at most one child — mark and bypass.
+  void erase_single_child(const GetResult& g, Node* left, Node* right) {
+    g.curr->marked.store(true, std::memory_order_release);
+    Node* child = left != nullptr ? left : right;
+    g.prev->child[g.direction].store(child, std::memory_order_release);
+    increment_tag(g.prev, g.direction);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Paper Lines 57-83: replace the victim with a copy of its successor,
+  // wait for pre-existing readers, then unlink the original successor.
+  // Returns false if a validation failed and the caller must retry
+  // (releasing `locks` happens via its destructor/continue path).
+  bool erase_two_children(const GetResult& g, Node* left, Node* right,
+                          LockSet& locks) {
+    // Find the successor along the leftmost branch of the right subtree.
+    // With reclamation on, the traversal runs inside a read-side critical
+    // section: unlike the paper's no-reclamation setting, the nodes on the
+    // path can be recycled mid-walk and only a grace period protects them.
+    // (This nested section cannot deadlock with our own later
+    // synchronize_rcu — we end it before taking more locks.)
+    Node* prev_succ = g.curr;
+    Node* succ = right;
+    std::uint64_t succ_gen, prev_succ_gen, succ_left_tag;
+    {
+      MaybeReadGuard guard(rcu_);
+      Node* next = succ->child[kLeft].load(std::memory_order_acquire);
+      while (next != nullptr) {
+        prev_succ = succ;
+        succ = next;
+        next = next->child[kLeft].load(std::memory_order_acquire);
+      }
+      succ_gen = succ->generation.load(std::memory_order_acquire);
+      prev_succ_gen = prev_succ->generation.load(std::memory_order_acquire);
+      succ_left_tag = succ->tag[kLeft].load(std::memory_order_acquire);
+    }
+
+    const int succ_direction = prev_succ == g.curr ? kRight : kLeft;
+    if (prev_succ != g.curr) {  // do not lock twice (paper Line 66)
+      if (!locks.acquire_timed(prev_succ)) {
+        bump(&CitrusStats::lock_timeouts);
+        return false;
+      }
+    }
+    if (!locks.acquire_timed(succ)) {
+      bump(&CitrusStats::lock_timeouts);
+      return false;
+    }
+    if (!validate(prev_succ, prev_succ_gen, 0, succ, succ_gen,
+                  succ_direction) ||
+        !validate(succ, succ_gen, succ_left_tag, nullptr, 0, kLeft)) {
+      return false;
+    }
+
+    // Line 70-71: the successor's copy, born locked, adopting the victim's
+    // children. Its key/value are read under succ's lock, post-validation.
+    Node* replacement = pool_.allocate(true, NodeKind::kReal, &succ->key(),
+                                       &succ->value(), left, right);
+    locks.adopt(replacement);
+
+    g.curr->marked.store(true, std::memory_order_release);  // Line 72
+    g.prev->child[g.direction].store(replacement,
+                                     std::memory_order_release);  // Line 73
+    pause(PausePoint::kAfterReplacementPublish);
+
+    rcu_.synchronize();  // Line 74: wait for readers
+    pause(PausePoint::kBeforeSuccessorUnlink);
+
+    succ->marked.store(true, std::memory_order_release);  // Line 75
+    Node* succ_right = succ->child[kRight].load(std::memory_order_acquire);
+    if (prev_succ == g.curr) {
+      // Line 76-78: the successor is the victim's right child, which the
+      // replacement adopted — bypass it there.
+      replacement->child[kRight].store(succ_right, std::memory_order_release);
+      increment_tag(replacement, kRight);
+    } else {
+      prev_succ->child[kLeft].store(succ_right, std::memory_order_release);
+      increment_tag(prev_succ, kLeft);
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    bump(&CitrusStats::two_child_erases);
+    locks.release_all();
+    retire(g.curr);
+    retire(succ);
+    return true;
+  }
+
+  // ── Reclamation ───────────────────────────────────────────────────
+
+  struct alignas(sync::kDestructiveInterference) RetireShard {
+    sync::SpinLock lock;
+    std::vector<Node*> nodes;
+  };
+
+  // Queue an unreachable node; recycle a whole shard batch after a single
+  // grace period once the batch is full.
+  void retire(Node* n) {
+    if constexpr (!Traits::kReclaim) {
+      (void)n;  // paper mode: unreachable nodes are simply dropped
+      return;
+    }
+    RetireShard& shard =
+        retire_shards_[std::hash<std::thread::id>{}(
+                           std::this_thread::get_id()) %
+                       kRetireShards];
+    std::vector<Node*> batch;
+    {
+      std::lock_guard<sync::SpinLock> guard(shard.lock);
+      shard.nodes.push_back(n);
+      if (shard.nodes.size() < Traits::kRetireBatch) return;
+      batch.swap(shard.nodes);
+    }
+    // Everything in the batch was unlinked before this grace period, so
+    // one synchronize covers the entire batch.
+    rcu_.synchronize();
+    for (Node* dead : batch) pool_.recycle(dead);
+    if constexpr (Traits::kStats) {
+      stats_.recycled_nodes.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
+    }
+  }
+
+  // Read guard that compiles to nothing when reclamation is off (the paper
+  // notes the successor walk "does not need a read-side critical section"
+  // — true only without reclamation).
+  class MaybeReadGuard {
+   public:
+    explicit MaybeReadGuard(Rcu& rcu) : rcu_(rcu) {
+      if constexpr (Traits::kReclaim) rcu_.read_lock();
+    }
+    ~MaybeReadGuard() {
+      if constexpr (Traits::kReclaim) rcu_.read_unlock();
+    }
+    MaybeReadGuard(const MaybeReadGuard&) = delete;
+    MaybeReadGuard& operator=(const MaybeReadGuard&) = delete;
+
+   private:
+    Rcu& rcu_;
+  };
+
+  // ── Helpers ───────────────────────────────────────────────────────
+
+  const Node* real_root() const {
+    // All real nodes live in the left subtree of the +inf sentinel.
+    const Node* inf = root_->child[kRight].load(std::memory_order_acquire);
+    return inf->child[kLeft].load(std::memory_order_acquire);
+  }
+
+  template <typename F>
+  void in_order(const Node* n, F& f) const {
+    // Explicit stack: the tree is unbalanced and may degenerate to a path.
+    std::vector<const Node*> stack;
+    while (n != nullptr || !stack.empty()) {
+      while (n != nullptr) {
+        stack.push_back(n);
+        n = n->child[kLeft].load(std::memory_order_relaxed);
+      }
+      n = stack.back();
+      stack.pop_back();
+      f(n->key(), n->value());
+      n = n->child[kRight].load(std::memory_order_relaxed);
+    }
+  }
+
+  // Test-hook dispatch: no-op (and fully optimized out) unless the Traits
+  // define `static void pause(PausePoint)`.
+  static void pause([[maybe_unused]] PausePoint point) {
+    if constexpr (requires { Traits::pause(point); }) {
+      Traits::pause(point);
+    }
+  }
+
+  static StructureReport fail(StructureReport rep, const char* what) {
+    rep.ok = false;
+    rep.error = what;
+    return rep;
+  }
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> insert_retries{0};
+    std::atomic<std::uint64_t> erase_retries{0};
+    std::atomic<std::uint64_t> two_child_erases{0};
+    std::atomic<std::uint64_t> lock_timeouts{0};
+    std::atomic<std::uint64_t> recycled_nodes{0};
+  };
+
+  void bump(std::uint64_t CitrusStats::* field) {
+    if constexpr (Traits::kStats) {
+      if (field == &CitrusStats::insert_retries) {
+        stats_.insert_retries.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::erase_retries) {
+        stats_.erase_retries.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::two_child_erases) {
+        stats_.two_child_erases.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::lock_timeouts) {
+        stats_.lock_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      (void)field;
+    }
+  }
+
+  static constexpr std::size_t kRetireShards = 16;
+
+  Rcu& rcu_;
+  mutable NodePool<Node> pool_;
+  Node* root_;
+  std::atomic<std::int64_t> size_{0};
+  mutable AtomicStats stats_;
+  RetireShard retire_shards_[kRetireShards];
+};
+
+}  // namespace citrus::core

@@ -1,0 +1,179 @@
+// Type-stable node pool for the Citrus tree.
+//
+// The paper leaves memory reclamation as its primary future-work item
+// ("it is also important to integrate into Citrus ... efficient memory
+// reclamation"). Reclaiming Citrus nodes is subtle because updaters
+// deliberately acquire node locks *outside* the read-side critical section
+// (to avoid RCU deadlocks, Section 3), so a grace period does not protect an
+// updater that still holds a pointer obtained from `get` — it may lock a
+// node that has already been unlinked, waited out and reclaimed.
+//
+// The classic systems answer (Fraser's PhD; K42; SLAB_TYPESAFE_BY_RCU in
+// Linux) is *type-stable memory*: node slots are only ever recycled as
+// nodes and are returned to the OS exclusively at pool destruction. Locking
+// a recycled slot is then memory-safe, and a *generation counter* bumped on
+// every reuse lets the updater's validation detect that the slot no longer
+// means what it meant during the search. The Citrus tree pairs this pool
+// with generation checks in `validate` (see citrus_tree.hpp).
+//
+// Lifecycle of a slot:
+//   allocate(): pop from a sharded free list (or carve from a slab), take
+//     the slot's lock, bump `generation`, construct the key/value payload,
+//     clear `marked`, release the lock (or hand it over still locked, for
+//     delete's replacement copy which must be published locked).
+//   recycle(): destroy the payload and push onto a free list. Callers must
+//     guarantee a grace period has elapsed since the node was unlinked
+//     (readers), and `marked` must still be true (it is — nodes are marked
+//     before unlinking and `marked` is only cleared by allocate(), under
+//     the slot lock), so a late updater that locks the slot between
+//     recycle() and reuse still fails validation on the marked bit.
+//
+// The free lists and slab list are sharded/guarded by spinlocks; allocation
+// is not the bottleneck of any workload in the paper (the evaluation
+// pre-fills the tree and runs a uniform mix), but sharding avoids turning
+// the pool into a synchronization point the way a global malloc lock would
+// (the paper used jemalloc for the same reason).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "sync/cache.hpp"
+#include "sync/spinlock.hpp"
+
+namespace citrus::core {
+
+// Node must provide:
+//   void construct_payload(Args...);   // placement-init key/value/links
+//   void destroy_payload();            // destroy key/value
+//   LockType lock;                     // stable across reuse
+//   std::atomic<std::uint64_t> generation;
+//   std::atomic<bool> marked;
+//   Node* pool_next;                   // free-list linkage (dead slots only)
+template <typename Node>
+class NodePool {
+ public:
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kSlabNodes = 512;
+
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  // All outstanding nodes must have been recycled or had destroy_payload()
+  // called by the owner (the tree destructor walks its reachable nodes).
+  ~NodePool() {
+    for (void* slab : slabs_) {
+      ::operator delete(slab, std::align_val_t{alignof(Node)});
+    }
+  }
+
+  // Returns a node whose header (lock/generation/marked) is live and whose
+  // payload has been constructed with `args`. If `keep_locked`, the node's
+  // lock is held by the caller on return.
+  template <typename... Args>
+  Node* allocate(bool keep_locked, Args&&... args) {
+    Node* n = pop_free();
+    if (n == nullptr) {
+      n = carve();
+      new (n) Node();  // header constructed exactly once per slot
+    }
+    // Re-initialization happens under the slot lock so that a stale updater
+    // that managed to lock this slot cannot observe a half-built payload
+    // after passing validation: it either holds the lock before us (and
+    // fails validation on marked/generation, since allocate is the only
+    // place marked is cleared) or locks after us and sees the new
+    // generation.
+    n->lock.lock();
+    n->generation.fetch_add(1, std::memory_order_release);
+    n->construct_payload(std::forward<Args>(args)...);
+    n->marked.store(false, std::memory_order_release);
+    if (!keep_locked) n->lock.unlock();
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return n;
+  }
+
+  // Returns a node's slot to the pool. Precondition: a grace period has
+  // elapsed since the node became unreachable, and marked == true.
+  void recycle(Node* n) {
+    assert(n->marked.load(std::memory_order_relaxed) &&
+           "recycling a node that was never marked for deletion");
+    n->destroy_payload();
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    Shard& s = shard();
+    std::lock_guard<sync::SpinLock> g(s.lock);
+    n->pool_next = s.free;
+    s.free = n;
+  }
+
+  // Payload teardown for nodes destroyed with the structure (reachable at
+  // destruction time); the slot memory is released with the slabs.
+  void destroy_with_pool(Node* n) {
+    n->destroy_payload();
+    live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Nodes whose payload is currently alive. Exact only at quiescence.
+  std::int64_t live() const noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t slab_count() const {
+    std::lock_guard<sync::SpinLock> g(slab_lock_);
+    return slabs_.size();
+  }
+
+ private:
+  struct alignas(sync::kDestructiveInterference) Shard {
+    sync::SpinLock lock;
+    Node* free = nullptr;
+  };
+
+  Shard& shard() {
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[h % kShards];
+  }
+
+  Node* pop_free() {
+    // Try own shard first, then steal from the others.
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    for (std::size_t i = 0; i < kShards; ++i) {
+      Shard& s = shards_[(h + i) % kShards];
+      std::lock_guard<sync::SpinLock> g(s.lock);
+      if (s.free != nullptr) {
+        Node* n = s.free;
+        s.free = n->pool_next;
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  Node* carve() {
+    std::lock_guard<sync::SpinLock> g(slab_lock_);
+    if (bump_ == 0 || bump_ == kSlabNodes) {
+      void* slab = ::operator new(sizeof(Node) * kSlabNodes,
+                                  std::align_val_t{alignof(Node)});
+      slabs_.push_back(slab);
+      bump_ = 0;
+    }
+    auto* base = static_cast<Node*>(slabs_.back());
+    return base + bump_++;
+  }
+
+  Shard shards_[kShards];
+  mutable sync::SpinLock slab_lock_;
+  std::vector<void*> slabs_;
+  std::size_t bump_ = 0;
+  std::atomic<std::int64_t> live_{0};
+};
+
+}  // namespace citrus::core

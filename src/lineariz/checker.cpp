@@ -1,0 +1,117 @@
+#include "lineariz/checker.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace citrus::lineariz {
+
+std::map<std::int64_t, std::vector<Event>> HistoryRecorder::by_key() const {
+  std::map<std::int64_t, std::vector<Event>> out;
+  for (const auto& events : per_thread_) {
+    for (const Event& e : events) out[e.key].push_back(e);
+  }
+  return out;
+}
+
+std::size_t HistoryRecorder::total_events() const {
+  std::size_t n = 0;
+  for (const auto& events : per_thread_) n += events.size();
+  return n;
+}
+
+namespace {
+
+// Would applying `e` in state `present` produce the recorded result, and
+// what is the state afterwards?
+bool apply(const Event& e, bool present, bool* after) {
+  switch (e.type) {
+    case OpType::kInsert:
+      if (e.result == present) return false;  // true iff was absent
+      *after = true;
+      return true;
+    case OpType::kErase:
+      if (e.result != present) return false;  // true iff was present
+      *after = false;
+      return true;
+    case OpType::kContains:
+      if (e.result != present) return false;
+      *after = present;
+      return true;
+  }
+  return false;
+}
+
+struct Search {
+  const std::vector<Event>& events;
+  std::unordered_set<std::uint64_t> visited;
+
+  // DFS over subsets of linearized operations. `done` is a bitmask; the
+  // state after a feasible `done` set is determined by it (each successful
+  // insert/erase toggles the bit deterministically), so visiting a mask
+  // twice is redundant.
+  bool dfs(std::uint64_t done, bool present) {
+    const std::uint64_t n = events.size();
+    if (done == (n == 64 ? ~0ull : (1ull << n) - 1)) return true;
+    if (!visited.insert(done).second) return false;
+
+    // An operation may be linearized next iff no *other* pending
+    // operation responded before it was invoked (real-time order).
+    std::uint64_t min_response = ~0ull;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if ((done >> i) & 1) continue;
+      min_response = std::min(min_response, events[i].responded);
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if ((done >> i) & 1) continue;
+      if (events[i].invoked > min_response) continue;  // not minimal
+      bool after;
+      if (!apply(events[i], present, &after)) continue;
+      if (dfs(done | (1ull << i), after)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool check_key_history(std::vector<Event> events, bool initially_present,
+                       std::string* detail) {
+  if (events.size() > 64) {
+    if (detail != nullptr) {
+      *detail = "history too long for the checker (>64 events for one key)";
+    }
+    return false;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.invoked < b.invoked; });
+  Search search{events, {}};
+  if (!search.dfs(0, initially_present)) {
+    if (detail != nullptr) {
+      *detail = "no valid linearization for " +
+                std::to_string(events.size()) + " events";
+    }
+    return false;
+  }
+  return true;
+}
+
+CheckResult check_history(const HistoryRecorder& recorder,
+                          const std::vector<std::int64_t>& initial_keys) {
+  std::unordered_set<std::int64_t> initial(initial_keys.begin(),
+                                           initial_keys.end());
+  CheckResult result;
+  for (auto& [key, events] : recorder.by_key()) {
+    result.events_checked += events.size();
+    ++result.keys_checked;
+    std::string detail;
+    if (!check_key_history(events, initial.count(key) > 0, &detail)) {
+      result.linearizable = false;
+      result.failing_key = key;
+      result.detail = detail;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace citrus::lineariz

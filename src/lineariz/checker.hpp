@@ -1,0 +1,35 @@
+// Per-key linearizability checking for set histories.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lineariz/history.hpp"
+
+namespace citrus::lineariz {
+
+struct CheckResult {
+  bool linearizable = true;
+  std::int64_t failing_key = 0;
+  std::string detail;
+  std::size_t keys_checked = 0;
+  std::size_t events_checked = 0;
+};
+
+// Checks one key's history (operations over a single present/absent bit)
+// against set semantics, assuming the key is initially `initially_present`.
+// Wing&Gong-style search: repeatedly choose a minimal operation (one that
+// no other pending operation's response precedes) whose recorded result is
+// consistent with the simulated state; memoized on the set of linearized
+// operations (the final state is a function of that set). Histories are
+// limited to 64 events per key (a bitmask) — the stress tests size their
+// runs accordingly.
+bool check_key_history(std::vector<Event> events, bool initially_present,
+                       std::string* detail);
+
+// Full-history check, decomposed per key. `initial_keys` lists keys present
+// before the recorded window (sorted or not; duplicates ignored).
+CheckResult check_history(const HistoryRecorder& recorder,
+                          const std::vector<std::int64_t>& initial_keys);
+
+}  // namespace citrus::lineariz

@@ -1,0 +1,61 @@
+// Concurrent-history recording for linearizability checking.
+//
+// Theorem 11 of the paper states Citrus is a linearizable dictionary. We
+// test that claim directly: worker threads record (invocation, response)
+// stamped operations, and the checker (checker.hpp) searches for a valid
+// linearization. Set semantics make this tractable: operations on distinct
+// keys commute, so the history decomposes into one independent history per
+// key (each over a single present/absent bit), checked separately.
+//
+// Timestamps come from one global atomic counter, which yields a total
+// order consistent with real time — strictly stronger than a clock and
+// immune to timer granularity ties. The fetch_add traffic slightly
+// serializes the workload; that is acceptable for a checker (it shrinks
+// the window of overlap, never creating false violations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace citrus::lineariz {
+
+enum class OpType : std::uint8_t { kInsert, kErase, kContains };
+
+struct Event {
+  std::int64_t key;
+  OpType type;
+  bool result;
+  std::uint64_t invoked;    // global order stamp before the call
+  std::uint64_t responded;  // stamp after the call
+};
+
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(int threads) : per_thread_(threads) {}
+
+  // Stamp an invocation (call before the operation).
+  std::uint64_t invoke() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // Record a completed operation for thread `tid`.
+  void record(int tid, std::int64_t key, OpType type, bool result,
+              std::uint64_t invoked) {
+    const std::uint64_t responded =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    per_thread_[static_cast<std::size_t>(tid)].push_back(
+        Event{key, type, result, invoked, responded});
+  }
+
+  // Per-key histories, merged across threads. Call at quiescence.
+  std::map<std::int64_t, std::vector<Event>> by_key() const;
+
+  std::size_t total_events() const;
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  // One unsynchronized vector per thread; merged after the run.
+  std::vector<std::vector<Event>> per_thread_;
+};
+
+}  // namespace citrus::lineariz

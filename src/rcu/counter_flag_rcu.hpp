@@ -1,0 +1,112 @@
+// The paper's new user-space RCU implementation (Section 5, "New RCU").
+//
+// Quoting the paper: "each thread has a counter and flag, the counter counts
+// the number of critical sections executed by the thread and a flag
+// indicates if the thread is currently inside its read-side critical
+// section. The rcu_read_lock operation increments the counter and sets the
+// flag to true, while the rcu_read_unlock operation sets the flag to false.
+// When a thread executes a synchronize_rcu operation, it waits for every
+// other thread, until one of two things occurs: either the thread has
+// increased its counter or the thread's flag is set to false. The main
+// advantage of this implementation is that multiple threads executing
+// synchronize_rcu need not coordinate among themselves, and they do not
+// acquire any locks."
+//
+// We pack {counter, flag} into a single 64-bit word per thread,
+// word = (counter << 1) | flag, so rcu_read_lock is one sequentially
+// consistent store and the synchronizer's wait condition is simply
+// "the word changed since I sampled it" (any change means the counter
+// advanced and/or the flag dropped). The word lives alone on a (double)
+// cache line; a synchronizer spins on remote words only, so readers'
+// stores stay local until a grace period is actually in progress.
+//
+// Why this satisfies the RCU property: let R be a read-side critical
+// section with a step preceding an invocation S of synchronize_rcu. R's
+// rcu_read_lock (seq_cst store of an odd word w) precedes S's sampling
+// fence, so S samples either w (flag set, and the word cannot take the
+// value w again — the counter is monotone) or a later value. If it samples
+// w it waits until the word changes, which happens no earlier than R's
+// rcu_read_unlock (or R's next read_lock, which also follows R's unlock).
+// If it samples a later value, R had already unlocked. Either way S returns
+// only after R completed.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "rcu/registry.hpp"
+#include "sync/backoff.hpp"
+#include "sync/cache.hpp"
+
+namespace citrus::rcu {
+
+struct CounterFlagRecord : RecordCommon<CounterFlagRecord> {
+  static constexpr std::uint64_t kFlag = 1;
+
+  // Hot: written by the owner on every section boundary, read (and spun
+  // on) by synchronizers. Alone on its own destructive-interference line.
+  sync::Padded<std::atomic<std::uint64_t>> word;
+
+  // Owner-only shadow of the counter, so read_lock needs no atomic load.
+  std::uint64_t shadow_counter = 0;
+
+  void reset_for_reuse() {
+    word->store(0, std::memory_order_relaxed);
+    shadow_counter = 0;
+    nest = 0;
+    read_sections = 0;
+  }
+};
+
+class CounterFlagRcu
+    : public DomainBase<CounterFlagRcu, CounterFlagRecord> {
+ public:
+  using Record = CounterFlagRecord;
+
+  void read_lock() noexcept {
+    Record& r = self();
+    if (r.nest++ == 0) {
+      ++r.shadow_counter;
+      // seq_cst: the reader's subsequent tree loads must not be reordered
+      // before this store, and the store must be visible to a synchronizer
+      // whose sampling fence follows it (x86: one locked instruction).
+      r.word->store((r.shadow_counter << 1) | Record::kFlag,
+                    std::memory_order_seq_cst);
+    }
+  }
+
+  void read_unlock() noexcept {
+    Record& r = self();
+    assert(r.nest > 0 && "read_unlock without matching read_lock");
+    if (--r.nest == 0) {
+      ++r.read_sections;
+      // release: everything the reader did inside the section
+      // happens-before a synchronizer observing the flag drop.
+      r.word->store(r.shadow_counter << 1, std::memory_order_release);
+    }
+  }
+
+  // Lock-free among synchronizers: each one independently samples every
+  // other thread's word and waits for flagged ones to move. Concurrent
+  // synchronize_rcu calls share no state at all (the paper's key point).
+  void synchronize() noexcept {
+    Record* me = find_record();
+    assert((me == nullptr || me->nest == 0) &&
+           "synchronize() inside a read-side critical section deadlocks");
+    count_synchronize();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    registry_.for_each([me](Record& r) {
+      if (&r == me) return;
+      const std::uint64_t w = r.word->load(std::memory_order_acquire);
+      if ((w & Record::kFlag) == 0) return;  // not inside a section
+      sync::Backoff bo;
+      while (r.word->load(std::memory_order_acquire) == w) bo.pause();
+    });
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+};
+
+static_assert(rcu_domain<CounterFlagRcu>);
+
+}  // namespace citrus::rcu

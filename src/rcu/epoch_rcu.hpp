@@ -1,0 +1,94 @@
+// Epoch-based RCU domain.
+//
+// A third grace-period detector, in the style of Fraser's epoch-based
+// reclamation (the paper cites it as the inspiration for its new RCU:
+// "we re-implemented the subset of the RCU API used in Citrus, in a manner
+// similar to epoch-based reclamation [11]"). Included as an additional
+// comparator for bench/ablation_rcu_domain: it shares the lock-free
+// synchronizer property with CounterFlagRcu but pins a *global* epoch
+// instead of bumping a per-thread counter, which makes synchronize a single
+// fetch_add on shared state (a different contention trade-off: readers stay
+// as cheap, but concurrent synchronizers all hit one cache line once).
+//
+// Protocol. A global epoch counter starts at 1. A reader's outermost
+// read_lock publishes the current epoch in its per-thread word (0 =
+// quiescent). synchronize advances the epoch from E to E+1 and waits until
+// no reader is pinned at an epoch <= E; any such reader's section began
+// before the advance, and any section that begins afterwards pins E+1 or
+// later and need not be waited for — exactly the RCU property.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "rcu/registry.hpp"
+#include "sync/backoff.hpp"
+#include "sync/cache.hpp"
+
+namespace citrus::rcu {
+
+struct EpochRecord : RecordCommon<EpochRecord> {
+  // 0 = quiescent, otherwise the epoch this thread's section pinned.
+  sync::Padded<std::atomic<std::uint64_t>> word;
+
+  void reset_for_reuse() {
+    word->store(0, std::memory_order_relaxed);
+    nest = 0;
+    read_sections = 0;
+  }
+};
+
+class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
+ public:
+  using Record = EpochRecord;
+
+  void read_lock() noexcept {
+    Record& r = self();
+    if (r.nest++ == 0) {
+      r.word->store(epoch_.load(std::memory_order_relaxed),
+                    std::memory_order_seq_cst);
+    }
+  }
+
+  void read_unlock() noexcept {
+    Record& r = self();
+    assert(r.nest > 0 && "read_unlock without matching read_lock");
+    if (--r.nest == 0) {
+      ++r.read_sections;
+      r.word->store(0, std::memory_order_release);
+    }
+  }
+
+  void synchronize() noexcept {
+    Record* me = find_record();
+    assert((me == nullptr || me->nest == 0) &&
+           "synchronize() inside a read-side critical section deadlocks");
+    count_synchronize();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Sections pinned at or below `old_epoch` predate this grace period.
+    const std::uint64_t old_epoch =
+        epoch_.fetch_add(1, std::memory_order_acq_rel);
+    registry_.for_each([me, old_epoch](Record& r) {
+      if (&r == me) return;
+      sync::Backoff bo;
+      for (;;) {
+        const std::uint64_t w = r.word->load(std::memory_order_acquire);
+        if (w == 0 || w > old_epoch) break;
+        bo.pause();
+      }
+    });
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  std::uint64_t current_epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(sync::kDestructiveInterference) std::atomic<std::uint64_t> epoch_{1};
+};
+
+static_assert(rcu_domain<EpochRcu>);
+
+}  // namespace citrus::rcu

@@ -1,0 +1,160 @@
+// Quiescent-state-based RCU (QSBR) — the fourth grace-period detector,
+// after the urcu-qsbr flavour of Desnoyers et al., which their TPDS paper
+// shows is the cheapest possible read side: rcu_read_lock and
+// rcu_read_unlock compile to (almost) nothing, because grace periods are
+// detected from *quiescent states* the application promises to pass
+// through between read-side critical sections.
+//
+// Contract (stronger than the other domains — this is QSBR's trade-off):
+// every registered thread must either keep passing quiescent states
+// (here: every read_unlock of an outermost section counts one, exactly the
+// per-operation checkpointing a data-structure adapter provides for free)
+// or declare itself offline while it idles or blocks. A registered thread
+// that goes quiet while online stalls every grace period.
+//
+// synchronize() marks the *caller* quiescent for its duration (a thread
+// asking for a grace period holds no read-side references by definition —
+// urcu-qsbr does the same), so concurrent synchronizers never deadlock
+// waiting for each other.
+//
+// Protocol. Per-thread word = (checkpoint_counter << 1) | online.
+//   read_lock (outermost):  nothing but a nesting increment — the thread
+//     is online, which already forbids reclamation.
+//   read_unlock (outermost): counter++ — a quiescent state.
+//   synchronize: go offline; snapshot every other online thread's word;
+//     wait until it changes (checkpoint or offline); come back online.
+//
+// The Citrus tree runs unmodified over this domain: its operations are
+// bracketed read sections, and its bounded try-locks guarantee a blocked
+// updater restarts (and thus checkpoints) instead of spinning forever.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "rcu/registry.hpp"
+#include "sync/backoff.hpp"
+#include "sync/cache.hpp"
+
+namespace citrus::rcu {
+
+struct QsbrRecord : RecordCommon<QsbrRecord> {
+  static constexpr std::uint64_t kOnline = 1;
+
+  // (checkpoints << 1) | online. Readers are free: only unlock touches it.
+  sync::Padded<std::atomic<std::uint64_t>> word;
+
+  // Owner-only shadow of the checkpoint counter.
+  std::uint64_t shadow = 0;
+
+  void reset_for_reuse() {
+    word->store(0, std::memory_order_relaxed);
+    shadow = 0;
+    nest = 0;
+    read_sections = 0;
+  }
+};
+
+class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
+ public:
+  using Record = QsbrRecord;
+
+  // Registration puts the thread online; threads that stop operating for
+  // a while should hold an OfflineGuard (or drop the Registration).
+  void read_lock() noexcept {
+    Record& r = self();
+    if (r.nest++ == 0) {
+      // Come online lazily if the thread had gone offline.
+      if ((r.word->load(std::memory_order_relaxed) & Record::kOnline) == 0) {
+        r.word->store((r.shadow << 1) | Record::kOnline,
+                      std::memory_order_seq_cst);
+      }
+    }
+  }
+
+  void read_unlock() noexcept {
+    Record& r = self();
+    assert(r.nest > 0 && "read_unlock without matching read_lock");
+    if (--r.nest == 0) {
+      ++r.read_sections;
+      ++r.shadow;
+      // The quiescent state: counter bump, still online.
+      r.word->store((r.shadow << 1) | Record::kOnline,
+                    std::memory_order_seq_cst);
+    }
+  }
+
+  // Explicit checkpoint for long-running read-free loops (urcu's
+  // rcu_quiescent_state).
+  void quiescent_state() noexcept {
+    Record& r = self();
+    assert(r.nest == 0 && "quiescent_state inside a read-side section");
+    ++r.shadow;
+    r.word->store((r.shadow << 1) | Record::kOnline,
+                  std::memory_order_seq_cst);
+  }
+
+  // Declare this thread outside any read-side use (urcu's
+  // rcu_thread_offline/online).
+  void offline() noexcept {
+    Record& r = self();
+    assert(r.nest == 0 && "offline inside a read-side section");
+    r.word->store(r.shadow << 1, std::memory_order_seq_cst);
+  }
+
+  void online() noexcept {
+    Record& r = self();
+    r.word->store((r.shadow << 1) | Record::kOnline,
+                  std::memory_order_seq_cst);
+  }
+
+  void synchronize() noexcept {
+    Record* me = find_record();
+    assert((me == nullptr || me->nest == 0) &&
+           "synchronize() inside a read-side critical section deadlocks");
+    count_synchronize();
+    // The caller is quiescent for the whole wait (it cannot hold reader
+    // references while asking for a grace period), so two concurrent
+    // synchronizers never wait for each other.
+    bool was_online = false;
+    if (me != nullptr) {
+      was_online =
+          (me->word->load(std::memory_order_relaxed) & Record::kOnline) != 0;
+      if (was_online) {
+        me->word->store(me->shadow << 1, std::memory_order_seq_cst);
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    registry_.for_each([me](Record& r) {
+      if (&r == me) return;
+      const std::uint64_t w = r.word->load(std::memory_order_acquire);
+      if ((w & Record::kOnline) == 0) return;  // offline: quiescent
+      sync::Backoff bo;
+      while (r.word->load(std::memory_order_acquire) == w) bo.pause();
+    });
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (me != nullptr && was_online) {
+      me->word->store((me->shadow << 1) | Record::kOnline,
+                      std::memory_order_seq_cst);
+    }
+  }
+
+  // RAII offline bracket for idle phases.
+  class OfflineGuard {
+   public:
+    explicit OfflineGuard(QsbrRcu& domain) noexcept : domain_(domain) {
+      domain_.offline();
+    }
+    ~OfflineGuard() { domain_.online(); }
+    OfflineGuard(const OfflineGuard&) = delete;
+    OfflineGuard& operator=(const OfflineGuard&) = delete;
+
+   private:
+    QsbrRcu& domain_;
+  };
+};
+
+static_assert(rcu_domain<QsbrRcu>);
+
+}  // namespace citrus::rcu

@@ -1,0 +1,86 @@
+// Public RCU API.
+//
+// The paper uses three RCU functions — rcu_read_lock, rcu_read_unlock and
+// synchronize_rcu — with the *RCU property* (Figure 2 of the paper): if a
+// step of a read-side critical section precedes the invocation of
+// synchronize_rcu, then all steps of that critical section precede the
+// return from synchronize_rcu. This header defines the C++ shape of that
+// API: the `rcu_domain` concept the tree templates are written against, the
+// RAII read guard, and deferred reclamation (`retire`) built on top of
+// grace periods.
+//
+// Three domain implementations are provided:
+//   * GlobalLockRcu  (global_lock_rcu.hpp)  — models the stock user-space
+//     RCU of Desnoyers et al., whose synchronize_rcu serializes grace
+//     periods behind a global lock. This is the "standard RCU" of Figure 8.
+//   * CounterFlagRcu (counter_flag_rcu.hpp) — the paper's new
+//     implementation: per-thread {counter, flag}; synchronizers take no
+//     lock, so concurrent updaters scale. The "Citrus" line of Figure 8.
+//   * EpochRcu       (epoch_rcu.hpp)        — a classic epoch-based scheme,
+//     included as an extra comparator for the RCU-choice ablation.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+namespace citrus::rcu {
+
+// A deferred reclamation request: fn(ptr, ctx) runs after a grace period.
+struct Retired {
+  void* ptr;
+  void (*fn)(void*, void*);
+  void* ctx;
+};
+
+// Fields every per-thread record shares. `Self` is the concrete record type
+// (CRTP for the intrusive registry link). All fields except `in_use` are
+// owner-thread-only.
+template <typename Self>
+struct RecordCommon {
+  std::atomic<bool> in_use{false};
+  Self* next = nullptr;
+  std::uint32_t nest = 0;             // read-side nesting depth
+  std::vector<Retired> retired;       // deferred frees of this thread
+  std::uint64_t read_sections = 0;    // statistics: completed sections
+};
+
+// Static interface required of an RCU domain. The data structures are
+// templated on this concept, so swapping the synchronization substrate is a
+// one-token change (see bench/ablation_rcu_domain.cpp).
+template <typename D>
+concept rcu_domain = requires(D d, void* p, void (*fn)(void*, void*)) {
+  typename D::Registration;          // RAII per-thread participation token
+  { d.read_lock() } noexcept;        // wait-free (paper, Section 2)
+  { d.read_unlock() } noexcept;      // wait-free
+  d.synchronize();                   // blocks for a grace period
+  d.retire(p, fn, p);                // deferred free after a grace period
+  d.flush_retired();                 // force reclamation of this thread's queue
+  { d.synchronize_calls() } -> std::convertible_to<std::uint64_t>;
+};
+
+// RAII read-side critical section, equivalent to the paper's
+// rcu_read_lock/rcu_read_unlock bracket around `get`.
+template <rcu_domain D>
+class ReadGuard {
+ public:
+  explicit ReadGuard(D& domain) noexcept : domain_(domain) {
+    domain_.read_lock();
+  }
+  ~ReadGuard() { domain_.read_unlock(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  D& domain_;
+};
+
+// Convenience: defer `delete p` to after a grace period.
+template <rcu_domain D, typename T>
+void retire_delete(D& domain, T* p) {
+  domain.retire(
+      p, [](void* q, void*) { delete static_cast<T*>(q); }, nullptr);
+}
+
+}  // namespace citrus::rcu

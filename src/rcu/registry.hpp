@@ -1,0 +1,274 @@
+// Thread registry shared by every RCU domain implementation.
+//
+// An RCU domain must be able to enumerate the reader state of every thread
+// that may be inside a read-side critical section. Following the user-space
+// RCU design of Desnoyers et al., each participating thread owns a *record*
+// (one padded cache line of reader state); records live in an intrusive
+// lock-free list owned by the domain and are recycled — never freed — until
+// the domain itself is destroyed, so synchronize() can walk the list without
+// any lock and without use-after-free concerns.
+//
+// Threads participate explicitly through an RAII `Registration` (mirroring
+// urcu's rcu_register_thread/rcu_unregister_thread). The registration caches
+// the record in thread-local storage keyed by a never-reused 64-bit domain
+// id, which makes the hot-path lookup (`self()`) a short scan of a tiny
+// thread-local vector and makes stale cache entries from destroyed domains
+// harmless by construction.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rcu/rcu.hpp"
+#include "sync/backoff.hpp"
+
+namespace citrus::rcu {
+
+namespace detail {
+
+// Monotone source of domain ids. Ids are never reused, so a thread-local
+// cache entry belonging to a destroyed domain can never be mistaken for an
+// entry of a live one.
+inline std::uint64_t next_domain_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TlsSlot {
+  std::uint64_t domain_id;
+  void* record;
+};
+
+// One small vector per thread, shared across all domain types. Entries are
+// pushed by Registration construction and erased by its destruction, so the
+// vector's size is bounded by the number of live registrations of the
+// calling thread (almost always 1).
+inline std::vector<TlsSlot>& tls_slots() {
+  thread_local std::vector<TlsSlot> slots;
+  return slots;
+}
+
+}  // namespace detail
+
+// Intrusive lock-free registry of per-thread records. `Record` must have:
+//   std::atomic<bool> in_use;
+//   Record* next;                 // registry linkage, set once
+//   void reset_for_reuse();       // return reader state to quiescent
+template <typename Record>
+class ThreadRegistry {
+ public:
+  ThreadRegistry() = default;
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  ~ThreadRegistry() {
+    Record* r = head_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      Record* next = r->next;
+      delete r;
+      r = next;
+    }
+  }
+
+  // Returns a quiescent record owned by the calling thread until release().
+  Record* acquire() {
+    // Try to recycle a record released by an exited thread.
+    for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
+         r = r->next) {
+      bool expected = false;
+      if (!r->in_use.load(std::memory_order_relaxed) &&
+          r->in_use.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        r->reset_for_reuse();
+        return r;
+      }
+    }
+    auto* r = new Record();
+    r->in_use.store(true, std::memory_order_relaxed);
+    Record* old_head = head_.load(std::memory_order_relaxed);
+    do {
+      r->next = old_head;
+    } while (!head_.compare_exchange_weak(old_head, r,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+    return r;
+  }
+
+  void release(Record* r) {
+    r->reset_for_reuse();
+    r->in_use.store(false, std::memory_order_release);
+  }
+
+  // Visits every record ever acquired (including currently unused ones,
+  // whose state is quiescent). Safe concurrently with acquire/release.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
+         r = r->next) {
+      f(*r);
+    }
+  }
+
+  // Number of records currently allocated (used + recyclable).
+  std::size_t allocated() const {
+    std::size_t n = 0;
+    for_each([&n](const Record&) { ++n; });
+    return n;
+  }
+
+ private:
+  std::atomic<Record*> head_{nullptr};
+};
+
+// CRTP base providing domain identity, registration and the thread-local
+// record lookup. `Derived` must define `Record` (satisfying the
+// ThreadRegistry contract) and the read/synchronize protocol on top of it.
+template <typename Derived, typename Record>
+class DomainBase {
+ public:
+  DomainBase() : id_(detail::next_domain_id()) {}
+  DomainBase(const DomainBase&) = delete;
+  DomainBase& operator=(const DomainBase&) = delete;
+
+  ~DomainBase() {
+    assert(registrations_.load(std::memory_order_relaxed) == 0 &&
+           "RCU domain destroyed while threads are still registered");
+  }
+
+  // RAII participation token. A thread must hold one Registration per
+  // domain it touches, for as long as it touches it.
+  class Registration {
+   public:
+    explicit Registration(Derived& domain) : domain_(&domain) {
+      record_ = domain.registry_.acquire();
+      domain.registrations_.fetch_add(1, std::memory_order_relaxed);
+      detail::tls_slots().push_back({domain.id_, record_});
+    }
+
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+    ~Registration() {
+      // Reclaim anything this thread deferred before the record is recycled.
+      if (!record_->retired.empty()) {
+        domain_->synchronize();
+        for (const Retired& e : record_->retired) e.fn(e.ptr, e.ctx);
+        record_->retired.clear();
+      }
+      auto& slots = detail::tls_slots();
+      for (auto it = slots.begin(); it != slots.end(); ++it) {
+        if (it->domain_id == domain_->id_ && it->record == record_) {
+          slots.erase(it);
+          break;
+        }
+      }
+      domain_->registry_.release(record_);
+      domain_->registrations_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    Record& record() noexcept { return *record_; }
+
+   private:
+    Derived* domain_;
+    Record* record_;
+  };
+
+  std::uint64_t id() const noexcept { return id_; }
+
+  // --- Deferred reclamation -------------------------------------------
+  //
+  // retire() queues fn(ptr, ctx) on the calling thread's record; when the
+  // queue reaches retire_batch() entries, one grace period is awaited and
+  // the whole batch is reclaimed (everything in the batch was retired
+  // before the synchronize, so a single grace period covers it all).
+  // This is the mechanism the paper lists as the primary RCU use case
+  // (memory reclamation) and its own future-work item for Citrus.
+
+  void retire(void* ptr, void (*fn)(void*, void*), void* ctx) {
+    Record& r = self();
+    r.retired.push_back(Retired{ptr, fn, ctx});
+    // Flushing needs a grace period, which would deadlock against our own
+    // read-side critical section — retire() is legal inside one, so defer
+    // the flush until the next retire outside (or Registration teardown).
+    if (r.retired.size() >= retire_batch_ && r.nest == 0) flush_retired();
+  }
+
+  // Waits for a grace period and reclaims this thread's entire queue.
+  // Must not be called from inside a read-side critical section.
+  void flush_retired() {
+    Record& r = self();
+    if (r.retired.empty()) return;
+    assert(r.nest == 0 &&
+           "flush_retired() inside a read-side critical section would "
+           "deadlock on the grace period");
+    static_cast<Derived*>(this)->synchronize();
+    for (const Retired& e : r.retired) e.fn(e.ptr, e.ctx);
+    r.retired.clear();
+  }
+
+  // Flush if the batch threshold is reached and we are not inside a
+  // read-side critical section. Structures whose retire() calls happen
+  // inside read sections call this on their way out.
+  void maybe_flush_retired() {
+    Record& r = self();
+    if (r.nest == 0 && r.retired.size() >= retire_batch_) flush_retired();
+  }
+
+  std::size_t retire_batch() const noexcept { return retire_batch_; }
+  void set_retire_batch(std::size_t n) noexcept {
+    retire_batch_ = n == 0 ? 1 : n;
+  }
+
+  // Pending deferred frees of the calling thread (testing/introspection).
+  std::size_t pending_retired() const {
+    const Record* r = find_record();
+    return r == nullptr ? 0 : r->retired.size();
+  }
+
+  // Total completed grace periods driven by this domain.
+  std::uint64_t synchronize_calls() const noexcept {
+    return sync_calls_.load(std::memory_order_relaxed);
+  }
+
+  // Number of live registrations across all threads.
+  std::uint64_t registrations() const noexcept {
+    return registrations_.load(std::memory_order_relaxed);
+  }
+
+  bool thread_is_registered() const noexcept { return find_record() != nullptr; }
+
+ protected:
+  // Hot path: record of the calling thread. Scans the (tiny) thread-local
+  // slot vector; asserts the thread registered.
+  Record& self() const noexcept {
+    Record* r = find_record();
+    assert(r != nullptr &&
+           "thread used an RCU domain without holding a Registration");
+    return *r;
+  }
+
+  Record* find_record() const noexcept {
+    for (const auto& slot : detail::tls_slots()) {
+      if (slot.domain_id == id_) return static_cast<Record*>(slot.record);
+    }
+    return nullptr;
+  }
+
+  void count_synchronize() noexcept {
+    sync_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ThreadRegistry<Record> registry_;
+
+ private:
+  friend class Registration;
+  const std::uint64_t id_;
+  std::atomic<std::uint64_t> registrations_{0};
+  std::atomic<std::uint64_t> sync_calls_{0};
+  std::size_t retire_batch_ = 128;
+};
+
+}  // namespace citrus::rcu

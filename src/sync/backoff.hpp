@@ -1,0 +1,66 @@
+// Spin-wait backoff.
+//
+// Every wait loop in this code base must remain live when the machine is
+// oversubscribed (more runnable threads than cores) — in the extreme, the
+// reproduction box has a single core, so a synchronize_rcu spinning on a
+// descheduled reader would otherwise burn its whole quantum doing nothing.
+// Backoff spins with a pause instruction for a bounded number of rounds and
+// then starts yielding to the scheduler.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace citrus::sync {
+
+// Hint the CPU that we are in a spin loop (lowers power, frees pipeline
+// resources for the sibling hyperthread). Falls back to a compiler barrier.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Exponential pause backoff that escalates to sched yields. Usage:
+//
+//   Backoff bo;
+//   while (!condition()) bo.pause();
+class Backoff {
+ public:
+  // `spin_limit` is the number of pause() calls before we start yielding.
+  explicit Backoff(std::uint32_t spin_limit = 64) noexcept
+      : spin_limit_(spin_limit) {}
+
+  void pause() noexcept {
+    ++total_;
+    if (rounds_ < spin_limit_) {
+      // Exponentially growing burst of relax instructions, capped.
+      std::uint32_t burst = 1u << (rounds_ < 6 ? rounds_ : 6);
+      for (std::uint32_t i = 0; i < burst; ++i) cpu_relax();
+      ++rounds_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { rounds_ = 0; }
+
+  // Number of times pause() was called since construction/reset. Useful for
+  // statistics (e.g. how long synchronize_rcu waited).
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint32_t rounds_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace citrus::sync

@@ -1,0 +1,46 @@
+// Sense-reversing centralized barrier.
+//
+// Used by the workload runner to release all worker threads at once (so the
+// measured interval does not include thread start-up skew) and by the stress
+// tests to align phases. std::barrier exists in C++20 but its completion
+// step machinery is more than we need, and this version exposes the
+// generation counter, which the tests use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/backoff.hpp"
+
+namespace citrus::sync {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties) noexcept : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks until `parties` threads have arrived. Safe for repeated use.
+  void arrive_and_wait() noexcept {
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    Backoff bo;
+    while (generation_.load(std::memory_order_acquire) == gen) bo.pause();
+  }
+
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace citrus::sync

@@ -1,0 +1,57 @@
+// Per-node locks.
+//
+// Citrus acquires locks on at most five nodes per update (prev, curr,
+// prevSucc, succ and the freshly created copy), holds them across a
+// synchronize_rcu in the two-child delete case, and releases them in bulk.
+// The paper's C implementation used pthread mutexes; we default to a
+// test-and-test-and-set spinlock with yield backoff, which behaves better
+// under the short critical sections of insert and one-child delete, and fall
+// back to yielding so two-child deletes (which block on a grace period while
+// holding locks) do not starve the lock holders on an oversubscribed box.
+// bench/ablation_lock_type measures the difference against std::mutex.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "sync/backoff.hpp"
+
+namespace citrus::sync {
+
+// Test-and-test-and-set spinlock. One byte of state; satisfies the C++
+// Lockable requirements so it can be used with std::lock_guard/scoped_lock.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    Backoff bo;
+    for (;;) {
+      // Test first: spin on a read so the line stays shared until free.
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// Tag types selecting a node-lock implementation in the tree Traits.
+struct UseSpinLock {
+  using type = SpinLock;
+};
+struct UseStdMutex {
+  using type = std::mutex;
+};
+
+}  // namespace citrus::sync

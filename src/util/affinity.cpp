@@ -1,0 +1,32 @@
+#include "util/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace citrus::util {
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool pin_to_cpu(unsigned cpu, unsigned min_cpus) {
+#if defined(__linux__)
+  const unsigned n = hardware_threads();
+  if (n < min_cpus) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % n, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  (void)min_cpus;
+  return false;
+#endif
+}
+
+}  // namespace citrus::util

@@ -1,0 +1,20 @@
+// Thread placement.
+//
+// The paper's testbed is a 4-socket NUMA machine; thread pinning matters
+// there. On machines with enough cores we pin worker i to core i (spreading
+// over the whole mask); when the machine is oversubscribed pinning would
+// serialize everything behind one core, so it becomes a no-op.
+#pragma once
+
+#include <cstdint>
+
+namespace citrus::util {
+
+// Number of CPUs available to this process.
+unsigned hardware_threads();
+
+// Pin the calling thread to `cpu % hardware_threads()` if the process has
+// at least `min_cpus` CPUs; otherwise do nothing. Returns true if pinned.
+bool pin_to_cpu(unsigned cpu, unsigned min_cpus = 2);
+
+}  // namespace citrus::util

@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace citrus::util {
+
+namespace {
+
+std::string env_name(const std::string& key) {
+  std::string name = "CITRUS_";
+  for (char c : key) {
+    name += c == '-' ? '_' : static_cast<char>(std::toupper(c));
+  }
+  return name;
+}
+
+}  // namespace
+
+Options::Options(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "unknown";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --key=value, got: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";  // boolean switch form: --verbose
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(key).c_str())) return env;
+  return fallback;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const std::string v = get(key, "");
+  return v.empty() ? fallback : std::stoll(v);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key, "");
+  return v.empty() ? fallback : std::stod(v);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> Options::get_int_list(
+    const std::string& key, const std::vector<std::int64_t>& fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out.empty() ? fallback : out;
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) > 0 ||
+         std::getenv(env_name(key).c_str()) != nullptr;
+}
+
+}  // namespace citrus::util

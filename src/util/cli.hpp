@@ -1,0 +1,43 @@
+// Minimal command-line / environment option parsing for the bench binaries.
+//
+// The figure-reproduction binaries accept `--key=value` flags and fall back
+// to `CITRUS_<KEY>` environment variables, so the same binary can run a
+// quick smoke sweep by default and the full paper-scale sweep on a big box:
+//
+//   ./fig10_throughput_grid --seconds=5 --repeats=5 --threads=1,4,16,64
+//   CITRUS_SECONDS=5 ./fig10_throughput_grid
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace citrus::util {
+
+class Options {
+ public:
+  // Parses argv; aborts with a usage message on `--help` or malformed args.
+  // Unrecognized keys are kept (validated by the caller via known()).
+  Options(int argc, char** argv);
+
+  // Value lookup order: command line, then CITRUS_<KEY> env var (key
+  // upper-cased, '-' -> '_'), then `fallback`.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  // Comma-separated integer list, e.g. --threads=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, const std::vector<std::int64_t>& fallback) const;
+
+  bool has(const std::string& key) const;
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace citrus::util

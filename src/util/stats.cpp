@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace citrus::util {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(n);
+
+  if (n > 1) {
+    double sq = 0.0;
+    for (double x : samples) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(n - 1));
+  }
+  return s;
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LogHistogram::add(std::uint64_t nanos) noexcept {
+  const int bucket = nanos == 0 ? 0 : 63 - std::countl_zero(nanos);
+  ++buckets_[bucket];
+}
+
+std::uint64_t LogHistogram::total() const noexcept {
+  std::uint64_t t = 0;
+  for (auto b : buckets_) t += b;
+  return t;
+}
+
+std::uint64_t LogHistogram::quantile(double q) const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < 64; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return i == 0 ? 0 : (1ull << i);
+  }
+  return 1ull << 63;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (int i = 0; i < 64; ++i) buckets_[i] += other.buckets_[i];
+}
+
+}  // namespace citrus::util

@@ -1,0 +1,73 @@
+// Descriptive statistics for benchmark reporting.
+//
+// The paper reports the arithmetic average of five runs per configuration;
+// we additionally keep the standard deviation and extrema so EXPERIMENTS.md
+// can report run-to-run noise (important on an oversubscribed box).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace citrus::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+// Computes a Summary over the samples. Empty input yields a zero Summary.
+Summary summarize(std::vector<double> samples);
+
+// Streaming Welford accumulator, used by per-thread latency collection where
+// storing every sample would perturb the run.
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  // Merge another accumulator (parallel reduction of per-thread stats).
+  void merge(const Welford& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-boundary log-scale histogram for operation latencies (nanoseconds).
+// 64 buckets: bucket i covers [2^i, 2^(i+1)) ns.
+class LogHistogram {
+ public:
+  void add(std::uint64_t nanos) noexcept;
+  std::uint64_t total() const noexcept;
+  // Returns the lower bound (ns) of the bucket containing quantile q in
+  // [0,1]; 0 for an empty histogram.
+  std::uint64_t quantile(double q) const noexcept;
+  void merge(const LogHistogram& other) noexcept;
+
+ private:
+  std::uint64_t buckets_[64] = {};
+};
+
+}  // namespace citrus::util

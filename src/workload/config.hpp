@@ -1,0 +1,62 @@
+// Workload description for the figure-reproduction harness.
+//
+// The paper's setup (Section 5): key ranges [0, 2e5] and [0, 2e6], trees
+// pre-filled to half the key range, each thread continuously executing
+// randomly chosen operations on uniformly random keys for five seconds,
+// five repetitions, arithmetic-mean throughput reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace citrus::workload {
+
+struct WorkloadConfig {
+  std::int64_t key_range = 200000;  // keys drawn from [0, key_range)
+  // Fraction of operations that are contains; the remainder splits evenly
+  // between insert and delete (paper: "50% insert and 50% delete").
+  double contains_fraction = 0.5;
+  int threads = 4;
+  double seconds = 1.0;
+  // Figure 9 mode: thread 0 runs 50% insert / 50% delete, all other
+  // threads run 100% contains. Overrides contains_fraction.
+  bool single_writer = false;
+  bool prefill = true;  // fill to key_range/2 before measuring
+  std::uint64_t seed = 0x5EED;
+  // 0 = uniform (paper). >0 adds Zipf skew (harness extension).
+  double zipf_theta = 0.0;
+  // Record per-operation latency into log-scale histograms (harness
+  // extension; adds two clock reads per operation).
+  bool measure_latency = false;
+
+  std::string mix_label() const {
+    if (single_writer) return "single-writer";
+    const int pct = static_cast<int>(contains_fraction * 100.0 + 0.5);
+    return std::to_string(pct) + "% contains";
+  }
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t total_ops = 0;
+  double throughput = 0.0;  // operations per second
+  std::uint64_t contains_ops = 0;
+  std::uint64_t insert_ops = 0;
+  std::uint64_t erase_ops = 0;
+  std::uint64_t insert_hits = 0;  // successful inserts
+  std::uint64_t erase_hits = 0;
+  std::uint64_t grace_periods = 0;  // synchronize_rcu calls during the run
+  std::size_t final_size = 0;
+  // Populated only when WorkloadConfig::measure_latency is set: bucket
+  // lower bounds in nanoseconds, separated by op class.
+  struct LatencyQuantiles {
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+  };
+  LatencyQuantiles read_latency;
+  LatencyQuantiles update_latency;
+};
+
+}  // namespace citrus::workload

@@ -1,0 +1,73 @@
+#include "workload/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <set>
+
+namespace citrus::workload {
+
+std::string format_ops(double ops) {
+  char buf[32];
+  if (ops >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", ops / 1e9);
+  } else if (ops >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", ops / 1e6);
+  } else if (ops >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", ops / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", ops);
+  }
+  return buf;
+}
+
+void print_throughput_table(std::ostream& out, const std::string& title,
+                            const std::vector<SeriesPoint>& points) {
+  std::vector<std::string> series;
+  std::set<int> threads;
+  for (const auto& p : points) {
+    if (std::find(series.begin(), series.end(), p.series) == series.end()) {
+      series.push_back(p.series);
+    }
+    threads.insert(p.threads);
+  }
+
+  out << "\n== " << title << " ==\n";
+  out << std::left << std::setw(18) << "threads";
+  for (int t : threads) out << std::right << std::setw(10) << t;
+  out << "\n";
+  for (const auto& s : series) {
+    out << std::left << std::setw(18) << s;
+    for (int t : threads) {
+      const auto it =
+          std::find_if(points.begin(), points.end(), [&](const SeriesPoint& p) {
+            return p.series == s && p.threads == t;
+          });
+      out << std::right << std::setw(10)
+          << (it != points.end() ? format_ops(it->throughput.mean) : "-");
+    }
+    out << "\n";
+  }
+  out.flush();
+}
+
+void append_csv(const std::string& path, const std::string& figure,
+                const std::vector<SeriesPoint>& points) {
+  if (path.empty()) return;
+  const bool fresh = !std::filesystem::exists(path);
+  std::ofstream out(path, std::ios::app);
+  if (fresh) {
+    out << "figure,series,threads,mean_ops,stddev_ops,min_ops,max_ops,runs\n";
+  }
+  for (const auto& p : points) {
+    out << figure << ',' << p.series << ',' << p.threads << ','
+        << p.throughput.mean << ',' << p.throughput.stddev << ','
+        << p.throughput.min << ',' << p.throughput.max << ','
+        << p.throughput.count << '\n';
+  }
+}
+
+}  // namespace citrus::workload

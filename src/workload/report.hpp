@@ -1,0 +1,35 @@
+// Human-readable tables and CSV emission for the figure benches.
+//
+// Each figure binary prints the series the paper plots: one row per
+// (algorithm, thread count) with mean throughput over the repeats, plus an
+// optional CSV (CITRUS_CSV=path) for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace citrus::workload {
+
+struct SeriesPoint {
+  std::string series;  // e.g. algorithm name
+  int threads = 0;
+  util::Summary throughput;  // ops/sec over repeats
+};
+
+// Pretty-prints a threads-by-series table of mean throughput (ops/sec,
+// engineering-notation) to `out`, in the orientation of the paper's plots.
+void print_throughput_table(std::ostream& out, const std::string& title,
+                            const std::vector<SeriesPoint>& points);
+
+// Appends rows "figure,series,threads,mean,stddev,min,max,count" to `path`
+// (with a header when the file is new). No-op if path is empty.
+void append_csv(const std::string& path, const std::string& figure,
+                const std::vector<SeriesPoint>& points);
+
+// Engineering formatting for throughput: "12.3M", "456k".
+std::string format_ops(double ops_per_sec);
+
+}  // namespace citrus::workload

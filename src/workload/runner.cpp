@@ -1,0 +1,199 @@
+#include "workload/runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "sync/barrier.hpp"
+#include "sync/cache.hpp"
+#include "util/affinity.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "util/zipf.hpp"
+
+namespace citrus::workload {
+
+namespace {
+
+struct alignas(sync::kDestructiveInterference) ThreadCounters {
+  std::uint64_t contains_ops = 0;
+  std::uint64_t insert_ops = 0;
+  std::uint64_t erase_ops = 0;
+  std::uint64_t insert_hits = 0;
+  std::uint64_t erase_hits = 0;
+  util::LogHistogram read_latency;
+  util::LogHistogram update_latency;
+};
+
+RunResult::LatencyQuantiles quantiles(const util::LogHistogram& h) {
+  return {h.quantile(0.50), h.quantile(0.90), h.quantile(0.99),
+          h.quantile(0.999)};
+}
+
+}  // namespace
+
+void prefill(adapters::IDictionary& dict, const WorkloadConfig& config) {
+  const auto target = static_cast<std::uint64_t>(config.key_range / 2);
+  std::uint64_t initial_size;
+  {
+    // size() may itself need a read-side critical section (Bonsai).
+    const auto scope = dict.enter_thread();
+    initial_size = dict.size();
+  }
+  std::atomic<std::uint64_t> inserted{initial_size};
+  const int workers = config.threads > 0 ? config.threads : 1;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&dict, &inserted, &config, target, t] {
+      const auto scope = dict.enter_thread();
+      util::Xoshiro256 rng(config.seed * 0x9E3779B97F4A7C15ull + 77771 * t);
+      while (inserted.load(std::memory_order_relaxed) < target) {
+        const auto key =
+            static_cast<std::int64_t>(rng.bounded(config.key_range));
+        if (dict.insert(key, key)) {
+          inserted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+RunResult run_workload(adapters::IDictionary& dict,
+                       const WorkloadConfig& config) {
+  if (config.prefill) prefill(dict, config);
+
+  const std::uint64_t grace_before = dict.grace_periods();
+  const int n = config.threads > 0 ? config.threads : 1;
+  std::vector<ThreadCounters> counters(n);
+  sync::SpinBarrier barrier(static_cast<std::uint32_t>(n) + 1);
+  std::atomic<bool> stop{false};
+
+  // Operation mix as integer thresholds out of 2^20 (cheap to test).
+  constexpr std::uint64_t kMixDenominator = 1 << 20;
+  const auto contains_cut = static_cast<std::uint64_t>(
+      config.contains_fraction * static_cast<double>(kMixDenominator));
+  const auto insert_cut =
+      contains_cut + (kMixDenominator - contains_cut) / 2;
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      util::pin_to_cpu(static_cast<unsigned>(t),
+                       static_cast<unsigned>(n));  // no-op when oversubscribed
+      // The thread scope must end *before* the exit barrier: with a QSBR
+      // domain, a worker parked at the barrier while still registered and
+      // online would stall the grace period of a worker that is finishing
+      // its last update (synchronize_rcu waits for every online thread to
+      // checkpoint or go offline — the QSBR contract).
+      std::unique_ptr<adapters::ThreadScope> scope = dict.enter_thread();
+      util::Xoshiro256 rng(config.seed + 0x1234567ull * (t + 1));
+      util::ZipfGenerator zipf(static_cast<std::uint64_t>(config.key_range),
+                               config.zipf_theta);
+      ThreadCounters& c = counters[t];
+      // Per the paper's single-writer experiment: thread 0 updates
+      // (50% insert / 50% delete), everyone else only reads.
+      const bool update_thread = !config.single_writer || t == 0;
+      const std::uint64_t my_contains_cut =
+          config.single_writer ? (update_thread ? 0 : kMixDenominator)
+                               : contains_cut;
+      const std::uint64_t my_insert_cut =
+          config.single_writer
+              ? (update_thread ? kMixDenominator / 2 : kMixDenominator)
+              : insert_cut;
+
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Check the stop flag every iteration but batch a few operations
+        // per flag read to keep loop overhead negligible.
+        for (int batch = 0; batch < 32; ++batch) {
+          const auto key = static_cast<std::int64_t>(
+              config.zipf_theta > 0.0
+                  ? zipf(rng)
+                  : rng.bounded(static_cast<std::uint64_t>(config.key_range)));
+          const std::uint64_t dice = rng.bounded(kMixDenominator);
+          const auto started =
+              config.measure_latency ? util::Clock::now() : util::Clock::time_point{};
+          if (dice < my_contains_cut) {
+            ++c.contains_ops;
+            dict.contains(key);
+            if (config.measure_latency) {
+              c.read_latency.add(static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      util::Clock::now() - started)
+                      .count()));
+            }
+          } else {
+            if (dice < my_insert_cut) {
+              ++c.insert_ops;
+              c.insert_hits += dict.insert(key, key) ? 1 : 0;
+            } else {
+              ++c.erase_ops;
+              c.erase_hits += dict.erase(key) ? 1 : 0;
+            }
+            if (config.measure_latency) {
+              c.update_latency.add(static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      util::Clock::now() - started)
+                      .count()));
+            }
+          }
+        }
+      }
+      scope.reset();  // offline before parking (see comment above)
+      barrier.arrive_and_wait();
+    });
+  }
+
+  barrier.arrive_and_wait();  // release the workers together
+  util::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::duration<double>(config.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  barrier.arrive_and_wait();  // workers quiesce
+  const double elapsed = watch.elapsed_seconds();
+  for (auto& th : threads) th.join();
+
+  RunResult r;
+  r.seconds = elapsed;
+  for (const ThreadCounters& c : counters) {
+    r.contains_ops += c.contains_ops;
+    r.insert_ops += c.insert_ops;
+    r.erase_ops += c.erase_ops;
+    r.insert_hits += c.insert_hits;
+    r.erase_hits += c.erase_hits;
+  }
+  r.total_ops = r.contains_ops + r.insert_ops + r.erase_ops;
+  if (config.measure_latency) {
+    util::LogHistogram reads, updates;
+    for (const ThreadCounters& c : counters) {
+      reads.merge(c.read_latency);
+      updates.merge(c.update_latency);
+    }
+    r.read_latency = quantiles(reads);
+    r.update_latency = quantiles(updates);
+  }
+  r.throughput = elapsed > 0.0 ? static_cast<double>(r.total_ops) / elapsed
+                               : 0.0;
+  r.grace_periods = dict.grace_periods() - grace_before;
+  {
+    const auto scope = dict.enter_thread();
+    r.final_size = dict.size();
+  }
+  return r;
+}
+
+util::Summary run_repeated(const std::string& dictionary_name,
+                           const WorkloadConfig& config, int repeats) {
+  std::vector<double> throughputs;
+  throughputs.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    auto dict = adapters::make_dictionary(dictionary_name);
+    WorkloadConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(i) * 1315423911ull;
+    throughputs.push_back(run_workload(*dict, c).throughput);
+  }
+  return util::summarize(std::move(throughputs));
+}
+
+}  // namespace citrus::workload

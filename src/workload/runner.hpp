@@ -1,0 +1,28 @@
+// Timed throughput runs over a type-erased dictionary.
+#pragma once
+
+#include <vector>
+
+#include "adapters/idictionary.hpp"
+#include "util/stats.hpp"
+#include "workload/config.hpp"
+
+namespace citrus::workload {
+
+// Pre-fills `dict` with key_range/2 distinct uniformly random keys (the
+// paper's setup) using `threads` parallel inserters. Idempotent with
+// respect to the final size. Caller does not need a ThreadScope.
+void prefill(adapters::IDictionary& dict, const WorkloadConfig& config);
+
+// One timed run: spawns config.threads workers, each continuously applying
+// the operation mix to uniformly random keys until the clock expires.
+// prefill() is performed first when config.prefill is set.
+RunResult run_workload(adapters::IDictionary& dict,
+                       const WorkloadConfig& config);
+
+// `repeats` independent runs on *fresh* dictionary instances; returns a
+// throughput summary (the paper reports the arithmetic mean of five runs).
+util::Summary run_repeated(const std::string& dictionary_name,
+                           const WorkloadConfig& config, int repeats);
+
+}  // namespace citrus::workload

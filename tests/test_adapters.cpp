@@ -1,0 +1,82 @@
+// Type-erased adapters and the algorithm registry used by the figure
+// benches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "adapters/idictionary.hpp"
+
+namespace {
+
+using citrus::adapters::make_dictionary;
+using citrus::adapters::registered_dictionaries;
+
+TEST(Registry, ContainsAllPaperAlgorithms) {
+  const auto names = registered_dictionaries();
+  for (const char* expected :
+       {"citrus", "citrus-std-rcu", "citrus-epoch", "citrus-reclaim",
+        "citrus-mutex", "rbtree", "bonsai", "avl", "lockfree", "skiplist", "rcu-hash"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing " << expected;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_dictionary("no-such-tree"), std::invalid_argument);
+}
+
+TEST(Registry, EveryFactoryRoundTrips) {
+  for (const auto& name : registered_dictionaries()) {
+    auto dict = make_dictionary(name);
+    ASSERT_NE(dict, nullptr) << name;
+    EXPECT_EQ(dict->name(), name);
+    const auto scope = dict->enter_thread();
+    EXPECT_TRUE(dict->insert(1, 10)) << name;
+    EXPECT_FALSE(dict->insert(1, 20)) << name;
+    EXPECT_TRUE(dict->contains(1)) << name;
+    EXPECT_EQ(dict->find(1), 10) << name;
+    EXPECT_EQ(dict->size(), 1u) << name;
+    EXPECT_TRUE(dict->erase(1)) << name;
+    EXPECT_FALSE(dict->contains(1)) << name;
+    std::string err;
+    EXPECT_TRUE(dict->check_structure(&err)) << name << ": " << err;
+  }
+}
+
+TEST(Registry, GracePeriodCountersWiredThrough) {
+  auto dict = make_dictionary("citrus");
+  const auto scope = dict->enter_thread();
+  // Two-child delete drives synchronize_rcu.
+  for (std::int64_t k : {50, 30, 70, 60, 80}) dict->insert(k, k);
+  const auto before = dict->grace_periods();
+  EXPECT_TRUE(dict->erase(50));
+  EXPECT_GT(dict->grace_periods(), before);
+}
+
+TEST(Registry, AdaptersSurviveMultiThreadedUse) {
+  for (const auto& name : registered_dictionaries()) {
+    auto dict = make_dictionary(name);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&dict, t] {
+        const auto scope = dict->enter_thread();
+        for (int i = 0; i < 3000; ++i) {
+          const std::int64_t k = (t * 31 + i * 7) % 128;
+          if (i % 3 == 0) {
+            dict->insert(k, k);
+          } else if (i % 3 == 1) {
+            dict->erase(k);
+          } else {
+            dict->contains(k);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    std::string err;
+    EXPECT_TRUE(dict->check_structure(&err)) << name << ": " << err;
+  }
+}
+
+}  // namespace

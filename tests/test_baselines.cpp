@@ -1,0 +1,278 @@
+// Structure-specific behaviour of the comparator implementations, beyond
+// the shared typed suite: red-black invariants, Bonsai snapshots and
+// balance, skiplist level structure, the lock-free tree's edge marks, and
+// the AVL tree's routing nodes / relaxed balance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/avl_bronson.hpp"
+#include "baselines/bonsai.hpp"
+#include "baselines/lazy_skiplist.hpp"
+#include "baselines/lockfree_bst.hpp"
+#include "baselines/rcu_rbtree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+
+TEST(RbTree, StaysBalancedUnderAdversarialOrder) {
+  // Ascending inserts then ascending deletes: the classic rotation
+  // torture. check_structure verifies black-height equality throughout.
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::baselines::RcuRedBlackTree<long, long> t(domain);
+  for (long k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(t.insert(k, k));
+    if (k % 128 == 0) {
+      std::string err;
+      ASSERT_TRUE(t.check_structure(&err)) << "insert " << k << ": " << err;
+    }
+  }
+  for (long k = 0; k < 2000; k += 2) {
+    ASSERT_TRUE(t.erase(k));
+    if (k % 256 == 0) {
+      std::string err;
+      ASSERT_TRUE(t.check_structure(&err)) << "erase " << k << ": " << err;
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+  EXPECT_EQ(t.size(), 1000u);
+}
+
+TEST(RbTree, TwoChildDeletePaysGracePeriod) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::baselines::RcuRedBlackTree<long, long> t(domain);
+  for (long k : {50, 30, 70, 60, 80}) t.insert(k, k);
+  const auto before = domain.synchronize_calls();
+  EXPECT_TRUE(t.erase(50));  // two children -> successor copy + sync
+  EXPECT_GT(domain.synchronize_calls(), before);
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(RbTree, ReadersDuringWriterBurst) {
+  CounterFlagRcu domain;
+  citrus::baselines::RcuRedBlackTree<long, long> t(domain);
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k = 0; k < 512; ++k) t.insert(k, k);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(r + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = static_cast<long>(rng.bounded(512));
+        const auto v = t.find(k);
+        if (v.has_value() && *v != k) bad.store(true);
+      }
+    });
+  }
+  {
+    CounterFlagRcu::Registration reg(domain);
+    citrus::util::Xoshiro256 rng(99);
+    for (int i = 0; i < 4000; ++i) {
+      const long k = static_cast<long>(rng.bounded(512));
+      t.erase(k);
+      t.insert(k, k);
+    }
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(Bonsai, SnapshotIsSortedAndConsistent) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::baselines::BonsaiTree<long, long> t(domain);
+  for (long k = 0; k < 100; ++k) t.insert(k, k * 3);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 100u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].first, static_cast<long>(i));
+    EXPECT_EQ(snap[i].second, static_cast<long>(i) * 3);
+  }
+}
+
+TEST(Bonsai, SnapshotUnderConcurrentUpdatesIsAtomic) {
+  // Each update inserts (k, stamp) and (k+1, stamp) with the same stamp
+  // under one... two separate updates are not atomic, so instead verify a
+  // weaker but still discriminating property: a snapshot is sorted and
+  // duplicate-free — the torn-iteration anomaly of Figure 1 produces
+  // out-of-order or repeated keys with in-place trees.
+  CounterFlagRcu domain;
+  citrus::baselines::BonsaiTree<long, long> t(domain);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int u = 0; u < 2; ++u) {
+    threads.emplace_back([&, u] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(u);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = static_cast<long>(rng.bounded(300));
+        if (rng.bounded(2) == 0) {
+          t.insert(k, k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (int i = 0; i < 300; ++i) {
+      const auto snap = t.snapshot();
+      ASSERT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+      ASSERT_TRUE(std::adjacent_find(snap.begin(), snap.end()) == snap.end());
+    }
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(Bonsai, StaysWeightBalanced) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::baselines::BonsaiTree<long, long> t(domain);
+  for (long k = 0; k < 4000; ++k) {
+    ASSERT_TRUE(t.insert(k, k));  // ascending: worst case for balance
+  }
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+  for (long k = 0; k < 4000; k += 3) ASSERT_TRUE(t.erase(k));
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(Skiplist, StructureAfterChurn) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::baselines::LazySkiplist<long, long> t(domain);
+  citrus::util::Xoshiro256 rng(8);
+  std::set<long> oracle;
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.bounded(400));
+    if (rng.bounded(2) == 0) {
+      ASSERT_EQ(t.insert(k, k), oracle.insert(k).second);
+    } else {
+      ASSERT_EQ(t.erase(k), oracle.erase(k) > 0);
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+  EXPECT_EQ(t.size(), oracle.size());
+}
+
+TEST(LockFree, HelpsStalledDeletes) {
+  // Hammering a tiny range with updates exercises the helping paths
+  // (injection vs cleanup races) constantly; semantics stay exact per
+  // stripe and the final structure carries no leftover flags/tags.
+  CounterFlagRcu domain;
+  citrus::baselines::LockFreeBst<long, long> t(domain);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(i);
+      for (int j = 0; j < 20000; ++j) {
+        const long k = static_cast<long>(rng.bounded(16));  // extreme contention
+        if (rng.bounded(2) == 0) {
+          t.insert(k, k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(Avl, RoutingNodesAppearOnTwoChildDelete) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::baselines::BronsonAvlTree<long, long> t(domain);
+  for (long k : {50, 30, 70, 20, 40, 60, 80}) t.insert(k, k);
+  EXPECT_TRUE(t.erase(50));  // two children: becomes a routing node
+  EXPECT_FALSE(t.contains(50));
+  EXPECT_EQ(t.size(), 6u);
+  // Reviving the routing node must work as a plain insert.
+  EXPECT_TRUE(t.insert(50, 555));
+  EXPECT_EQ(t.find(50), 555);
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(Avl, BalanceStaysNearAvlUnderChurn) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::baselines::BronsonAvlTree<long, long> t(domain);
+  for (long k = 0; k < 4096; ++k) ASSERT_TRUE(t.insert(k, k));
+  // Relaxed balance: not strictly AVL, but ascending inserts with inline
+  // repair must stay within a small constant of it.
+  EXPECT_LE(t.max_imbalance(), 3);
+  citrus::util::Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.bounded(4096));
+    if (rng.bounded(2) == 0) {
+      t.erase(k);
+    } else {
+      t.insert(k, k);
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+  EXPECT_LE(t.max_imbalance(), 6);  // routing nodes may defer some repairs
+}
+
+TEST(Avl, WaitsOutShrinkingNodes) {
+  // Readers racing with continuous rotations (ascending insert storm) must
+  // neither miss keys nor crash.
+  CounterFlagRcu domain;
+  citrus::baselines::BronsonAvlTree<long, long> t(domain);
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k = 0; k < 1024; k += 2) t.insert(k, k);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> missed{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Even keys are permanent; a miss is a real violation.
+        const long k = 2 * static_cast<long>(rng.bounded(512));
+        if (!t.contains(k)) missed.store(true);
+      }
+    });
+  }
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k = 1; k < 1024; k += 2) t.insert(k, k);  // rotation storm
+    for (long k = 1; k < 1024; k += 2) t.erase(k);
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(missed.load());
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// assign / insert_or_assign: atomic value replacement by node-copy
+// publication (extension over the paper; see the method comment in
+// citrus_tree.hpp for why no grace period is required).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::core::CitrusTree;
+using citrus::rcu::CounterFlagRcu;
+
+class CitrusAssign : public ::testing::Test {
+ protected:
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg{domain};
+  CitrusTree<long, long> tree{domain};
+};
+
+TEST_F(CitrusAssign, AssignReplacesValue) {
+  tree.insert(5, 50);
+  EXPECT_TRUE(tree.assign(5, 55));
+  EXPECT_EQ(tree.find(5), 55);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+TEST_F(CitrusAssign, AssignAbsentKeyFails) {
+  EXPECT_FALSE(tree.assign(5, 55));
+  tree.insert(5, 50);
+  tree.erase(5);
+  EXPECT_FALSE(tree.assign(5, 55));
+}
+
+TEST_F(CitrusAssign, AssignNeedsNoGracePeriod) {
+  tree.insert(5, 50);
+  const auto before = domain.synchronize_calls();
+  EXPECT_TRUE(tree.assign(5, 51));
+  EXPECT_EQ(domain.synchronize_calls(), before);
+}
+
+TEST_F(CitrusAssign, AssignInteriorNodeKeepsSubtrees) {
+  for (long k : {50, 30, 70, 20, 40, 60, 80}) tree.insert(k, k);
+  EXPECT_TRUE(tree.assign(50, 5000));  // interior, two children
+  EXPECT_EQ(tree.find(50), 5000);
+  for (long k : {20, 30, 40, 60, 70, 80}) EXPECT_TRUE(tree.contains(k));
+  EXPECT_EQ(tree.size(), 7u);
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST_F(CitrusAssign, InsertOrAssignComposite) {
+  EXPECT_TRUE(tree.insert_or_assign(7, 70));   // inserted
+  EXPECT_FALSE(tree.insert_or_assign(7, 71));  // assigned
+  EXPECT_EQ(tree.find(7), 71);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(CitrusAssign, SequentialOracle) {
+  citrus::util::Xoshiro256 rng(99);
+  std::map<long, long> oracle;
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.bounded(150));
+    const long v = static_cast<long>(rng());
+    switch (rng.bounded(4)) {
+      case 0:
+        ASSERT_EQ(tree.insert(k, v), oracle.emplace(k, v).second);
+        break;
+      case 1:
+        ASSERT_EQ(tree.erase(k), oracle.erase(k) > 0);
+        break;
+      case 2: {
+        const bool present = oracle.count(k) > 0;
+        ASSERT_EQ(tree.assign(k, v), present);
+        if (present) oracle[k] = v;
+        break;
+      }
+      default: {
+        const auto got = tree.find(k);
+        const auto it = oracle.find(k);
+        ASSERT_EQ(got.has_value(), it != oracle.end());
+        if (got.has_value()) ASSERT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+TEST(CitrusAssignConcurrent, ReadersSeeWholeValues) {
+  // Writers continuously assign (k, stamp*k) with varying stamps; readers
+  // must only ever observe values that are a multiple of their key (no
+  // torn or stale-mixed values across the node copies).
+  CounterFlagRcu domain;
+  CitrusTree<long, long> tree(domain);
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k = 1; k <= 64; ++k) tree.insert(k, k);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = 1 + static_cast<long>(rng.bounded(64));
+        tree.assign(k, k * static_cast<long>(1 + rng.bounded(1000)));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    CounterFlagRcu::Registration reg(domain);
+    citrus::util::Xoshiro256 rng(77);
+    for (int i = 0; i < 60000; ++i) {
+      const long k = 1 + static_cast<long>(rng.bounded(64));
+      const auto v = tree.find(k);
+      if (!v.has_value() || *v % k != 0) bad.store(true);
+    }
+    stop.store(true);
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+  EXPECT_TRUE(tree.check_structure().ok);
+  EXPECT_EQ(tree.size(), 64u);
+}
+
+TEST(CitrusAssignConcurrent, AssignVsEraseRace) {
+  // assign and erase fight over the same keys; final state must be exact
+  // per-thread-stripe bookkeeping like everywhere else.
+  CounterFlagRcu domain;
+  CitrusTree<long, long> tree(domain);
+  constexpr int kThreads = 4;
+  std::vector<std::map<long, long>> owned(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(t + 21);
+      auto& mine = owned[t];
+      for (int i = 0; i < 10000; ++i) {
+        const long k = t * 100 + static_cast<long>(rng.bounded(100));
+        const long v = static_cast<long>(rng());
+        switch (rng.bounded(3)) {
+          case 0:
+            ASSERT_EQ(tree.insert(k, v), mine.emplace(k, v).second);
+            break;
+          case 1:
+            ASSERT_EQ(tree.erase(k), mine.erase(k) > 0);
+            break;
+          default: {
+            const bool present = mine.count(k) > 0;
+            ASSERT_EQ(tree.assign(k, v), present);
+            if (present) mine[k] = v;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  CounterFlagRcu::Registration reg(domain);
+  std::size_t expected = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected += owned[t].size();
+    for (const auto& [k, v] : owned[t]) {
+      ASSERT_EQ(tree.find(k), v) << "key " << k;
+    }
+  }
+  EXPECT_EQ(tree.size(), expected);
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+}  // namespace

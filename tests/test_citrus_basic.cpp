@@ -1,0 +1,221 @@
+// Single-threaded semantics of the Citrus tree: the dictionary contract,
+// the delete cases of Figure 3 (leaf / one child / two children / successor
+// is the right child), tag behaviour, generic key types, structure audits.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::core::CitrusTree;
+using citrus::rcu::CounterFlagRcu;
+
+class CitrusBasic : public ::testing::Test {
+ protected:
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg{domain};
+  CitrusTree<long, long> tree{domain};
+
+  void expect_ok() {
+    const auto rep = tree.check_structure();
+    EXPECT_TRUE(rep.ok) << rep.error;
+  }
+};
+
+TEST_F(CitrusBasic, EmptyTree) {
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.contains(1));
+  EXPECT_FALSE(tree.erase(1));
+  EXPECT_EQ(tree.find(1), std::nullopt);
+  expect_ok();
+}
+
+TEST_F(CitrusBasic, InsertFindErase) {
+  EXPECT_TRUE(tree.insert(10, 100));
+  EXPECT_FALSE(tree.insert(10, 999));  // duplicate insert fails...
+  EXPECT_EQ(tree.find(10), 100);       // ...and does not clobber the value
+  EXPECT_TRUE(tree.contains(10));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.erase(10));
+  EXPECT_FALSE(tree.erase(10));
+  EXPECT_FALSE(tree.contains(10));
+  EXPECT_TRUE(tree.empty());
+  expect_ok();
+}
+
+TEST_F(CitrusBasic, DeleteLeaf) {
+  for (long k : {50, 30, 70}) tree.insert(k, k);
+  EXPECT_TRUE(tree.erase(30));  // leaf
+  EXPECT_FALSE(tree.contains(30));
+  EXPECT_TRUE(tree.contains(50));
+  EXPECT_TRUE(tree.contains(70));
+  expect_ok();
+}
+
+TEST_F(CitrusBasic, DeleteNodeWithOneChild) {
+  // 50 -> 30 -> 20 : 30 has a single (left) child. Figure 3 (a)-(b).
+  for (long k : {50, 30, 20}) tree.insert(k, k);
+  EXPECT_TRUE(tree.erase(30));
+  EXPECT_TRUE(tree.contains(20));
+  EXPECT_TRUE(tree.contains(50));
+  EXPECT_EQ(tree.size(), 2u);
+  expect_ok();
+}
+
+TEST_F(CitrusBasic, DeleteNodeWithTwoChildren) {
+  // Figure 3 (c)-(e): the victim is replaced by a copy of its successor
+  // and a grace period is paid before the original successor goes.
+  for (long k : {50, 30, 70, 60, 80, 65}) tree.insert(k, k);
+  const auto grace_before = domain.synchronize_calls();
+  EXPECT_TRUE(tree.erase(50));  // successor is 60 (deep: 70 -> 60)
+  EXPECT_GT(domain.synchronize_calls(), grace_before);
+  EXPECT_FALSE(tree.contains(50));
+  for (long k : {30, 60, 65, 70, 80}) EXPECT_TRUE(tree.contains(k));
+  EXPECT_EQ(tree.size(), 5u);
+  expect_ok();
+  EXPECT_GE(tree.stats().two_child_erases, 1u);
+}
+
+TEST_F(CitrusBasic, DeleteWhereSuccessorIsRightChild) {
+  // The paper's Line 76 case: succ == curr's right child.
+  for (long k : {50, 30, 70, 80}) tree.insert(k, k);
+  EXPECT_TRUE(tree.erase(50));  // successor 70 is 50's right child
+  for (long k : {30, 70, 80}) EXPECT_TRUE(tree.contains(k));
+  EXPECT_EQ(tree.size(), 3u);
+  expect_ok();
+}
+
+TEST_F(CitrusBasic, DeleteRootRepeatedly) {
+  for (long k = 0; k < 64; ++k) tree.insert((k * 37) % 64, k);
+  for (int i = 0; i < 64; ++i) {
+    const auto keys = tree.keys_quiescent();
+    ASSERT_FALSE(keys.empty());
+    EXPECT_TRUE(tree.erase(keys[keys.size() / 2]));
+    expect_ok();
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST_F(CitrusBasic, ValuesSurviveSuccessorCopy) {
+  // The successor's value must ride along with the copied node.
+  for (long k : {50, 30, 70, 60}) tree.insert(k, k * 1000);
+  EXPECT_TRUE(tree.erase(50));
+  EXPECT_EQ(tree.find(60), 60000);
+  EXPECT_EQ(tree.find(70), 70000);
+}
+
+TEST_F(CitrusBasic, InOrderTraversalSorted) {
+  citrus::util::Xoshiro256 rng(17);
+  std::set<long> oracle;
+  for (int i = 0; i < 500; ++i) {
+    const long k = static_cast<long>(rng.bounded(10000));
+    tree.insert(k, k);
+    oracle.insert(k);
+  }
+  const auto keys = tree.keys_quiescent();
+  EXPECT_EQ(keys.size(), oracle.size());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+}
+
+TEST_F(CitrusBasic, RandomOpsAgainstOracle) {
+  citrus::util::Xoshiro256 rng(4242);
+  std::set<long> oracle;
+  for (int i = 0; i < 30000; ++i) {
+    const long k = static_cast<long>(rng.bounded(200));
+    switch (rng.bounded(3)) {
+      case 0:
+        EXPECT_EQ(tree.insert(k, k), oracle.insert(k).second) << "key " << k;
+        break;
+      case 1:
+        EXPECT_EQ(tree.erase(k), oracle.erase(k) > 0) << "key " << k;
+        break;
+      default:
+        EXPECT_EQ(tree.contains(k), oracle.count(k) > 0) << "key " << k;
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  expect_ok();
+}
+
+TEST_F(CitrusBasic, ExtremeKeysAreOrdinary) {
+  // No reserved key values: the numeric extremes are usable (the paper's
+  // -1/infinity dummies are node kinds here, not stolen key values).
+  EXPECT_TRUE(tree.insert(std::numeric_limits<long>::min(), 1));
+  EXPECT_TRUE(tree.insert(std::numeric_limits<long>::max(), 2));
+  EXPECT_TRUE(tree.insert(-1, 3));
+  EXPECT_TRUE(tree.contains(std::numeric_limits<long>::min()));
+  EXPECT_TRUE(tree.contains(std::numeric_limits<long>::max()));
+  EXPECT_TRUE(tree.erase(std::numeric_limits<long>::max()));
+  expect_ok();
+}
+
+TEST_F(CitrusBasic, AscendingAndDescendingChains) {
+  // Degenerate shapes (the tree is unbalanced by design).
+  for (long k = 0; k < 300; ++k) ASSERT_TRUE(tree.insert(k, k));
+  expect_ok();
+  EXPECT_EQ(tree.check_structure().height, 301u);  // path + sentinel edge
+  for (long k = 0; k < 300; ++k) ASSERT_TRUE(tree.erase(k));
+  EXPECT_TRUE(tree.empty());
+  for (long k = 300; k > 0; --k) ASSERT_TRUE(tree.insert(k, k));
+  expect_ok();
+  for (long k = 300; k > 0; --k) ASSERT_TRUE(tree.erase(k));
+  expect_ok();
+}
+
+TEST(CitrusGenericKeys, StringKeys) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  CitrusTree<std::string, std::string> tree(domain);
+  EXPECT_TRUE(tree.insert("banana", "yellow"));
+  EXPECT_TRUE(tree.insert("apple", "red"));
+  EXPECT_TRUE(tree.insert("cherry", "dark"));
+  EXPECT_FALSE(tree.insert("apple", "green"));
+  EXPECT_EQ(tree.find("apple"), "red");
+  EXPECT_TRUE(tree.erase("banana"));
+  EXPECT_FALSE(tree.contains("banana"));
+  const auto keys = tree.keys_quiescent();
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "cherry"}));
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+TEST(CitrusGenericKeys, PairKeysOnlyNeedLess) {
+  using K = std::pair<int, int>;  // operator< via std::pair
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  CitrusTree<K, int> tree(domain);
+  EXPECT_TRUE(tree.insert({1, 2}, 12));
+  EXPECT_TRUE(tree.insert({1, 1}, 11));
+  EXPECT_TRUE(tree.insert({0, 9}, 9));
+  EXPECT_EQ(tree.find({1, 2}), 12);
+  EXPECT_TRUE(tree.erase({1, 1}));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST_F(CitrusBasic, StatsAccumulate) {
+  for (long k : {50, 30, 70, 60, 40}) tree.insert(k, k);
+  tree.erase(50);
+  tree.erase(30);
+  const auto stats = tree.stats();
+  EXPECT_GE(stats.two_child_erases, 1u);
+  // Sequentially there is no contention, so no retries.
+  EXPECT_EQ(stats.insert_retries, 0u);
+  EXPECT_EQ(stats.erase_retries, 0u);
+}
+
+TEST_F(CitrusBasic, GracePeriodOnlyForTwoChildDeletes) {
+  tree.insert(10, 10);
+  tree.insert(5, 5);
+  const auto before = domain.synchronize_calls();
+  EXPECT_TRUE(tree.erase(5));  // leaf: no synchronize_rcu on this path
+  EXPECT_EQ(domain.synchronize_calls(), before);
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// Concurrent behaviour of the Citrus tree: invariant preservation under
+// contention, per-thread key ownership (exact-state verification), all
+// three RCU domains, update-heavy two-child-delete pressure, and the
+// wait-free-read property (readers keep completing while updaters hold
+// locks across grace periods).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/epoch_rcu.hpp"
+#include "rcu/global_lock_rcu.hpp"
+#include "rcu/qsbr_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::core::CitrusTree;
+
+template <typename Rcu>
+class CitrusConcurrent : public ::testing::Test {};
+
+using Domains =
+    ::testing::Types<citrus::rcu::CounterFlagRcu, citrus::rcu::GlobalLockRcu,
+                     citrus::rcu::EpochRcu, citrus::rcu::QsbrRcu>;
+TYPED_TEST_SUITE(CitrusConcurrent, Domains);
+
+TYPED_TEST(CitrusConcurrent, MixedStressKeepsStructure) {
+  TypeParam domain;
+  CitrusTree<long, long, TypeParam> tree(domain);
+  constexpr int kThreads = 6;
+  constexpr int kOps = 15000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      typename TypeParam::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(t + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const long k = static_cast<long>(rng.bounded(512));
+        switch (rng.bounded(100)) {
+          case 0 ... 49:
+            tree.contains(k);
+            break;
+          case 50 ... 74:
+            tree.insert(k, k);
+            break;
+          default:
+            tree.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TYPED_TEST(CitrusConcurrent, DisjointKeyOwnershipIsExact) {
+  // Each thread owns a key stripe nobody else touches; its local
+  // bookkeeping must match the final tree exactly. Catches lost updates
+  // and phantom keys that a pure invariant check can miss.
+  TypeParam domain;
+  CitrusTree<long, long, TypeParam> tree(domain);
+  constexpr int kThreads = 5;
+  constexpr long kStripe = 1000;
+  std::vector<std::set<long>> owned(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      typename TypeParam::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(100 + t);
+      auto& mine = owned[t];
+      for (int i = 0; i < 20000; ++i) {
+        const long k = t * kStripe + static_cast<long>(rng.bounded(kStripe));
+        if (rng.bounded(2) == 0) {
+          EXPECT_EQ(tree.insert(k, k), mine.insert(k).second);
+        } else {
+          EXPECT_EQ(tree.erase(k), mine.erase(k) > 0);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::size_t expected = 0;
+  for (const auto& mine : owned) expected += mine.size();
+  EXPECT_EQ(tree.size(), expected);
+  for (int t = 0; t < kThreads; ++t) {
+    citrus::rcu::CounterFlagRcu* unused = nullptr;
+    (void)unused;
+    typename TypeParam::Registration reg(domain);
+    for (long k = t * kStripe; k < (t + 1) * kStripe; ++k) {
+      ASSERT_EQ(tree.contains(k), owned[t].count(k) > 0) << "key " << k;
+    }
+  }
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TYPED_TEST(CitrusConcurrent, UpdateOnlyTwoChildPressure) {
+  // Small key range + no contains: maximizes two-child deletes and
+  // therefore synchronize_rcu traffic and validation retries.
+  TypeParam domain;
+  CitrusTree<long, long, TypeParam> tree(domain);
+  {
+    typename TypeParam::Registration reg(domain);
+    for (long k = 0; k < 64; k += 2) tree.insert(k, k);
+  }
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      typename TypeParam::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(7 * t + 3);
+      for (int i = 0; i < 10000; ++i) {
+        const long k = static_cast<long>(rng.bounded(64));
+        if (rng.bounded(2) == 0) {
+          tree.insert(k, k);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(domain.synchronize_calls(), 0u);
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TYPED_TEST(CitrusConcurrent, ReadersProgressDuringGracePeriods) {
+  // Wait-freedom of contains, observable form: readers complete a healthy
+  // number of operations while updaters continuously hold node locks
+  // across synchronize_rcu in two-child deletes.
+  TypeParam domain;
+  CitrusTree<long, long, TypeParam> tree(domain);
+  {
+    typename TypeParam::Registration reg(domain);
+    for (long k = 0; k < 128; ++k) tree.insert(k, k);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread reader([&] {
+    typename TypeParam::Registration reg(domain);
+    citrus::util::Xoshiro256 rng(1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      tree.contains(static_cast<long>(rng.bounded(128)));
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread updater([&] {
+    typename TypeParam::Registration reg(domain);
+    citrus::util::Xoshiro256 rng(2);
+    for (int i = 0; i < 3000; ++i) {
+      const long k = static_cast<long>(rng.bounded(128));
+      tree.erase(k);
+      tree.insert(k, k);
+    }
+    stop.store(true);
+  });
+  reader.join();
+  updater.join();
+  EXPECT_GT(reads.load(), 1000u);
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(CitrusConcurrentMisc, FindReturnsConsistentValues) {
+  // Values are immutable per key-instance; a reader must never see a
+  // value that does not match the key's stamp, even across successor
+  // copies.
+  citrus::rcu::CounterFlagRcu domain;
+  CitrusTree<long, long> tree(domain);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      citrus::rcu::CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(t + 5);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = static_cast<long>(rng.bounded(100));
+        tree.insert(k, k * 7);
+        tree.erase(static_cast<long>(rng.bounded(100)));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    citrus::rcu::CounterFlagRcu::Registration reg(domain);
+    citrus::util::Xoshiro256 rng(77);
+    for (int i = 0; i < 60000; ++i) {
+      const long k = static_cast<long>(rng.bounded(100));
+      const auto v = tree.find(k);
+      if (v.has_value() && *v != k * 7) bad.store(true);
+    }
+    stop.store(true);
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(CitrusConcurrentMisc, SharedDomainAcrossTrees) {
+  // One RCU domain serving several structures, kernel-style.
+  citrus::rcu::CounterFlagRcu domain;
+  CitrusTree<long, long> a(domain);
+  CitrusTree<long, long> b(domain);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      citrus::rcu::CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(t);
+      for (int i = 0; i < 8000; ++i) {
+        const long k = static_cast<long>(rng.bounded(128));
+        auto& tree = rng.bounded(2) == 0 ? a : b;
+        switch (rng.bounded(3)) {
+          case 0:
+            tree.insert(k, k);
+            break;
+          case 1:
+            tree.erase(k);
+            break;
+          default:
+            tree.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(a.check_structure().ok);
+  EXPECT_TRUE(b.check_structure().ok);
+}
+
+}  // namespace

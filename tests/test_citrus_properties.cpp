@@ -1,0 +1,152 @@
+// Property-style parameterized sweeps over the Citrus tree: for a grid of
+// (threads, key range, operation mix), run a randomized workload and check
+// the properties that must hold at quiescence regardless of schedule:
+//   * the structural audit passes (WBST order, no marked reachable node,
+//     single parent, size consistency),
+//   * the quiescent key sequence is strictly sorted (no duplicates survive
+//     a two-child delete's transient copy),
+//   * point queries agree with the quiescent key set,
+//   * with reclamation on, the pool's live-node count stays near the tree
+//     size (no unbounded growth).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using citrus::core::CitrusTree;
+using citrus::core::DefaultTraits;
+using citrus::rcu::CounterFlagRcu;
+
+struct SweepParam {
+  int threads;
+  long key_range;
+  int contains_percent;  // remainder split between insert/erase
+  int ops_per_thread;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "t" + std::to_string(info.param.threads) + "_r" +
+         std::to_string(info.param.key_range) + "_c" +
+         std::to_string(info.param.contains_percent);
+}
+
+class CitrusSweep : public ::testing::TestWithParam<SweepParam> {};
+
+struct SmallBatchTraits : DefaultTraits {
+  static constexpr std::size_t kRetireBatch = 8;
+};
+
+TEST_P(CitrusSweep, QuiescentPropertiesHold) {
+  const SweepParam p = GetParam();
+  CounterFlagRcu domain;
+  CitrusTree<long, long, CounterFlagRcu, SmallBatchTraits> tree(domain);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < p.threads; ++t) {
+    threads.emplace_back([&, t] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(0xABCDEFull * (t + 1) + p.key_range);
+      for (int i = 0; i < p.ops_per_thread; ++i) {
+        const long k = static_cast<long>(
+            rng.bounded(static_cast<std::uint64_t>(p.key_range)));
+        const auto dice = rng.bounded(100);
+        if (dice < static_cast<std::uint64_t>(p.contains_percent)) {
+          tree.contains(k);
+        } else if (dice % 2 == 0) {
+          tree.insert(k, k * 3);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // (1) structural audit
+  const auto rep = tree.check_structure();
+  ASSERT_TRUE(rep.ok) << rep.error;
+
+  // (2) strictly sorted quiescent key set
+  const auto keys = tree.keys_quiescent();
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  ASSERT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+      << "duplicate key survived to quiescence";
+  ASSERT_EQ(keys.size(), tree.size());
+
+  // (3) point queries agree with the key set (spot-check a stride)
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k = 0; k < p.key_range; k += std::max(1L, p.key_range / 257)) {
+      const bool in_set = std::binary_search(keys.begin(), keys.end(), k);
+      ASSERT_EQ(tree.contains(k), in_set) << "key " << k;
+      const auto v = tree.find(k);
+      ASSERT_EQ(v.has_value(), in_set);
+      if (v.has_value()) ASSERT_EQ(*v, k * 3);
+    }
+  }
+
+  // (4) reclamation keeps pool occupancy near the live tree: live nodes =
+  // size + 2 sentinels + bounded pending retires (16 shards * batch).
+  const auto pending_bound =
+      static_cast<std::int64_t>(16 * SmallBatchTraits::kRetireBatch);
+  EXPECT_LE(tree.pool_live_nodes(),
+            static_cast<std::int64_t>(tree.size()) + 2 + pending_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CitrusSweep,
+    ::testing::Values(
+        // threads, range, contains%, ops/thread
+        SweepParam{1, 64, 0, 20000},     // sequential, update-only, hot
+        SweepParam{2, 32, 0, 15000},     // tiny range: successor storms
+        SweepParam{4, 128, 20, 12000},   // update-heavy
+        SweepParam{4, 1024, 50, 12000},  // the paper's 50% mix
+        SweepParam{8, 256, 50, 8000},    // oversubscribed
+        SweepParam{4, 4096, 90, 12000},  // read-mostly
+        SweepParam{3, 10000, 98, 10000}, // paper's 98% mix, sparse
+        SweepParam{6, 512, 33, 8000}),   // three-way mix
+    param_name);
+
+// Zipf-skewed variant: hot keys concentrate two-child deletes on the same
+// subtree; same quiescent properties must hold.
+TEST(CitrusZipf, SkewedWorkloadKeepsProperties) {
+  CounterFlagRcu domain;
+  CitrusTree<long, long> tree(domain);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(t + 77);
+      citrus::util::ZipfGenerator zipf(2000, 0.9);
+      for (int i = 0; i < 12000; ++i) {
+        const long k = static_cast<long>(zipf(rng));
+        switch (rng.bounded(3)) {
+          case 0:
+            tree.insert(k, k * 3);
+            break;
+          case 1:
+            tree.erase(k);
+            break;
+          default:
+            tree.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto rep = tree.check_structure();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  const auto keys = tree.keys_quiescent();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+}  // namespace

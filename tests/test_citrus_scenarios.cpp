@@ -1,0 +1,266 @@
+// Deterministic replays of the exact concurrency scenarios the paper's
+// correctness argument is built around, using the tree's PausePoint test
+// hooks to freeze an operation at a chosen step:
+//
+//   * Figure 3(c)-(e) / Figure 4: a search overlapping a two-child delete
+//     finds the successor either in its old position (search began before
+//     synchronize_rcu) or in its new copy (search began after) — never in
+//     neither (the false negative Figure 4 illustrates).
+//   * Figure 5: an insert whose parent is deleted between its search and
+//     its lock acquisition must fail validation and restart, not attach
+//     the new key to a removed node.
+//   * The ABA tag: a child slot that goes ⊥ → occupied → ⊥ between an
+//     insert's search and its validation is caught by the tag check.
+//   * Lemma 1's marked-bit discipline: a reader paused on a bypassed node
+//     still reaches everything below it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "sync/barrier.hpp"
+
+namespace {
+
+using citrus::core::CitrusTree;
+using citrus::core::PausePoint;
+using citrus::rcu::CounterFlagRcu;
+
+// Traits whose pause() blocks at an armed point until released. Function
+// pointers are static (traits are types), so each TEST arms its own state
+// and disarms before finishing.
+struct HookTraits : citrus::core::DefaultTraits {
+  static inline std::atomic<int> armed_point{-1};
+  static inline std::atomic<bool> parked{false};
+  static inline std::atomic<bool> release{false};
+  static inline std::atomic<int> hit_count{0};
+
+  static void pause(PausePoint point) {
+    if (static_cast<int>(point) != armed_point.load(std::memory_order_acquire)) {
+      return;
+    }
+    hit_count.fetch_add(1, std::memory_order_acq_rel);
+    armed_point.store(-1, std::memory_order_release);  // one-shot
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    release.store(false, std::memory_order_release);
+    parked.store(false, std::memory_order_release);
+  }
+
+  static void arm(PausePoint point) {
+    parked.store(false);
+    release.store(false);
+    hit_count.store(0);
+    armed_point.store(static_cast<int>(point), std::memory_order_release);
+  }
+  static void wait_parked() {
+    while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  }
+  static void resume() { release.store(true, std::memory_order_release); }
+  static void disarm() { armed_point.store(-1, std::memory_order_release); }
+};
+
+using HookedTree = CitrusTree<long, long, CounterFlagRcu, HookTraits>;
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void TearDown() override { HookTraits::disarm(); }
+  CounterFlagRcu domain;
+  HookedTree tree{domain};
+};
+
+// Figure 3(c)-(e): during the window between publishing the successor's
+// copy and unlinking the original, *both* copies are reachable; a search
+// for the successor's key succeeds throughout, and a pre-existing reader
+// blocks the grace period.
+TEST_F(ScenarioTest, SuccessorVisibleThroughoutTwoChildDelete) {
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k : {50, 30, 70, 60, 80, 65}) tree.insert(k, k);
+  }
+  // Freeze the erase right after the copy is published (pre-grace).
+  HookTraits::arm(PausePoint::kAfterReplacementPublish);
+  std::thread eraser([&] {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.erase(50));  // two children; successor is 60
+  });
+  HookTraits::wait_parked();
+
+  {
+    CounterFlagRcu::Registration reg(domain);
+    // WBST window: the successor's key is found (old node and/or copy);
+    // the deleted key's node is already unlinked.
+    EXPECT_TRUE(tree.contains(60));
+    EXPECT_FALSE(tree.contains(50));
+    // All other keys unperturbed.
+    for (long k : {30, 65, 70, 80}) EXPECT_TRUE(tree.contains(k));
+  }
+  HookTraits::resume();
+  eraser.join();
+  {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.contains(60));  // found at its new position
+    EXPECT_FALSE(tree.contains(50));
+  }
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+// Figure 4's false negative cannot happen: a reader whose section started
+// before the delete reached synchronize_rcu still finds the successor in
+// its *old* position, and the delete cannot pass the grace period while
+// that reader is inside its section.
+TEST_F(ScenarioTest, PreexistingReaderFindsOldSuccessorAndBlocksGrace) {
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k : {50, 30, 70, 60, 80}) tree.insert(k, k);
+  }
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> erase_done{false};
+  std::thread reader([&] {
+    CounterFlagRcu::Registration reg(domain);
+    domain.read_lock();  // outer section: the grace period must wait for us
+    barrier.arrive_and_wait();
+    // Wait until the eraser is (very likely) inside synchronize_rcu.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_FALSE(erase_done.load()) << "grace period ignored our section";
+    // Our pre-existing section still sees the successor somewhere.
+    EXPECT_TRUE(tree.contains(60));
+    domain.read_unlock();
+  });
+  std::thread eraser([&] {
+    CounterFlagRcu::Registration reg(domain);
+    barrier.arrive_and_wait();
+    EXPECT_TRUE(tree.erase(50));  // blocks in synchronize_rcu on the reader
+    erase_done.store(true);
+  });
+  reader.join();
+  eraser.join();
+  EXPECT_TRUE(erase_done.load());
+  CounterFlagRcu::Registration reg(domain);
+  EXPECT_TRUE(tree.contains(60));
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+// Figure 5: the insert's parent is deleted between search and lock. The
+// validation (marked bit) must fail and the insert must restart — ending
+// with the key present and attached to a live node.
+TEST_F(ScenarioTest, InsertRestartsWhenParentRemoved) {
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k : {50, 30, 70}) tree.insert(k, k);
+  }
+  // insert(35) will pick 30 as its parent; freeze it pre-lock.
+  HookTraits::arm(PausePoint::kInsertAfterGet);
+  std::thread inserter([&] {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.insert(35, 35));
+  });
+  HookTraits::wait_parked();
+  {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.erase(30));  // leaf delete: 30 is marked + unlinked
+  }
+  HookTraits::resume();
+  inserter.join();
+
+  CounterFlagRcu::Registration reg(domain);
+  EXPECT_TRUE(tree.contains(35));  // inserted at a *live* location
+  EXPECT_FALSE(tree.contains(30));
+  EXPECT_GE(tree.stats().insert_retries, 1u);
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+// The ABA tag: insert(40) searches and finds slot 30.right == ⊥ with tag t.
+// While it is frozen, 35 is inserted into that slot and then removed (slot
+// back to ⊥, tag t+1). The insert's tag validation must fail and retry.
+TEST_F(ScenarioTest, TagCatchesChildSlotAba) {
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k : {50, 30, 70}) tree.insert(k, k);
+  }
+  HookTraits::arm(PausePoint::kInsertAfterGet);
+  std::thread inserter([&] {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.insert(40, 40));  // parent 30, right slot, tag snapshot
+  });
+  HookTraits::wait_parked();
+  {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.insert(35, 35));  // slot ⊥ -> node
+    EXPECT_TRUE(tree.erase(35));       // slot node -> ⊥, tag++
+  }
+  HookTraits::resume();
+  inserter.join();
+
+  CounterFlagRcu::Registration reg(domain);
+  EXPECT_TRUE(tree.contains(40));
+  EXPECT_FALSE(tree.contains(35));
+  // The tag check forced at least one restart; without tags the insert
+  // would have attached 40 to the stale snapshot without noticing the
+  // intervening insert+delete.
+  EXPECT_GE(tree.stats().insert_retries, 1u);
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+// Erase validation: the victim is removed by a competing delete between
+// search and lock; the frozen erase must observe marked/child mismatch,
+// restart, and return false (key already gone).
+TEST_F(ScenarioTest, EraseLosesRaceGracefully) {
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k : {50, 30, 70}) tree.insert(k, k);
+  }
+  HookTraits::arm(PausePoint::kEraseAfterGet);
+  std::thread eraser([&] {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_FALSE(tree.erase(30));  // the competing delete wins
+  });
+  HookTraits::wait_parked();
+  {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.erase(30));
+  }
+  HookTraits::resume();
+  eraser.join();
+  CounterFlagRcu::Registration reg(domain);
+  EXPECT_FALSE(tree.contains(30));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+// Lemma 2's guarantee, observable form: a new search that starts *after*
+// the successor's copy was published (but before the original is
+// unlinked) finds the key via the copy; once the erase completes the old
+// node is gone and the key remains reachable.
+TEST_F(ScenarioTest, SearchAfterPublishSeesCopy) {
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k : {50, 30, 70, 60, 80, 55}) tree.insert(k, k);
+  }
+  HookTraits::arm(PausePoint::kBeforeSuccessorUnlink);
+  std::thread eraser([&] {
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.erase(50));  // successor 55 (deep in 70's subtree)
+  });
+  HookTraits::wait_parked();
+  {
+    // Fresh searches during the both-copies window.
+    CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.contains(55));
+    EXPECT_EQ(tree.find(55), 55);
+    EXPECT_FALSE(tree.contains(50));
+  }
+  HookTraits::resume();
+  eraser.join();
+  CounterFlagRcu::Registration reg(domain);
+  EXPECT_TRUE(tree.contains(55));
+  EXPECT_TRUE(tree.check_structure().ok);
+}
+
+}  // namespace

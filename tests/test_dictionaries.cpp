@@ -1,0 +1,261 @@
+// One typed test suite over every concurrent dictionary in the repository
+// (Citrus plus the five comparators of the paper's evaluation): identical
+// semantic checks against a reference oracle, concurrent stripe-exactness,
+// and structural audits. Each behaviour is written once and must hold for
+// all six implementations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "adapters/dictionary.hpp"
+#include "baselines/avl_bronson.hpp"
+#include "baselines/bonsai.hpp"
+#include "baselines/lazy_skiplist.hpp"
+#include "baselines/lockfree_bst.hpp"
+#include "baselines/rcu_rbtree.hpp"
+#include "baselines/relativistic_hash.hpp"
+#include "baselines/seq_bst.hpp"
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+
+// Uniform harness: owns domain + tree, provides registration and a
+// structure check.
+template <typename Tree>
+struct Harness {
+  CounterFlagRcu domain;
+  Tree tree{domain};
+
+  auto enter() { return CounterFlagRcu::Registration(domain); }
+
+  bool check(std::string* err) {
+    if constexpr (requires(const Tree& t, std::string* e) {
+                    { t.check_structure(e) } -> std::convertible_to<bool>;
+                  }) {
+      return tree.check_structure(err);
+    } else {
+      const auto rep = tree.check_structure();
+      if (!rep.ok && err != nullptr) *err = rep.error;
+      return rep.ok;
+    }
+  }
+};
+
+using CitrusTree = citrus::core::CitrusTree<long, long>;
+using Avl = citrus::baselines::BronsonAvlTree<long, long>;
+using Skiplist = citrus::baselines::LazySkiplist<long, long>;
+using LockFree = citrus::baselines::LockFreeBst<long, long>;
+using RbTree = citrus::baselines::RcuRedBlackTree<long, long>;
+using Bonsai = citrus::baselines::BonsaiTree<long, long>;
+using RelHash = citrus::baselines::RelativisticHashTable<long, long>;
+
+// All satisfy the compile-time dictionary concept.
+static_assert(citrus::adapters::dictionary<CitrusTree>);
+static_assert(citrus::adapters::dictionary<Avl>);
+static_assert(citrus::adapters::dictionary<Skiplist>);
+static_assert(citrus::adapters::dictionary<LockFree>);
+static_assert(citrus::adapters::dictionary<RbTree>);
+static_assert(citrus::adapters::dictionary<Bonsai>);
+static_assert(citrus::adapters::dictionary<RelHash>);
+
+template <typename Tree>
+class DictionaryTest : public ::testing::Test {
+ protected:
+  Harness<Tree> h;
+};
+
+using Dictionaries = ::testing::Types<CitrusTree, Avl, Skiplist, LockFree,
+                                      RbTree, Bonsai, RelHash>;
+TYPED_TEST_SUITE(DictionaryTest, Dictionaries);
+
+TYPED_TEST(DictionaryTest, BasicContract) {
+  auto reg = this->h.enter();
+  auto& t = this->h.tree;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_FALSE(t.insert(1, 20));
+  EXPECT_EQ(t.find(1), 10);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.find(1).has_value());
+  EXPECT_TRUE(t.empty());
+}
+
+TYPED_TEST(DictionaryTest, ReinsertAfterErase) {
+  auto reg = this->h.enter();
+  auto& t = this->h.tree;
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_TRUE(t.insert(7, round));
+    EXPECT_EQ(t.find(7), round);
+    EXPECT_TRUE(t.erase(7));
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TYPED_TEST(DictionaryTest, SequentialOracle) {
+  auto reg = this->h.enter();
+  auto& t = this->h.tree;
+  citrus::util::Xoshiro256 rng(2024);
+  std::set<long> oracle;
+  for (int i = 0; i < 25000; ++i) {
+    const long k = static_cast<long>(rng.bounded(300));
+    switch (rng.bounded(4)) {
+      case 0:
+        ASSERT_EQ(t.insert(k, k * 2), oracle.insert(k).second) << "key " << k;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << "key " << k;
+        break;
+      case 2:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0) << "key " << k;
+        break;
+      default: {
+        const auto v = t.find(k);
+        ASSERT_EQ(v.has_value(), oracle.count(k) > 0) << "key " << k;
+        if (v.has_value()) ASSERT_EQ(*v, k * 2);
+      }
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  std::string err;
+  EXPECT_TRUE(this->h.check(&err)) << err;
+}
+
+TYPED_TEST(DictionaryTest, AscendingDescendingChains) {
+  auto reg = this->h.enter();
+  auto& t = this->h.tree;
+  for (long k = 0; k < 400; ++k) ASSERT_TRUE(t.insert(k, k));
+  EXPECT_EQ(t.size(), 400u);
+  for (long k = 399; k >= 0; --k) ASSERT_TRUE(t.erase(k));
+  EXPECT_TRUE(t.empty());
+  std::string err;
+  EXPECT_TRUE(this->h.check(&err)) << err;
+}
+
+TYPED_TEST(DictionaryTest, ConcurrentStripesExact) {
+  constexpr int kThreads = 4;
+  constexpr long kStripe = 500;
+  auto& h = this->h;
+  std::vector<std::set<long>> owned(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &owned, t] {
+      auto reg = h.enter();
+      citrus::util::Xoshiro256 rng(55 + t);
+      auto& mine = owned[t];
+      for (int i = 0; i < 12000; ++i) {
+        const long k = t * kStripe + static_cast<long>(rng.bounded(kStripe));
+        if (rng.bounded(2) == 0) {
+          ASSERT_EQ(h.tree.insert(k, k), mine.insert(k).second);
+        } else {
+          ASSERT_EQ(h.tree.erase(k), mine.erase(k) > 0);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto reg = h.enter();
+  std::size_t expected = 0;
+  for (const auto& mine : owned) expected += mine.size();
+  EXPECT_EQ(h.tree.size(), expected);
+  for (int t = 0; t < kThreads; ++t) {
+    for (long k = t * kStripe; k < (t + 1) * kStripe; ++k) {
+      ASSERT_EQ(h.tree.contains(k), owned[t].count(k) > 0) << "key " << k;
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(h.check(&err)) << err;
+}
+
+TYPED_TEST(DictionaryTest, MixedStressKeepsStructure) {
+  constexpr int kThreads = 6;
+  auto& h = this->h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      auto reg = h.enter();
+      citrus::util::Xoshiro256 rng(500 + t);
+      for (int i = 0; i < 12000; ++i) {
+        const long k = static_cast<long>(rng.bounded(256));
+        switch (rng.bounded(100)) {
+          case 0 ... 59:
+            h.tree.contains(k);
+            break;
+          case 60 ... 79:
+            h.tree.insert(k, k);
+            break;
+          default:
+            h.tree.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string err;
+  EXPECT_TRUE(h.check(&err)) << err;
+}
+
+TYPED_TEST(DictionaryTest, ReadersSeeStampedValues) {
+  auto& h = this->h;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&h, &stop, t] {
+      auto reg = h.enter();
+      citrus::util::Xoshiro256 rng(t + 5);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = static_cast<long>(rng.bounded(64));
+        h.tree.insert(k, k * 13);
+        h.tree.erase(static_cast<long>(rng.bounded(64)));
+      }
+    });
+  }
+  threads.emplace_back([&h, &stop, &bad] {
+    auto reg = h.enter();
+    citrus::util::Xoshiro256 rng(99);
+    for (int i = 0; i < 40000; ++i) {
+      const long k = static_cast<long>(rng.bounded(64));
+      const auto v = h.tree.find(k);
+      if (v.has_value() && *v != k * 13) bad.store(true);
+    }
+    stop.store(true);
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+}
+
+// The sequential oracle itself deserves a check against std::set.
+TEST(SeqBst, MatchesStdSet) {
+  citrus::baselines::SeqBst<long, long> t;
+  citrus::util::Xoshiro256 rng(31337);
+  std::set<long> oracle;
+  for (int i = 0; i < 40000; ++i) {
+    const long k = static_cast<long>(rng.bounded(500));
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k, k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  std::vector<long> keys;
+  t.for_each([&keys](long k, long) { keys.push_back(k); });
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace

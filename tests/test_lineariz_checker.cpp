@@ -1,0 +1,162 @@
+// The linearizability checker itself must accept exactly the valid
+// histories: unit tests with hand-built event sequences.
+#include <gtest/gtest.h>
+
+#include "lineariz/checker.hpp"
+
+namespace {
+
+using citrus::lineariz::check_key_history;
+using citrus::lineariz::Event;
+using citrus::lineariz::OpType;
+
+Event ev(OpType t, bool result, std::uint64_t inv, std::uint64_t res) {
+  return Event{0, t, result, inv, res};
+}
+
+TEST(Checker, EmptyHistory) {
+  EXPECT_TRUE(check_key_history({}, false, nullptr));
+  EXPECT_TRUE(check_key_history({}, true, nullptr));
+}
+
+TEST(Checker, SequentialValid) {
+  EXPECT_TRUE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 1),
+          ev(OpType::kContains, true, 2, 3),
+          ev(OpType::kErase, true, 4, 5),
+          ev(OpType::kContains, false, 6, 7),
+      },
+      false, nullptr));
+}
+
+TEST(Checker, SequentialInvalidContains) {
+  // contains(false) strictly between a successful insert and anything
+  // removing the key: impossible.
+  std::string detail;
+  EXPECT_FALSE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 1),
+          ev(OpType::kContains, false, 2, 3),
+          ev(OpType::kContains, true, 4, 5),
+      },
+      false, &detail));
+  EXPECT_FALSE(detail.empty());
+}
+
+TEST(Checker, SequentialInvalidDoubleInsert) {
+  EXPECT_FALSE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 1),
+          ev(OpType::kInsert, true, 2, 3),  // second must have failed
+      },
+      false, nullptr));
+}
+
+TEST(Checker, InitiallyPresentMatters) {
+  const std::vector<Event> h = {ev(OpType::kErase, true, 0, 1)};
+  EXPECT_TRUE(check_key_history(h, true, nullptr));
+  EXPECT_FALSE(check_key_history(h, false, nullptr));
+}
+
+TEST(Checker, OverlapAllowsEitherOrder) {
+  // insert(true) and contains(false) overlapping: contains may linearize
+  // before the insert.
+  EXPECT_TRUE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 10),
+          ev(OpType::kContains, false, 1, 9),
+      },
+      false, nullptr));
+  // But if contains strictly follows the insert's response, no.
+  EXPECT_FALSE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 10),
+          ev(OpType::kContains, false, 11, 12),
+      },
+      false, nullptr));
+}
+
+TEST(Checker, ConcurrentInsertsExactlyOneWins) {
+  EXPECT_TRUE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 10),
+          ev(OpType::kInsert, false, 1, 9),
+      },
+      false, nullptr));
+  EXPECT_FALSE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 10),
+          ev(OpType::kInsert, true, 1, 9),  // both claim the win
+      },
+      false, nullptr));
+}
+
+TEST(Checker, InsertDeleteRace) {
+  // delete(true) can only follow the insert; contains sees either state
+  // while overlapping both.
+  EXPECT_TRUE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 10),
+          ev(OpType::kErase, true, 2, 12),
+          ev(OpType::kContains, true, 4, 8),
+      },
+      false, nullptr));
+  EXPECT_TRUE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 10),
+          ev(OpType::kErase, true, 2, 12),
+          ev(OpType::kContains, false, 4, 8),
+      },
+      false, nullptr));
+}
+
+TEST(Checker, RealTimeOrderIsRespected) {
+  // Non-overlapping ops must take effect in real-time order: erase(false)
+  // strictly after insert(true) with nothing else around is impossible.
+  EXPECT_FALSE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 1),
+          ev(OpType::kErase, false, 2, 3),
+      },
+      false, nullptr));
+}
+
+TEST(Checker, LongAlternatingHistoryValid) {
+  std::vector<Event> h;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 30; ++i) {
+    h.push_back(ev(OpType::kInsert, true, t, t + 1));
+    t += 2;
+    h.push_back(ev(OpType::kErase, true, t, t + 1));
+    t += 2;
+  }
+  EXPECT_TRUE(check_key_history(h, false, nullptr));
+}
+
+TEST(Checker, RejectsOversizedHistories) {
+  std::vector<Event> h;
+  for (int i = 0; i < 65; ++i) {
+    h.push_back(ev(OpType::kContains, false, 2 * i, 2 * i + 1));
+  }
+  std::string detail;
+  EXPECT_FALSE(check_key_history(h, false, &detail));
+  EXPECT_NE(detail.find("too long"), std::string::npos);
+}
+
+TEST(Checker, DeepInterleavingSearch) {
+  // A tangle of overlapping ops with a unique valid linearization; checks
+  // the DFS explores enough of the order space.
+  EXPECT_TRUE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 100),
+          ev(OpType::kErase, true, 1, 99),
+          ev(OpType::kInsert, true, 2, 98),
+          ev(OpType::kErase, true, 3, 97),
+          ev(OpType::kContains, true, 4, 96),
+          ev(OpType::kContains, false, 5, 95),
+      },
+      false, nullptr));
+}
+
+}  // namespace

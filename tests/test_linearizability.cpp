@@ -1,0 +1,144 @@
+// End-to-end linearizability testing (the paper's Theorem 11): record a
+// concurrent history against each dictionary and verify a valid
+// linearization exists for every key. The key space and duration are sized
+// so per-key histories stay within the checker's 64-event limit.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "baselines/avl_bronson.hpp"
+#include "baselines/bonsai.hpp"
+#include "baselines/lazy_skiplist.hpp"
+#include "baselines/lockfree_bst.hpp"
+#include "baselines/rcu_rbtree.hpp"
+#include "citrus/citrus_tree.hpp"
+#include "lineariz/checker.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/global_lock_rcu.hpp"
+#include "rcu/qsbr_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::lineariz::CheckResult;
+using citrus::lineariz::HistoryRecorder;
+using citrus::lineariz::OpType;
+using citrus::rcu::CounterFlagRcu;
+
+template <typename Tree, typename Rcu>
+CheckResult record_and_check(int threads, int ops_per_thread,
+                             std::int64_t key_range, std::uint64_t seed) {
+  Rcu domain;
+  Tree tree(domain);
+  // Prefill half the range so deletes and finds hit often.
+  std::vector<std::int64_t> initial;
+  {
+    typename Rcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < key_range; k += 2) {
+      tree.insert(k, k);
+      initial.push_back(k);
+    }
+  }
+  HistoryRecorder recorder(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      typename Rcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(seed + t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const auto key =
+            static_cast<std::int64_t>(rng.bounded(key_range));
+        const auto inv = recorder.invoke();
+        switch (rng.bounded(3)) {
+          case 0:
+            recorder.record(t, key, OpType::kInsert, tree.insert(key, key),
+                            inv);
+            break;
+          case 1:
+            recorder.record(t, key, OpType::kErase, tree.erase(key), inv);
+            break;
+          default:
+            recorder.record(t, key, OpType::kContains, tree.contains(key),
+                            inv);
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  return citrus::lineariz::check_history(recorder, initial);
+}
+
+// Parameters chosen so expected events/key = threads*ops/range ~ 24 << 64.
+constexpr int kThreads = 4;
+constexpr int kOps = 1500;
+constexpr std::int64_t kRange = 512;
+
+TEST(Linearizability, Citrus) {
+  const auto r = record_and_check<citrus::core::CitrusTree<std::int64_t, std::int64_t>,
+                                  CounterFlagRcu>(kThreads, kOps, kRange, 1);
+  EXPECT_TRUE(r.linearizable)
+      << "key " << r.failing_key << ": " << r.detail;
+  EXPECT_GT(r.events_checked, 0u);
+}
+
+TEST(Linearizability, CitrusOnGlobalLockRcu) {
+  using Tree = citrus::core::CitrusTree<std::int64_t, std::int64_t,
+                                        citrus::rcu::GlobalLockRcu>;
+  const auto r = record_and_check<Tree, citrus::rcu::GlobalLockRcu>(
+      kThreads, kOps, kRange, 2);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, CitrusOnQsbr) {
+  using Tree = citrus::core::CitrusTree<std::int64_t, std::int64_t,
+                                        citrus::rcu::QsbrRcu>;
+  const auto r = record_and_check<Tree, citrus::rcu::QsbrRcu>(
+      kThreads, kOps, kRange, 9);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, CitrusSmallHotRange) {
+  // Tiny key range maximizes two-child deletes and successor copies — the
+  // linearizability-critical path (Figure 4's false-negative hazard).
+  using Tree = citrus::core::CitrusTree<std::int64_t, std::int64_t>;
+  const auto r = record_and_check<Tree, CounterFlagRcu>(3, 600, 48, 3);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, Avl) {
+  const auto r =
+      record_and_check<citrus::baselines::BronsonAvlTree<std::int64_t, std::int64_t>,
+                       CounterFlagRcu>(kThreads, kOps, kRange, 4);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, Skiplist) {
+  const auto r =
+      record_and_check<citrus::baselines::LazySkiplist<std::int64_t, std::int64_t>,
+                       CounterFlagRcu>(kThreads, kOps, kRange, 5);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, LockFree) {
+  const auto r =
+      record_and_check<citrus::baselines::LockFreeBst<std::int64_t, std::int64_t>,
+                       CounterFlagRcu>(kThreads, kOps, kRange, 6);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, RbTree) {
+  const auto r =
+      record_and_check<citrus::baselines::RcuRedBlackTree<std::int64_t, std::int64_t>,
+                       CounterFlagRcu>(kThreads, kOps, kRange, 7);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, Bonsai) {
+  const auto r =
+      record_and_check<citrus::baselines::BonsaiTree<std::int64_t, std::int64_t>,
+                       CounterFlagRcu>(kThreads, kOps, kRange, 8);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+}  // namespace

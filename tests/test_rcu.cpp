@@ -1,0 +1,310 @@
+// Semantics of the three RCU domains, typed-tested uniformly:
+//   * the RCU property (Figure 2 of the paper): synchronize_rcu returns
+//     only after all read-side critical sections that preceded it,
+//   * registration lifecycle and record reuse,
+//   * nesting,
+//   * deferred reclamation (retire / flush),
+//   * concurrent synchronizers (the paper's key scaling point).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/epoch_rcu.hpp"
+#include "rcu/global_lock_rcu.hpp"
+#include "rcu/qsbr_rcu.hpp"
+#include "sync/barrier.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+using citrus::rcu::EpochRcu;
+using citrus::rcu::GlobalLockRcu;
+using citrus::rcu::QsbrRcu;
+
+template <typename Rcu>
+class RcuDomainTest : public ::testing::Test {};
+
+using Domains =
+    ::testing::Types<CounterFlagRcu, GlobalLockRcu, EpochRcu, QsbrRcu>;
+TYPED_TEST_SUITE(RcuDomainTest, Domains);
+
+TYPED_TEST(RcuDomainTest, SatisfiesConcept) {
+  static_assert(citrus::rcu::rcu_domain<TypeParam>);
+}
+
+TYPED_TEST(RcuDomainTest, RegistrationLifecycle) {
+  TypeParam domain;
+  EXPECT_EQ(domain.registrations(), 0u);
+  EXPECT_FALSE(domain.thread_is_registered());
+  {
+    typename TypeParam::Registration reg(domain);
+    EXPECT_EQ(domain.registrations(), 1u);
+    EXPECT_TRUE(domain.thread_is_registered());
+  }
+  EXPECT_EQ(domain.registrations(), 0u);
+  EXPECT_FALSE(domain.thread_is_registered());
+}
+
+TYPED_TEST(RcuDomainTest, MultipleDomainsSameThread) {
+  TypeParam a, b;
+  typename TypeParam::Registration ra(a);
+  typename TypeParam::Registration rb(b);
+  a.read_lock();
+  b.read_lock();
+  b.read_unlock();
+  a.read_unlock();
+  a.synchronize();
+  b.synchronize();
+  SUCCEED();
+}
+
+TYPED_TEST(RcuDomainTest, NestedReadSections) {
+  TypeParam domain;
+  typename TypeParam::Registration reg(domain);
+  domain.read_lock();
+  domain.read_lock();
+  domain.read_unlock();
+  // Still inside the outer section; a concurrent synchronize must wait.
+  std::atomic<bool> returned{false};
+  std::thread syncer([&] {
+    typename TypeParam::Registration r(domain);
+    domain.synchronize();
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(returned.load());
+  domain.read_unlock();
+  syncer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+// The RCU property itself: a synchronize invoked while a read-side
+// critical section is open must not return until that section closes.
+TYPED_TEST(RcuDomainTest, SynchronizeWaitsForPreexistingReader) {
+  TypeParam domain;
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> reader_in_section{false};
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> sync_returned{false};
+
+  std::thread reader([&] {
+    typename TypeParam::Registration reg(domain);
+    domain.read_lock();
+    reader_in_section.store(true);
+    barrier.arrive_and_wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    reader_done.store(true);
+    domain.read_unlock();
+  });
+
+  std::thread updater([&] {
+    typename TypeParam::Registration reg(domain);
+    barrier.arrive_and_wait();
+    ASSERT_TRUE(reader_in_section.load());
+    domain.synchronize();
+    // The reader's entire section must have completed.
+    EXPECT_TRUE(reader_done.load());
+    sync_returned.store(true);
+  });
+
+  reader.join();
+  updater.join();
+  EXPECT_TRUE(sync_returned.load());
+}
+
+TYPED_TEST(RcuDomainTest, SynchronizeDoesNotWaitForLaterSections) {
+  TypeParam domain;
+  typename TypeParam::Registration reg(domain);
+  // No reader active: synchronize must return promptly even though other
+  // threads keep opening new sections concurrently.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    typename TypeParam::Registration r(domain);
+    while (!stop.load(std::memory_order_relaxed)) {
+      domain.read_lock();
+      domain.read_unlock();
+    }
+  });
+  for (int i = 0; i < 100; ++i) domain.synchronize();
+  stop.store(true);
+  churner.join();
+  EXPECT_GE(domain.synchronize_calls(), 100u);
+}
+
+TYPED_TEST(RcuDomainTest, GracePeriodPublishesData) {
+  // Classic usage: unlink, synchronize, free. Readers that can still hold
+  // the old pointer are waited out; afterwards the old buffer is never
+  // referenced. We model "free" by poisoning.
+  TypeParam domain;
+  struct Buf {
+    std::atomic<bool> poisoned{false};
+    int payload = 0;
+  };
+  Buf bufs[2];
+  bufs[0].payload = 1;
+  bufs[1].payload = 2;
+  std::atomic<Buf*> current{&bufs[0]};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      typename TypeParam::Registration reg(domain);
+      while (!stop.load(std::memory_order_relaxed)) {
+        domain.read_lock();
+        Buf* b = current.load(std::memory_order_acquire);
+        if (b->poisoned.load(std::memory_order_acquire)) {
+          violation.store(true);
+        }
+        domain.read_unlock();
+      }
+    });
+  }
+
+  {
+    typename TypeParam::Registration reg(domain);
+    for (int i = 0; i < 200; ++i) {
+      Buf* old = current.load(std::memory_order_relaxed);
+      Buf* fresh = old == &bufs[0] ? &bufs[1] : &bufs[0];
+      fresh->poisoned.store(false, std::memory_order_release);
+      current.store(fresh, std::memory_order_release);
+      domain.synchronize();
+      // No pre-existing reader can still hold `old`.
+      old->poisoned.store(true, std::memory_order_release);
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TYPED_TEST(RcuDomainTest, ConcurrentSynchronizersMakeProgress) {
+  TypeParam domain;
+  constexpr int kThreads = 4;
+  constexpr int kSyncs = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      typename TypeParam::Registration reg(domain);
+      for (int i = 0; i < kSyncs; ++i) {
+        domain.read_lock();
+        domain.read_unlock();
+        domain.synchronize();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(domain.synchronize_calls(), kThreads * kSyncs);
+}
+
+TYPED_TEST(RcuDomainTest, RetireRunsAfterGracePeriod) {
+  TypeParam domain;
+  typename TypeParam::Registration reg(domain);
+  domain.set_retire_batch(4);
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  for (int i = 0; i < 3; ++i) citrus::rcu::retire_delete(domain, new Obj);
+  EXPECT_EQ(domain.pending_retired(), 3u);
+  EXPECT_EQ(freed.load(), 0);
+  citrus::rcu::retire_delete(domain, new Obj);  // batch reaches 4: flush
+  EXPECT_EQ(domain.pending_retired(), 0u);
+  EXPECT_EQ(freed.load(), 4);
+}
+
+TYPED_TEST(RcuDomainTest, RetireInsideReadSectionDefersFlush) {
+  TypeParam domain;
+  typename TypeParam::Registration reg(domain);
+  domain.set_retire_batch(1);
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  domain.read_lock();
+  citrus::rcu::retire_delete(domain, new Obj);
+  // A flush here would deadlock on our own section; it must be deferred.
+  EXPECT_EQ(freed.load(), 0);
+  EXPECT_EQ(domain.pending_retired(), 1u);
+  domain.read_unlock();
+  domain.maybe_flush_retired();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TYPED_TEST(RcuDomainTest, RegistrationTeardownFlushesRetired) {
+  TypeParam domain;
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  std::thread worker([&] {
+    typename TypeParam::Registration reg(domain);
+    domain.set_retire_batch(1000);  // never reaches the threshold
+    for (int i = 0; i < 5; ++i) citrus::rcu::retire_delete(domain, new Obj);
+    EXPECT_EQ(freed.load(), 0);
+  });
+  worker.join();
+  EXPECT_EQ(freed.load(), 5);
+}
+
+TYPED_TEST(RcuDomainTest, RecordReuseAcrossThreads) {
+  TypeParam domain;
+  // Sequential thread churn must recycle records instead of growing the
+  // registry without bound.
+  for (int i = 0; i < 64; ++i) {
+    std::thread([&] {
+      typename TypeParam::Registration reg(domain);
+      domain.read_lock();
+      domain.read_unlock();
+    }).join();
+  }
+  typename TypeParam::Registration reg(domain);
+  domain.synchronize();  // registry scan over recycled records stays sane
+  SUCCEED();
+}
+
+TYPED_TEST(RcuDomainTest, ReadGuardRaii) {
+  TypeParam domain;
+  typename TypeParam::Registration reg(domain);
+  {
+    citrus::rcu::ReadGuard<TypeParam> guard(domain);
+    // Inside the section a concurrent synchronize would block; we only
+    // assert that unlock happens automatically.
+  }
+  domain.synchronize();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(EpochRcu, EpochAdvancesOnSynchronize) {
+  EpochRcu domain;
+  EpochRcu::Registration reg(domain);
+  const auto before = domain.current_epoch();
+  domain.synchronize();
+  domain.synchronize();
+  EXPECT_EQ(domain.current_epoch(), before + 2);
+}
+
+TEST(CounterFlagRcu, ReaderWordProtocol) {
+  // White-box-ish: read_sections statistics advance per completed section.
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  for (int i = 0; i < 10; ++i) {
+    domain.read_lock();
+    domain.read_unlock();
+  }
+  // Nesting counts as one section.
+  domain.read_lock();
+  domain.read_lock();
+  domain.read_unlock();
+  domain.read_unlock();
+  EXPECT_EQ(reg.record().read_sections, 11u);
+}
+
+}  // namespace

@@ -1,0 +1,248 @@
+// The QSBR domain's specific semantics (offline/online, checkpointing,
+// synchronizer self-quiescence) and the asynchronous Reclaimer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/qsbr_rcu.hpp"
+#include "rcu/reclaimer.hpp"
+#include "sync/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+using citrus::rcu::QsbrRcu;
+
+TEST(Qsbr, IdleRegisteredThreadStartsOffline) {
+  // A thread that registers but never reads must not stall grace periods.
+  QsbrRcu domain;
+  std::atomic<bool> registered{false};
+  std::atomic<bool> release{false};
+  std::thread idler([&] {
+    QsbrRcu::Registration reg(domain);
+    registered.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!registered.load()) std::this_thread::yield();
+  {
+    QsbrRcu::Registration reg(domain);
+    domain.synchronize();  // must return although the idler never checkpoints
+  }
+  release.store(true);
+  idler.join();
+  SUCCEED();
+}
+
+TEST(Qsbr, OnlineQuietThreadStallsUntilCheckpoint) {
+  // The QSBR contract: a thread that has read (is online) and then goes
+  // quiet blocks grace periods until it checkpoints or goes offline.
+  QsbrRcu domain;
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> sync_done{false};
+  std::atomic<bool> checkpoint_now{false};
+  std::thread quiet([&] {
+    QsbrRcu::Registration reg(domain);
+    domain.read_lock();
+    domain.read_unlock();  // online, one checkpoint
+    barrier.arrive_and_wait();
+    while (!checkpoint_now.load()) std::this_thread::yield();
+    domain.quiescent_state();
+    while (!sync_done.load()) std::this_thread::yield();
+  });
+  std::thread syncer([&] {
+    QsbrRcu::Registration reg(domain);
+    barrier.arrive_and_wait();
+    domain.synchronize();
+    sync_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(sync_done.load());  // stalled on the quiet online thread
+  checkpoint_now.store(true);
+  quiet.join();
+  syncer.join();
+  EXPECT_TRUE(sync_done.load());
+}
+
+TEST(Qsbr, OfflineGuardReleasesGracePeriods) {
+  QsbrRcu domain;
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> sync_done{false};
+  std::atomic<bool> release{false};
+  std::thread offline_thread([&] {
+    QsbrRcu::Registration reg(domain);
+    domain.read_lock();
+    domain.read_unlock();  // online
+    QsbrRcu::OfflineGuard guard(domain);
+    barrier.arrive_and_wait();
+    while (!release.load()) std::this_thread::yield();
+  });
+  barrier.arrive_and_wait();
+  {
+    QsbrRcu::Registration reg(domain);
+    domain.synchronize();  // returns despite the quiet (but offline) thread
+  }
+  sync_done.store(true);
+  release.store(true);
+  offline_thread.join();
+  EXPECT_TRUE(sync_done.load());
+}
+
+TEST(Qsbr, ConcurrentSynchronizersDoNotDeadlock) {
+  // Each synchronizer marks itself quiescent, so they never wait on each
+  // other even when all of them are online.
+  QsbrRcu domain;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      QsbrRcu::Registration reg(domain);
+      for (int i = 0; i < 200; ++i) {
+        domain.read_lock();
+        domain.read_unlock();
+        domain.synchronize();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(domain.synchronize_calls(), kThreads * 200u);
+}
+
+TEST(Qsbr, CitrusRunsOnQsbr) {
+  QsbrRcu domain;
+  citrus::core::CitrusTree<long, long, QsbrRcu> tree(domain);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      QsbrRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(t + 11);
+      for (int i = 0; i < 15000; ++i) {
+        const long k = static_cast<long>(rng.bounded(256));
+        switch (rng.bounded(3)) {
+          case 0:
+            tree.insert(k, k);
+            break;
+          case 1:
+            tree.erase(k);
+            break;
+          default:
+            tree.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_GT(domain.synchronize_calls(), 0u);
+}
+
+// ── Reclaimer ──────────────────────────────────────────────────────
+
+TEST(Reclaimer, FreesAfterGracePeriod) {
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  CounterFlagRcu domain;
+  {
+    citrus::rcu::Reclaimer<CounterFlagRcu> reclaimer(domain);
+    for (int i = 0; i < 100; ++i) reclaimer.enqueue_delete(new Obj);
+    // Destructor drains.
+  }
+  EXPECT_EQ(freed.load(), 100);
+}
+
+TEST(Reclaimer, DoesNotFreeWhileReaderHoldsSection) {
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  CounterFlagRcu domain;
+  citrus::rcu::Reclaimer<CounterFlagRcu> reclaimer(domain);
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    CounterFlagRcu::Registration reg(domain);
+    domain.read_lock();
+    barrier.arrive_and_wait();
+    while (!release.load()) std::this_thread::yield();
+    domain.read_unlock();
+  });
+  barrier.arrive_and_wait();  // reader is inside its section
+  reclaimer.enqueue_delete(new Obj);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(freed.load(), 0);  // grace period cannot have elapsed
+  release.store(true);
+  reader.join();
+  // Now the worker's synchronize completes and the object goes.
+  while (freed.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Reclaimer, ManyProducers) {
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  CounterFlagRcu domain;
+  {
+    citrus::rcu::Reclaimer<CounterFlagRcu> reclaimer(domain);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&] {
+        CounterFlagRcu::Registration reg(domain);
+        for (int i = 0; i < 2000; ++i) {
+          domain.read_lock();
+          // Enqueue from inside a read section: legal, never blocks.
+          reclaimer.enqueue_delete(new Obj);
+          domain.read_unlock();
+        }
+      });
+    }
+    for (auto& th : producers) th.join();
+  }
+  EXPECT_EQ(freed.load(), 8000);
+}
+
+TEST(Reclaimer, BatchesAmortizeGracePeriods) {
+  CounterFlagRcu domain;
+  citrus::rcu::Reclaimer<CounterFlagRcu> reclaimer(domain);
+  for (int i = 0; i < 1000; ++i) {
+    reclaimer.enqueue(
+        new int(i), [](void* p, void*) { delete static_cast<int*>(p); },
+        nullptr);
+  }
+  while (reclaimer.pending() != 0) std::this_thread::yield();
+  // Far fewer grace periods than objects: batching works.
+  EXPECT_LT(reclaimer.batches(), 1000u);
+  EXPECT_GE(reclaimer.batches(), 1u);
+}
+
+TEST(Reclaimer, WorksWithQsbrDomain) {
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  QsbrRcu domain;
+  {
+    citrus::rcu::Reclaimer<QsbrRcu> reclaimer(domain);
+    QsbrRcu::Registration reg(domain);
+    for (int i = 0; i < 50; ++i) {
+      domain.read_lock();
+      reclaimer.enqueue_delete(new Obj);
+      domain.read_unlock();  // checkpoint lets the worker's grace complete
+    }
+  }
+  EXPECT_EQ(freed.load(), 50);
+}
+
+}  // namespace

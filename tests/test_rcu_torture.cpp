@@ -1,0 +1,132 @@
+// rcutorture-style stress: many readers continuously dereference an
+// RCU-protected pointer while updaters republish and poison retired
+// versions strictly after a grace period. Any reader observing a poisoned
+// version is a violated grace period. Run for every domain and for several
+// reader/updater mixes (parameterized).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/epoch_rcu.hpp"
+#include "rcu/global_lock_rcu.hpp"
+#include "rcu/qsbr_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+using citrus::rcu::EpochRcu;
+using citrus::rcu::GlobalLockRcu;
+using citrus::rcu::QsbrRcu;
+
+struct TortureParam {
+  int readers;
+  int updaters;
+  int updates_per_updater;
+};
+
+template <typename Rcu>
+void torture(const TortureParam& p) {
+  // A pool of versioned cells; updaters rotate through them.
+  struct Cell {
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};  // invariant: b == a inside a version
+    std::atomic<bool> dead{false};
+    std::atomic<bool> claimed{false};  // writer-side ownership token
+  };
+  constexpr int kCells = 8;
+  Cell cells[kCells];
+  cells[0].claimed.store(true);  // the initially published cell
+  std::atomic<Cell*> current{&cells[0]};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  Rcu domain;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < p.readers; ++t) {
+    threads.emplace_back([&] {
+      typename Rcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()));
+      while (!stop.load(std::memory_order_relaxed)) {
+        domain.read_lock();
+        Cell* c = current.load(std::memory_order_acquire);
+        if (c->dead.load(std::memory_order_acquire)) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::uint64_t a = c->a.load(std::memory_order_acquire);
+        // Some nested re-reads to vary section length.
+        if ((rng() & 7) == 0) {
+          domain.read_lock();
+          domain.read_unlock();
+        }
+        const std::uint64_t b = c->b.load(std::memory_order_acquire);
+        // A dead cell may be re-armed only after a grace period, so a/b
+        // read inside one section always match.
+        if (a != b) violations.fetch_add(1, std::memory_order_relaxed);
+        domain.read_unlock();
+      }
+    });
+  }
+
+  for (int t = 0; t < p.updaters; ++t) {
+    threads.emplace_back([&, t] {
+      typename Rcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(1000u + t);
+      for (int i = 0; i < p.updates_per_updater; ++i) {
+        // Claim a free cell exclusively before writing into it.
+        Cell* fresh = nullptr;
+        for (int probe = 0; fresh == nullptr; ++probe) {
+          Cell* cand = &cells[rng.bounded(kCells)];
+          if (!cand->claimed.exchange(true, std::memory_order_acq_rel)) {
+            fresh = cand;
+          } else if (probe > 4 * kCells) {
+            std::this_thread::yield();
+          }
+        }
+        const std::uint64_t version =
+            (static_cast<std::uint64_t>(t) << 32) |
+            static_cast<std::uint32_t>(i + 1);
+        fresh->a.store(version, std::memory_order_release);
+        fresh->b.store(version, std::memory_order_release);
+        Cell* old = current.exchange(fresh, std::memory_order_acq_rel);
+        domain.synchronize();
+        // No reader can still see `old`: poison it, then scramble its
+        // invariant, then (after another grace period) re-arm and release
+        // it for reuse.
+        old->dead.store(true, std::memory_order_release);
+        old->a.store(~0ull, std::memory_order_release);
+        domain.synchronize();
+        old->a.store(0, std::memory_order_release);
+        old->b.store(0, std::memory_order_release);
+        old->dead.store(false, std::memory_order_release);
+        old->claimed.store(false, std::memory_order_release);
+      }
+      stop.store(true);
+    });
+  }
+
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+class TortureTest : public ::testing::TestWithParam<TortureParam> {};
+
+TEST_P(TortureTest, CounterFlag) { torture<CounterFlagRcu>(GetParam()); }
+TEST_P(TortureTest, GlobalLock) { torture<GlobalLockRcu>(GetParam()); }
+TEST_P(TortureTest, Epoch) { torture<EpochRcu>(GetParam()); }
+TEST_P(TortureTest, Qsbr) { torture<QsbrRcu>(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, TortureTest,
+    ::testing::Values(TortureParam{2, 1, 300}, TortureParam{4, 1, 300},
+                      TortureParam{2, 2, 200}, TortureParam{3, 3, 120}),
+    [](const ::testing::TestParamInfo<TortureParam>& info) {
+      return std::to_string(info.param.readers) + "r" +
+             std::to_string(info.param.updaters) + "u";
+    });
+
+}  // namespace

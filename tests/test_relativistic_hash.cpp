@@ -1,0 +1,125 @@
+// Relativistic hash table: resize behaviour on top of what the shared
+// typed dictionary suite covers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/relativistic_hash.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+using Table = citrus::baselines::RelativisticHashTable<long, long>;
+
+TEST(RelHash, GrowsWithLoad) {
+  CounterFlagRcu domain;
+  Table t(domain);
+  CounterFlagRcu::Registration reg(domain);
+  const auto initial = t.bucket_count();
+  for (long k = 0; k < 1000; ++k) ASSERT_TRUE(t.insert(k, k));
+  EXPECT_GT(t.bucket_count(), initial);
+  EXPECT_GE(t.resizes(), 1u);
+  // Load factor maintained at <= ~1 after the triggering insert settles.
+  EXPECT_GE(t.bucket_count() * 2, t.size());
+  for (long k = 0; k < 1000; ++k) ASSERT_TRUE(t.contains(k));
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(RelHash, SemanticsSurviveResizes) {
+  CounterFlagRcu domain;
+  Table t(domain);
+  CounterFlagRcu::Registration reg(domain);
+  citrus::util::Xoshiro256 rng(2718);
+  std::set<long> oracle;
+  for (int i = 0; i < 30000; ++i) {
+    const long k = static_cast<long>(rng.bounded(2000));
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k, k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(RelHash, ReadersNeverBlockedByResize) {
+  // Readers hammer a permanent key set while inserts force repeated
+  // growth; every lookup of a permanent key must succeed (old and new
+  // table versions are both complete).
+  CounterFlagRcu domain;
+  Table t(domain);
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k = 0; k < 64; ++k) t.insert(k, k * 7);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> missed{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = static_cast<long>(rng.bounded(64));
+        const auto v = t.find(k);
+        if (!v.has_value() || *v != k * 7) missed.store(true);
+      }
+    });
+  }
+  {
+    CounterFlagRcu::Registration reg(domain);
+    for (long k = 1000; k < 9000; ++k) t.insert(k, k);  // forces growth
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(missed.load());
+  EXPECT_GE(t.resizes(), 3u);
+  std::string err;
+  CounterFlagRcu::Registration reg(domain);
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+TEST(RelHash, ConcurrentUpdatersAcrossBuckets) {
+  CounterFlagRcu domain;
+  Table t(domain);
+  constexpr int kThreads = 5;
+  constexpr long kStripe = 3000;
+  std::vector<std::set<long>> owned(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(i + 1);
+      auto& mine = owned[i];
+      for (int j = 0; j < 15000; ++j) {
+        const long k = i * kStripe + static_cast<long>(rng.bounded(kStripe));
+        if (rng.bounded(2) == 0) {
+          ASSERT_EQ(t.insert(k, k), mine.insert(k).second);
+        } else {
+          ASSERT_EQ(t.erase(k), mine.erase(k) > 0);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::size_t expected = 0;
+  for (const auto& mine : owned) expected += mine.size();
+  EXPECT_EQ(t.size(), expected);
+  std::string err;
+  EXPECT_TRUE(t.check_structure(&err)) << err;
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Unit tests for the sync substrate: padding, spinlocks, barriers, backoff.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sync/backoff.hpp"
+#include "sync/barrier.hpp"
+#include "sync/cache.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using namespace citrus::sync;
+
+TEST(Cache, PaddedOccupiesFullLine) {
+  EXPECT_GE(sizeof(Padded<int>), kDestructiveInterference);
+  EXPECT_GE(sizeof(Padded<std::atomic<std::uint64_t>>),
+            kDestructiveInterference);
+  EXPECT_EQ(alignof(Padded<char>), kDestructiveInterference);
+}
+
+TEST(Cache, PaddedArrayElementsOnDistinctLines) {
+  Padded<std::uint64_t> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, kDestructiveInterference);
+  }
+}
+
+TEST(Cache, PaddedAccessors) {
+  Padded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p = 42;
+  EXPECT_EQ(p.value, 42);
+}
+
+TEST(SpinLockTest, BasicLockUnlock) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLockTest, WorksWithLockGuard) {
+  SpinLock lock;
+  {
+    std::lock_guard<SpinLock> guard(lock);
+    EXPECT_FALSE(lock.try_lock());
+  }
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLockTest, MutualExclusionCounter) {
+  SpinLock lock;
+  std::int64_t counter = 0;  // deliberately non-atomic
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(BackoffTest, CountsPauses) {
+  Backoff bo;
+  for (int i = 0; i < 10; ++i) bo.pause();
+  EXPECT_EQ(bo.total(), 10u);
+  bo.reset();
+  bo.pause();
+  EXPECT_EQ(bo.total(), 11u);  // total survives reset; rounds restart
+}
+
+TEST(BackoffTest, EscalatesToYieldWithoutHanging) {
+  // Past the spin limit pause() must keep returning (yield path).
+  Backoff bo(4);
+  for (int i = 0; i < 1000; ++i) bo.pause();
+  EXPECT_EQ(bo.total(), 1000u);
+}
+
+TEST(SpinBarrierTest, ReleasesAllParties) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Everyone must have arrived before anyone proceeds.
+      EXPECT_EQ(before.load(), kThreads);
+      after.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(after.load(), kThreads);
+  EXPECT_EQ(barrier.generation(), 1u);
+}
+
+TEST(SpinBarrierTest, Reusable) {
+  constexpr int kThreads = 3;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        sum.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After each round-barrier, the sum is a multiple of kThreads.
+        EXPECT_EQ(sum.load() % kThreads, 0);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sum.load(), kThreads * kRounds);
+  EXPECT_EQ(barrier.generation(), 2u * kRounds);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for the util substrate: RNG, Zipf, statistics, CLI options.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace citrus::util;
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  EXPECT_EQ(a(), b());
+  Xoshiro256 a2(42);
+  (void)c;
+  EXPECT_NE(a(), a2());  // a has advanced
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Xoshiro256 rng(123);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.bounded(kBuckets)];
+  for (auto count : counts) {
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples / kBuckets * 0.15);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(98, 100) ? 1 : 0;
+  EXPECT_NEAR(hits, 98000, 600);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Xoshiro256 rng(3);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(Zipf, SkewPrefersSmallKeys) {
+  Xoshiro256 rng(3);
+  ZipfGenerator zipf(1000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  // Rank-1 key should dominate rank-100 by roughly 100^0.99.
+  EXPECT_GT(counts[0], counts[99] * 10);
+  // All samples in range.
+  for (const auto& [k, unused] : counts) EXPECT_LT(k, 1000u);
+}
+
+TEST(Zipf, LargeRangeNoSetupCost) {
+  Xoshiro256 rng(9);
+  ZipfGenerator zipf(2000000, 0.8);  // the paper's large key range
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf(rng), 2000000u);
+}
+
+TEST(Stats, SummarizeBasic) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummarizeEvenCountMedian) {
+  const Summary s = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, SummarizeEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, WelfordMatchesSummarize) {
+  std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  Welford w;
+  for (double x : xs) w.add(x);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(std::sqrt(w.variance()), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Stats, WelfordMerge) {
+  Welford a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i);
+    whole.add(i);
+  }
+  for (int i = 50; i < 100; ++i) {
+    b.add(i * 1.5);
+    whole.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+}
+
+TEST(Stats, LogHistogramQuantiles) {
+  LogHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(100);    // bucket [64,128)
+  for (int i = 0; i < 10; ++i) h.add(10000);  // bucket [8192,16384)
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.quantile(0.5), 64u);
+  EXPECT_EQ(h.quantile(0.99), 8192u);
+}
+
+TEST(Stats, LogHistogramMerge) {
+  LogHistogram a, b;
+  a.add(10);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(Cli, ParsesKeyValues) {
+  const char* argv[] = {"prog", "--threads=8", "--seconds=2.5",
+                        "--verbose", "--name=test"};
+  Options opts(5, const_cast<char**>(argv));
+  EXPECT_EQ(opts.get_int("threads", 1), 8);
+  EXPECT_DOUBLE_EQ(opts.get_double("seconds", 1.0), 2.5);
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+  EXPECT_EQ(opts.get("name", ""), "test");
+  EXPECT_EQ(opts.get_int("missing", 42), 42);
+  EXPECT_TRUE(opts.has("threads"));
+  EXPECT_FALSE(opts.has("missing"));
+}
+
+TEST(Cli, ParsesIntLists) {
+  const char* argv[] = {"prog", "--threads=1,2,4,8"};
+  Options opts(2, const_cast<char**>(argv));
+  const auto list = opts.get_int_list("threads", {});
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[3], 8);
+  EXPECT_EQ(opts.get_int_list("other", {5}).at(0), 5);
+}
+
+TEST(Cli, EnvironmentFallback) {
+  ::setenv("CITRUS_TEST_KNOB", "17", 1);
+  const char* argv[] = {"prog"};
+  Options opts(1, const_cast<char**>(argv));
+  EXPECT_EQ(opts.get_int("test-knob", 0), 17);
+  ::unsetenv("CITRUS_TEST_KNOB");
+}
+
+TEST(Cli, CommandLineBeatsEnvironment) {
+  ::setenv("CITRUS_TEST_KNOB", "17", 1);
+  const char* argv[] = {"prog", "--test-knob=5"};
+  Options opts(2, const_cast<char**>(argv));
+  EXPECT_EQ(opts.get_int("test-knob", 0), 5);
+  ::unsetenv("CITRUS_TEST_KNOB");
+}
+
+TEST(Cli, RejectsMalformedArguments) {
+  const char* argv[] = {"prog", "nonsense"};
+  EXPECT_THROW(Options(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(Timer, StopwatchMonotone) {
+  Stopwatch w;
+  const double a = w.elapsed_seconds();
+  const double b = w.elapsed_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(w.elapsed_nanos(), 0u);
+  w.reset();
+  EXPECT_GE(w.elapsed_seconds(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Workload generator / runner: prefill level, operation-mix accounting,
+// single-writer mode, result bookkeeping.
+#include <gtest/gtest.h>
+
+#include "adapters/idictionary.hpp"
+#include "workload/config.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+#include <sstream>
+
+namespace {
+
+using citrus::adapters::make_dictionary;
+using citrus::workload::RunResult;
+using citrus::workload::WorkloadConfig;
+
+TEST(Workload, PrefillReachesHalfRange) {
+  auto dict = make_dictionary("citrus");
+  WorkloadConfig config;
+  config.key_range = 2000;
+  config.threads = 3;
+  citrus::workload::prefill(*dict, config);
+  const auto scope = dict->enter_thread();
+  EXPECT_EQ(dict->size(), 1000u);
+}
+
+TEST(Workload, MixFractionsRoughlyHonored) {
+  auto dict = make_dictionary("citrus");
+  WorkloadConfig config;
+  config.key_range = 4096;
+  config.threads = 2;
+  config.seconds = 0.3;
+  config.contains_fraction = 0.9;
+  const RunResult r = citrus::workload::run_workload(*dict, config);
+  ASSERT_GT(r.total_ops, 1000u);
+  const double contains_share =
+      static_cast<double>(r.contains_ops) / static_cast<double>(r.total_ops);
+  EXPECT_NEAR(contains_share, 0.9, 0.03);
+  // Remainder splits evenly between inserts and erases.
+  EXPECT_NEAR(static_cast<double>(r.insert_ops),
+              static_cast<double>(r.erase_ops),
+              0.25 * static_cast<double>(r.insert_ops) + 50.0);
+  EXPECT_EQ(r.total_ops, r.contains_ops + r.insert_ops + r.erase_ops);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(Workload, SingleWriterOnlyThreadZeroUpdates) {
+  auto dict = make_dictionary("citrus");
+  WorkloadConfig config;
+  config.key_range = 1024;
+  config.threads = 3;
+  config.seconds = 0.2;
+  config.single_writer = true;
+  const RunResult r = citrus::workload::run_workload(*dict, config);
+  // Updates exist (thread 0) and reads dominate (threads 1,2).
+  EXPECT_GT(r.insert_ops + r.erase_ops, 0u);
+  EXPECT_GT(r.contains_ops, 0u);
+  // Mean sizes stay near the prefill level: inserts and erases balance.
+  const auto scope = dict->enter_thread();
+  EXPECT_NEAR(static_cast<double>(dict->size()), 512.0, 200.0);
+}
+
+TEST(Workload, HundredPercentContainsDoesNotModify) {
+  auto dict = make_dictionary("citrus");
+  WorkloadConfig config;
+  config.key_range = 512;
+  config.threads = 2;
+  config.seconds = 0.15;
+  config.contains_fraction = 1.0;
+  const RunResult r = citrus::workload::run_workload(*dict, config);
+  EXPECT_EQ(r.insert_ops, 0u);
+  EXPECT_EQ(r.erase_ops, 0u);
+  EXPECT_EQ(r.final_size, 256u);
+}
+
+TEST(Workload, GracePeriodsReportedForUpdateHeavyRuns) {
+  auto dict = make_dictionary("citrus");
+  WorkloadConfig config;
+  config.key_range = 256;
+  config.threads = 2;
+  config.seconds = 0.15;
+  config.contains_fraction = 0.0;  // all updates
+  const RunResult r = citrus::workload::run_workload(*dict, config);
+  EXPECT_GT(r.grace_periods, 0u);  // two-child deletes happened
+}
+
+TEST(Workload, QsbrDictionaryRunsToCompletion) {
+  // Regression: a worker finishing its run must go offline before parking
+  // at the exit barrier, or a QSBR grace period inside another worker's
+  // last update stalls forever.
+  auto dict = make_dictionary("citrus-qsbr");
+  WorkloadConfig config;
+  config.key_range = 256;
+  config.threads = 4;
+  config.seconds = 0.2;
+  config.contains_fraction = 0.2;  // update-heavy: lots of grace periods
+  const RunResult r = citrus::workload::run_workload(*dict, config);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.grace_periods, 0u);
+}
+
+TEST(Workload, RepeatedRunsAggregate) {
+  WorkloadConfig config;
+  config.key_range = 512;
+  config.threads = 2;
+  config.seconds = 0.1;
+  const auto summary = citrus::workload::run_repeated("skiplist", config, 3);
+  EXPECT_EQ(summary.count, 3u);
+  EXPECT_GT(summary.mean, 0.0);
+  EXPECT_LE(summary.min, summary.mean);
+  EXPECT_GE(summary.max, summary.mean);
+}
+
+TEST(Report, FormatsEngineeringUnits) {
+  using citrus::workload::format_ops;
+  EXPECT_EQ(format_ops(1.5e9), "1.50G");
+  EXPECT_EQ(format_ops(2.34e6), "2.34M");
+  EXPECT_EQ(format_ops(45600), "45.6k");
+  EXPECT_EQ(format_ops(321), "321");
+}
+
+TEST(Report, TableContainsSeriesAndThreads) {
+  std::ostringstream out;
+  std::vector<citrus::workload::SeriesPoint> points;
+  citrus::util::Summary s;
+  s.mean = 1e6;
+  points.push_back({"citrus", 1, s});
+  points.push_back({"citrus", 4, s});
+  points.push_back({"avl", 1, s});
+  citrus::workload::print_throughput_table(out, "test table", points);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("citrus"), std::string::npos);
+  EXPECT_NE(text.find("avl"), std::string::npos);
+  EXPECT_NE(text.find("1.00M"), std::string::npos);
+  EXPECT_NE(text.find("test table"), std::string::npos);
+}
+
+TEST(Workload, MixLabel) {
+  WorkloadConfig c;
+  c.contains_fraction = 0.98;
+  EXPECT_EQ(c.mix_label(), "98% contains");
+  c.single_writer = true;
+  EXPECT_EQ(c.mix_label(), "single-writer");
+}
+
+}  // namespace
