@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_type.dir/ablation_lock_type.cpp.o"
+  "CMakeFiles/ablation_lock_type.dir/ablation_lock_type.cpp.o.d"
+  "ablation_lock_type"
+  "ablation_lock_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rcu_domain.dir/ablation_rcu_domain.cpp.o"
+  "CMakeFiles/ablation_rcu_domain.dir/ablation_rcu_domain.cpp.o.d"
+  "ablation_rcu_domain"
+  "ablation_rcu_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rcu_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

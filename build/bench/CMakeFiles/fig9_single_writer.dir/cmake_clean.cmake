@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_single_writer.dir/fig9_single_writer.cpp.o"
+  "CMakeFiles/fig9_single_writer.dir/fig9_single_writer.cpp.o.d"
+  "fig9_single_writer"
+  "fig9_single_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_single_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rcu_primitives.dir/micro_rcu_primitives.cpp.o"
+  "CMakeFiles/micro_rcu_primitives.dir/micro_rcu_primitives.cpp.o.d"
+  "micro_rcu_primitives"
+  "micro_rcu_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rcu_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

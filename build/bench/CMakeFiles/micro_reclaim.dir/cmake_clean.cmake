@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reclaim.dir/micro_reclaim.cpp.o"
+  "CMakeFiles/micro_reclaim.dir/micro_reclaim.cpp.o.d"
+  "micro_reclaim"
+  "micro_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

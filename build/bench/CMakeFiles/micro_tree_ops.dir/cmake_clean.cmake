@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tree_ops.dir/micro_tree_ops.cpp.o"
+  "CMakeFiles/micro_tree_ops.dir/micro_tree_ops.cpp.o.d"
+  "micro_tree_ops"
+  "micro_tree_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tree_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

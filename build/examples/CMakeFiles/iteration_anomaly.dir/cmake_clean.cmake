@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iteration_anomaly.dir/iteration_anomaly.cpp.o"
+  "CMakeFiles/iteration_anomaly.dir/iteration_anomaly.cpp.o.d"
+  "iteration_anomaly"
+  "iteration_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iteration_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

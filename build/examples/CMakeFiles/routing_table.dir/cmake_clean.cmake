@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_table.dir/routing_table.cpp.o"
+  "CMakeFiles/routing_table.dir/routing_table.cpp.o.d"
+  "routing_table"
+  "routing_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

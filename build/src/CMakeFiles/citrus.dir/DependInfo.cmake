@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapters/registry.cpp" "src/CMakeFiles/citrus.dir/adapters/registry.cpp.o" "gcc" "src/CMakeFiles/citrus.dir/adapters/registry.cpp.o.d"
+  "/root/repo/src/lineariz/checker.cpp" "src/CMakeFiles/citrus.dir/lineariz/checker.cpp.o" "gcc" "src/CMakeFiles/citrus.dir/lineariz/checker.cpp.o.d"
+  "/root/repo/src/util/affinity.cpp" "src/CMakeFiles/citrus.dir/util/affinity.cpp.o" "gcc" "src/CMakeFiles/citrus.dir/util/affinity.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/citrus.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/citrus.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/citrus.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/citrus.dir/util/stats.cpp.o.d"
+  "/root/repo/src/workload/report.cpp" "src/CMakeFiles/citrus.dir/workload/report.cpp.o" "gcc" "src/CMakeFiles/citrus.dir/workload/report.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/CMakeFiles/citrus.dir/workload/runner.cpp.o" "gcc" "src/CMakeFiles/citrus.dir/workload/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

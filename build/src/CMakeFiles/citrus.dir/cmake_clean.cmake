@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citrus.dir/adapters/registry.cpp.o"
+  "CMakeFiles/citrus.dir/adapters/registry.cpp.o.d"
+  "CMakeFiles/citrus.dir/lineariz/checker.cpp.o"
+  "CMakeFiles/citrus.dir/lineariz/checker.cpp.o.d"
+  "CMakeFiles/citrus.dir/util/affinity.cpp.o"
+  "CMakeFiles/citrus.dir/util/affinity.cpp.o.d"
+  "CMakeFiles/citrus.dir/util/cli.cpp.o"
+  "CMakeFiles/citrus.dir/util/cli.cpp.o.d"
+  "CMakeFiles/citrus.dir/util/stats.cpp.o"
+  "CMakeFiles/citrus.dir/util/stats.cpp.o.d"
+  "CMakeFiles/citrus.dir/workload/report.cpp.o"
+  "CMakeFiles/citrus.dir/workload/report.cpp.o.d"
+  "CMakeFiles/citrus.dir/workload/runner.cpp.o"
+  "CMakeFiles/citrus.dir/workload/runner.cpp.o.d"
+  "libcitrus.a"
+  "libcitrus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citrus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adapters.dir/test_adapters.cpp.o"
+  "CMakeFiles/test_adapters.dir/test_adapters.cpp.o.d"
+  "test_adapters"
+  "test_adapters.pdb"
+  "test_adapters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

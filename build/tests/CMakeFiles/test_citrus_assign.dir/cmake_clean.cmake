@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citrus_assign.dir/test_citrus_assign.cpp.o"
+  "CMakeFiles/test_citrus_assign.dir/test_citrus_assign.cpp.o.d"
+  "test_citrus_assign"
+  "test_citrus_assign.pdb"
+  "test_citrus_assign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citrus_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citrus_basic.dir/test_citrus_basic.cpp.o"
+  "CMakeFiles/test_citrus_basic.dir/test_citrus_basic.cpp.o.d"
+  "test_citrus_basic"
+  "test_citrus_basic.pdb"
+  "test_citrus_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citrus_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

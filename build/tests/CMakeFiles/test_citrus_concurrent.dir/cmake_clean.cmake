@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citrus_concurrent.dir/test_citrus_concurrent.cpp.o"
+  "CMakeFiles/test_citrus_concurrent.dir/test_citrus_concurrent.cpp.o.d"
+  "test_citrus_concurrent"
+  "test_citrus_concurrent.pdb"
+  "test_citrus_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citrus_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

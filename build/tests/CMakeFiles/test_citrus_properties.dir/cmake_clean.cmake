@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citrus_properties.dir/test_citrus_properties.cpp.o"
+  "CMakeFiles/test_citrus_properties.dir/test_citrus_properties.cpp.o.d"
+  "test_citrus_properties"
+  "test_citrus_properties.pdb"
+  "test_citrus_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citrus_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

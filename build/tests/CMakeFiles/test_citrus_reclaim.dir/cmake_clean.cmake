@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citrus_reclaim.dir/test_citrus_reclaim.cpp.o"
+  "CMakeFiles/test_citrus_reclaim.dir/test_citrus_reclaim.cpp.o.d"
+  "test_citrus_reclaim"
+  "test_citrus_reclaim.pdb"
+  "test_citrus_reclaim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citrus_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citrus_scenarios.dir/test_citrus_scenarios.cpp.o"
+  "CMakeFiles/test_citrus_scenarios.dir/test_citrus_scenarios.cpp.o.d"
+  "test_citrus_scenarios"
+  "test_citrus_scenarios.pdb"
+  "test_citrus_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citrus_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dictionaries.dir/test_dictionaries.cpp.o"
+  "CMakeFiles/test_dictionaries.dir/test_dictionaries.cpp.o.d"
+  "test_dictionaries"
+  "test_dictionaries.pdb"
+  "test_dictionaries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dictionaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

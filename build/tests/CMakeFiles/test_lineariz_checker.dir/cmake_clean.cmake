@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lineariz_checker.dir/test_lineariz_checker.cpp.o"
+  "CMakeFiles/test_lineariz_checker.dir/test_lineariz_checker.cpp.o.d"
+  "test_lineariz_checker"
+  "test_lineariz_checker.pdb"
+  "test_lineariz_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lineariz_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_pool.dir/test_node_pool.cpp.o"
+  "CMakeFiles/test_node_pool.dir/test_node_pool.cpp.o.d"
+  "test_node_pool"
+  "test_node_pool.pdb"
+  "test_node_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

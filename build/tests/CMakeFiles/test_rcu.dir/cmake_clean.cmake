@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcu.dir/test_rcu.cpp.o"
+  "CMakeFiles/test_rcu.dir/test_rcu.cpp.o.d"
+  "test_rcu"
+  "test_rcu.pdb"
+  "test_rcu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

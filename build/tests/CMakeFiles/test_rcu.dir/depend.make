@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rcu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcu_torture.dir/test_rcu_torture.cpp.o"
+  "CMakeFiles/test_rcu_torture.dir/test_rcu_torture.cpp.o.d"
+  "test_rcu_torture"
+  "test_rcu_torture.pdb"
+  "test_rcu_torture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcu_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

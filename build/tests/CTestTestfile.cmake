@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rcu[1]_include.cmake")
+include("/root/repo/build/tests/test_rcu_torture[1]_include.cmake")
+include("/root/repo/build/tests/test_rcu_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_node_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_citrus_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_citrus_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_citrus_reclaim[1]_include.cmake")
+include("/root/repo/build/tests/test_citrus_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_citrus_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_citrus_assign[1]_include.cmake")
+include("/root/repo/build/tests/test_dictionaries[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_relativistic_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_lineariz_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_linearizability[1]_include.cmake")
+include("/root/repo/build/tests/test_adapters[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
