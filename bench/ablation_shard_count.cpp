@@ -1,0 +1,61 @@
+// Ablation AB3 (ours): throughput vs shard count for the sharded Citrus
+// dictionary, under the update-heavy mix where grace periods and node-lock
+// contention dominate. Single-shard "citrus" is the baseline series; the
+// shard variants add independent RCU domains, so a two-child delete's
+// synchronize_rcu waits only for readers inside its own shard.
+//
+// Alongside throughput, the per-series stats line reports aggregate grace
+// periods and the router's size-imbalance factor (max shard size / fair
+// share — should stay near 1.0 for uniform keys); --breakdown=1 prints the
+// full per-shard table of the last run of each series.
+#include <iostream>
+
+#include "adapters/idictionary.hpp"
+#include "util/cli.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace citrus;
+  util::Options opts(argc, argv);
+  const auto threads = opts.get_int_list("threads", {1, 2, 4, 8, 16});
+  const double seconds = opts.get_double("seconds", 0.3);
+  const std::string csv = opts.get("csv", "");
+  const bool breakdown = opts.get_bool("breakdown", false);
+
+  workload::WorkloadConfig config;
+  config.key_range = opts.get_int("range", 200000);
+  config.contains_fraction = opts.get_double("contains", 0.5);
+  config.seconds = seconds;
+  config.zipf_theta = opts.get_double("zipf", 0.0);
+
+  std::vector<workload::SeriesPoint> points;
+  for (const char* algorithm :
+       {"citrus", "citrus-shard4", "citrus-shard16", "citrus-shard64"}) {
+    for (const auto t : threads) {
+      config.threads = static_cast<int>(t);
+      adapters::Options dict_opts;
+      dict_opts.key_range_hint = config.key_range;
+      auto dict = adapters::make_dictionary(algorithm, dict_opts);
+      const auto result = workload::run_workload(*dict, config);
+      util::Summary s;
+      s.count = 1;
+      s.mean = s.min = s.max = s.median = result.throughput;
+      points.push_back({algorithm, config.threads, s});
+      const auto stats = dict->stats();
+      std::cout << "ablation-shard " << algorithm << " threads=" << t
+                << " -> " << workload::format_ops(result.throughput)
+                << " ops/s, " << workload::format_stats(stats) << std::endl;
+      if (breakdown && t == threads.back()) {
+        workload::print_shard_breakdown(std::cout, stats);
+      }
+    }
+  }
+  workload::print_throughput_table(
+      std::cout,
+      "Ablation: Citrus shard count (" + config.mix_label() + ", range [0," +
+          std::to_string(config.key_range) + "])",
+      points);
+  workload::append_csv(csv, "ablation-shard", points);
+  return 0;
+}

@@ -26,8 +26,12 @@ int main(int argc, char** argv) {
   const std::string csv = opts.get("csv", "");
   const auto ranges = opts.get_int_list("ranges", {200000, 2000000});
 
-  const std::vector<std::string> algorithms = {"citrus", "avl",     "skiplist",
-                                               "bonsai", "rbtree", "lockfree"};
+  // The paper's six algorithms plus our sharded Citrus (16 hash shards,
+  // one RCU domain each) — the harness extension the shard ablation
+  // studies in isolation.
+  const std::vector<std::string> algorithms = {
+      "citrus", "citrus-shard16", "avl",     "skiplist",
+      "bonsai", "rbtree",         "lockfree"};
   const double mixes[] = {1.0, 0.98, 0.5};
 
   for (const auto range : ranges) {

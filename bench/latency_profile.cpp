@@ -29,9 +29,11 @@ int main(int argc, char** argv) {
               "ops/s", "r-p50", "r-p90", "r-p99", "r-p999", "u-p50", "u-p90",
               "u-p99", "u-p999");
   for (const char* name :
-       {"citrus", "citrus-reclaim", "avl", "skiplist", "bonsai", "rbtree",
-        "lockfree"}) {
-    auto dict = adapters::make_dictionary(name);
+       {"citrus", "citrus-reclaim", "citrus-shard16", "avl", "skiplist",
+        "bonsai", "rbtree", "lockfree"}) {
+    adapters::Options dict_opts;
+    dict_opts.key_range_hint = config.key_range;
+    auto dict = adapters::make_dictionary(name, dict_opts);
     const auto r = workload::run_workload(*dict, config);
     std::printf(
         "%-16s %10s | %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64

@@ -86,6 +86,8 @@ TREE_BENCH(rbtree);
 TREE_BENCH(lockfree);
 BENCHMARK_CAPTURE(BM_Contains, rcu_hash, "rcu-hash")->Arg(1 << 14)->Arg(1 << 18);
 BENCHMARK_CAPTURE(BM_InsertErase, rcu_hash, "rcu-hash")->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK_CAPTURE(BM_Contains, citrus_shard16, "citrus-shard16")->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK_CAPTURE(BM_InsertErase, citrus_shard16, "citrus-shard16")->Arg(1 << 14)->Arg(1 << 18);
 
 
 BENCHMARK(BM_SeqBstContains)->Arg(1 << 14)->Arg(1 << 18);

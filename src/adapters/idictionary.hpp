@@ -1,7 +1,7 @@
 // Type-erased dictionary over int64 keys/values, plus the by-name registry
 // used by the figure-reproduction benchmarks. Each adapter owns its RCU
-// domain and its tree; worker threads obtain a ThreadScope (RAII thread
-// registration with the underlying RCU domain) before operating.
+// domain(s) and its tree(s); worker threads obtain a ThreadScope (RAII
+// thread registration with every underlying RCU domain) before operating.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +11,58 @@
 #include <string>
 #include <vector>
 
+#include "citrus/structure_report.hpp"
+
 namespace citrus::adapters {
 
 // Held by a worker thread for as long as it uses the dictionary.
 class ThreadScope {
  public:
   virtual ~ThreadScope() = default;
+};
+
+// One shard's slice of a StatsSnapshot. Unsharded dictionaries report a
+// snapshot with an empty `shards` vector; sharded ones fill one entry per
+// shard so benches can see imbalance and per-shard grace-period pressure.
+struct ShardStats {
+  std::uint64_t grace_periods = 0;  // synchronize_rcu calls in this shard
+  std::uint64_t retries = 0;        // insert + erase validation retries
+  std::uint64_t lock_timeouts = 0;  // bounded try-lock giving up
+  std::uint64_t recycled_nodes = 0; // nodes returned to the pool
+  std::size_t size = 0;             // keys resident (relaxed counter)
+};
+
+// Structured operation statistics, replacing the old ad-hoc
+// `grace_periods()` accessor. Counters are maintained with relaxed
+// atomics and are exact only at quiescence; implementations fill what
+// they track and leave the rest zero (a plain std::uint64_t zero is
+// indistinguishable from "not tracked" by design — consumers treat all
+// fields as best-effort diagnostics, not invariants).
+struct StatsSnapshot {
+  std::uint64_t grace_periods = 0;  // synchronize_rcu calls, all domains
+  std::uint64_t insert_retries = 0;
+  std::uint64_t erase_retries = 0;
+  std::uint64_t lock_timeouts = 0;
+  std::uint64_t recycled_nodes = 0;
+  std::vector<ShardStats> shards;   // per-shard breakdown; empty if unsharded
+};
+
+// Construction-time tuning passed to make_dictionary. Every field has a
+// "let the implementation decide" default, so `Options{}` reproduces the
+// historic `make_dictionary(name)` behavior exactly.
+struct Options {
+  // Number of hash shards for sharded dictionaries (power of two). 0 =
+  // the name's built-in default (e.g. 16 for "citrus-shard16"); ignored
+  // by unsharded implementations.
+  std::size_t shards = 0;
+  // Expected key-range of the workload; lets implementations pre-size
+  // internal tables (the relativistic hash baseline). 0 = unknown.
+  std::int64_t key_range_hint = 0;
+  // Override the algorithm's memory-reclamation trait: true forces
+  // grace-period reclamation on, false forces the paper's leak-mode off.
+  // Unset keeps the name's default (e.g. "citrus" off, "citrus-reclaim"
+  // on). Only meaningful for Citrus variants.
+  std::optional<bool> reclaim;
 };
 
 class IDictionary {
@@ -33,25 +79,37 @@ class IDictionary {
   virtual std::optional<std::int64_t> find(std::int64_t key) const = 0;
   virtual std::size_t size() const = 0;
 
-  // Quiescent structural audit; true if the implementation has none.
-  virtual bool check_structure(std::string* error) const = 0;
+  // Quiescent structural audit. Implementations fill the report fields
+  // they can compute safely without the caller holding a ThreadScope;
+  // those with no structural invariant of their own return an ok report.
+  virtual core::StructureReport check_structure() const = 0;
 
-  // Grace periods driven so far (0 for non-RCU structures) — Figure 8's
-  // diagnostic.
-  virtual std::uint64_t grace_periods() const { return 0; }
+  // Operation statistics snapshot (quiescently exact). The default is the
+  // all-zero snapshot for structures that track nothing.
+  virtual StatsSnapshot stats() const { return {}; }
 
   virtual std::string name() const = 0;
 };
 
-using DictionaryFactory = std::function<std::unique_ptr<IDictionary>()>;
+using DictionaryFactory =
+    std::function<std::unique_ptr<IDictionary>(const Options&)>;
 
-// Global algorithm registry. Names used by the benches:
-//   citrus            Citrus tree, paper's counter+flag RCU, no reclamation
-//   citrus-std-rcu    Citrus over the stock (global-lock) RCU — Fig 8 left
-//   citrus-epoch      Citrus over epoch-based RCU — RCU-choice ablation
-//   citrus-qsbr       Citrus over quiescent-state-based RCU (cheapest reads)
-//   citrus-reclaim    Citrus with full memory reclamation on
-//   citrus-mutex      Citrus with std::mutex node locks — lock ablation
+// Global algorithm registry. Names used by the benches, with the traits
+// each maps to (BenchTraits = paper-faithful: no reclamation, no stats;
+// DefaultTraits = reclamation + stats on):
+//   citrus            Citrus tree, paper's counter+flag RCU, BenchTraits
+//   citrus-std-rcu    Citrus over the stock (global-lock) RCU — Fig 8 left;
+//                     BenchTraits
+//   citrus-epoch      Citrus over epoch-based RCU — RCU-choice ablation;
+//                     BenchTraits
+//   citrus-qsbr       Citrus over quiescent-state-based RCU (cheapest
+//                     reads); BenchTraits
+//   citrus-reclaim    Citrus with full memory reclamation on; DefaultTraits
+//   citrus-mutex      Citrus with std::mutex node locks — lock ablation;
+//                     BenchTraits + UseStdMutex
+//   citrus-shard4     ShardedCitrus, 4 shards × counter+flag RCU domains;
+//   citrus-shard16      per-shard node pools and retire queues. BenchTraits
+//   citrus-shard64      per shard; Options::shards overrides the count.
 //   rbtree            relativistic red-black tree (global writer lock)
 //   bonsai            Bonsai path-copying balanced tree (global writer lock)
 //   avl               Bronson optimistic AVL
@@ -59,6 +117,9 @@ using DictionaryFactory = std::function<std::unique_ptr<IDictionary>()>;
 //   skiplist          Herlihy lazy skiplist
 //   rcu-hash          relativistic hash table (per-bucket locks, RCU resize)
 std::vector<std::string> registered_dictionaries();
+std::unique_ptr<IDictionary> make_dictionary(const std::string& name,
+                                             const Options& options);
+// Back-compat convenience: default Options.
 std::unique_ptr<IDictionary> make_dictionary(const std::string& name);
 
 }  // namespace citrus::adapters

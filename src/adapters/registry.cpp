@@ -15,6 +15,7 @@
 #include "rcu/epoch_rcu.hpp"
 #include "rcu/global_lock_rcu.hpp"
 #include "rcu/qsbr_rcu.hpp"
+#include "shard/sharded_dict.hpp"
 
 namespace citrus::adapters {
 
@@ -34,7 +35,11 @@ class RcuThreadScope final : public ThreadScope {
 template <typename Rcu, typename Tree>
 class TreeAdapter final : public IDictionary {
  public:
-  explicit TreeAdapter(std::string name) : name_(std::move(name)) {}
+  // Extra args are forwarded to the tree after the domain (e.g. the
+  // relativistic hash table's initial bucket count).
+  template <typename... Args>
+  explicit TreeAdapter(std::string name, Args&&... args)
+      : name_(std::move(name)), tree_(domain_, std::forward<Args>(args)...) {}
 
   std::unique_ptr<ThreadScope> enter_thread() override {
     return std::make_unique<RcuThreadScope<Rcu>>(domain_);
@@ -52,43 +57,156 @@ class TreeAdapter final : public IDictionary {
   }
   std::size_t size() const override { return tree_.size(); }
 
-  bool check_structure(std::string* error) const override {
-    return check_impl(error);
+  core::StructureReport check_structure() const override {
+    if constexpr (requires(const Tree& t, std::string* e) {
+                    { t.check_structure(e) } -> std::convertible_to<bool>;
+                  }) {
+      // Baselines report bool + message; lift into a StructureReport.
+      // node_count stays 0: size() may itself need a registered RCU
+      // read-side section (Bonsai), which the auditing thread need not
+      // hold.
+      core::StructureReport rep;
+      rep.ok = tree_.check_structure(&rep.error);
+      if (rep.ok) rep.error.clear();
+      return rep;
+    } else {
+      return tree_.check_structure();
+    }
   }
 
-  std::uint64_t grace_periods() const override {
-    return domain_.synchronize_calls();
+  StatsSnapshot stats() const override {
+    StatsSnapshot snap;
+    snap.grace_periods = domain_.synchronize_calls();
+    if constexpr (requires(const Tree& t) {
+                    { t.stats() } -> std::convertible_to<core::CitrusStats>;
+                  }) {
+      const core::CitrusStats s = tree_.stats();
+      snap.insert_retries = s.insert_retries;
+      snap.erase_retries = s.erase_retries;
+      snap.lock_timeouts = s.lock_timeouts;
+      snap.recycled_nodes = s.recycled_nodes;
+    }
+    return snap;
   }
 
   std::string name() const override { return name_; }
 
  private:
-  template <typename T = Tree>
-  bool check_impl(std::string* error) const {
-    if constexpr (requires(const T& t, std::string* e) {
-                    { t.check_structure(e) } -> std::convertible_to<bool>;
-                  }) {
-      return tree_.check_structure(error);
-    } else {
-      // Citrus reports through a StructureReport.
-      auto rep = tree_.check_structure();
-      if (!rep.ok && error != nullptr) *error = rep.error;
-      return rep.ok;
-    }
-  }
-
   std::string name_;
   Rcu domain_;       // destroyed after the tree (declaration order)
-  Tree tree_{domain_};
+  Tree tree_;
 };
 
 using Key = std::int64_t;
 using Value = std::int64_t;
 
+// Adapter over ShardedCitrus: N shards, each an independent (domain, tree)
+// pair; a ThreadScope registers with all shard domains.
+template <typename Rcu, typename Traits>
+class ShardedAdapter final : public IDictionary {
+  using Sharded = shard::ShardedCitrus<Key, Value, Rcu, Traits>;
+
+  class Scope final : public ThreadScope {
+   public:
+    explicit Scope(Sharded& dict) : registration_(dict) {}
+
+   private:
+    typename Sharded::Registration registration_;
+  };
+
+ public:
+  ShardedAdapter(std::string name, std::size_t shards)
+      : name_(std::move(name)), dict_(shards) {}
+
+  std::unique_ptr<ThreadScope> enter_thread() override {
+    return std::make_unique<Scope>(dict_);
+  }
+
+  bool insert(std::int64_t key, std::int64_t value) override {
+    return dict_.insert(key, value);
+  }
+  bool erase(std::int64_t key) override { return dict_.erase(key); }
+  bool contains(std::int64_t key) const override {
+    return dict_.contains(key);
+  }
+  std::optional<std::int64_t> find(std::int64_t key) const override {
+    return dict_.find(key);
+  }
+  std::size_t size() const override { return dict_.size(); }
+
+  core::StructureReport check_structure() const override {
+    return dict_.check_structure();
+  }
+
+  StatsSnapshot stats() const override {
+    StatsSnapshot snap;
+    snap.shards.reserve(dict_.shard_count());
+    for (std::size_t i = 0; i < dict_.shard_count(); ++i) {
+      const core::CitrusStats s = dict_.shard_stats(i);
+      ShardStats out;
+      out.grace_periods = dict_.shard_synchronize_calls(i);
+      out.retries = s.insert_retries + s.erase_retries;
+      out.lock_timeouts = s.lock_timeouts;
+      out.recycled_nodes = s.recycled_nodes;
+      out.size = dict_.shard_size(i);
+      snap.grace_periods += out.grace_periods;
+      snap.insert_retries += s.insert_retries;
+      snap.erase_retries += s.erase_retries;
+      snap.lock_timeouts += s.lock_timeouts;
+      snap.recycled_nodes += s.recycled_nodes;
+      snap.shards.push_back(out);
+    }
+    return snap;
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Sharded dict_;
+};
+
 template <typename Rcu, typename Tree>
 DictionaryFactory factory(const char* name) {
-  return [name] {
+  return [name](const Options&) {
     return std::make_unique<TreeAdapter<Rcu, Tree>>(name);
+  };
+}
+
+// Citrus factories honor Options::reclaim by swapping the traits tier at
+// construction time (the trait is compile-time, so both instantiations
+// exist and the option picks one).
+template <typename Rcu>
+DictionaryFactory citrus_factory(const char* name, bool reclaim_default) {
+  return [name, reclaim_default](const Options& options) -> std::unique_ptr<IDictionary> {
+    const bool reclaim = options.reclaim.value_or(reclaim_default);
+    if (reclaim) {
+      return std::make_unique<TreeAdapter<
+          Rcu, core::CitrusTree<Key, Value, Rcu, core::DefaultTraits>>>(name);
+    }
+    return std::make_unique<TreeAdapter<
+        Rcu, core::CitrusTree<Key, Value, Rcu, core::BenchTraits>>>(name);
+  };
+}
+
+// Sharded Citrus: Options::shards (power of two) overrides the name's
+// default count; Options::reclaim picks the traits tier as above.
+DictionaryFactory sharded_factory(const char* name,
+                                  std::size_t default_shards) {
+  return [name, default_shards](const Options& options)
+             -> std::unique_ptr<IDictionary> {
+    std::size_t shards =
+        options.shards != 0 ? options.shards : default_shards;
+    if (!shard::is_power_of_two(shards)) {
+      throw std::invalid_argument("shard count must be a power of two");
+    }
+    using rcu::CounterFlagRcu;
+    if (options.reclaim.value_or(false)) {
+      return std::make_unique<
+          ShardedAdapter<CounterFlagRcu, core::DefaultTraits>>(name, shards);
+    }
+    return std::make_unique<
+        ShardedAdapter<CounterFlagRcu, core::BenchTraits>>(name, shards);
   };
 }
 
@@ -103,29 +221,20 @@ const std::map<std::string, DictionaryFactory>& registry() {
   using rcu::QsbrRcu;
   using rcu::GlobalLockRcu;
   static const std::map<std::string, DictionaryFactory> map = {
-      {"citrus",
-       factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
-                                                core::BenchTraits>>("citrus")},
+      {"citrus", citrus_factory<CounterFlagRcu>("citrus", false)},
       {"citrus-std-rcu",
-       factory<GlobalLockRcu, core::CitrusTree<Key, Value, GlobalLockRcu,
-                                               core::BenchTraits>>(
-           "citrus-std-rcu")},
-      {"citrus-epoch",
-       factory<EpochRcu,
-               core::CitrusTree<Key, Value, EpochRcu, core::BenchTraits>>(
-           "citrus-epoch")},
-      {"citrus-qsbr",
-       factory<QsbrRcu,
-               core::CitrusTree<Key, Value, QsbrRcu, core::BenchTraits>>(
-           "citrus-qsbr")},
+       citrus_factory<GlobalLockRcu>("citrus-std-rcu", false)},
+      {"citrus-epoch", citrus_factory<EpochRcu>("citrus-epoch", false)},
+      {"citrus-qsbr", citrus_factory<QsbrRcu>("citrus-qsbr", false)},
       {"citrus-reclaim",
-       factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
-                                                core::DefaultTraits>>(
-           "citrus-reclaim")},
+       citrus_factory<CounterFlagRcu>("citrus-reclaim", true)},
       {"citrus-mutex",
        factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
                                                 CitrusMutexTraits>>(
            "citrus-mutex")},
+      {"citrus-shard4", sharded_factory("citrus-shard4", 4)},
+      {"citrus-shard16", sharded_factory("citrus-shard16", 16)},
+      {"citrus-shard64", sharded_factory("citrus-shard64", 64)},
       {"rbtree",
        factory<CounterFlagRcu,
                baselines::RcuRedBlackTree<Key, Value, CounterFlagRcu,
@@ -145,10 +254,19 @@ const std::map<std::string, DictionaryFactory>& registry() {
                                       baselines::LfBstBenchTraits>>(
            "lockfree")},
       {"rcu-hash",
-       factory<CounterFlagRcu,
-               baselines::RelativisticHashTable<Key, Value, CounterFlagRcu,
-                                                baselines::RelHashBenchTraits>>(
-           "rcu-hash")},
+       [](const Options& options) -> std::unique_ptr<IDictionary> {
+         using Table =
+             baselines::RelativisticHashTable<Key, Value, CounterFlagRcu,
+                                              baselines::RelHashBenchTraits>;
+         // ~8 expected keys per bucket at the hinted range's half-full
+         // steady state; 0 falls back to the trait default.
+         const std::size_t buckets =
+             options.key_range_hint > 0
+                 ? static_cast<std::size_t>(options.key_range_hint) / 16
+                 : baselines::RelHashBenchTraits::kInitialBuckets;
+         return std::make_unique<TreeAdapter<CounterFlagRcu, Table>>(
+             "rcu-hash", buckets);
+       }},
       {"skiplist",
        factory<CounterFlagRcu,
                baselines::LazySkiplist<Key, Value, CounterFlagRcu,
@@ -166,13 +284,18 @@ std::vector<std::string> registered_dictionaries() {
   return names;
 }
 
-std::unique_ptr<IDictionary> make_dictionary(const std::string& name) {
+std::unique_ptr<IDictionary> make_dictionary(const std::string& name,
+                                             const Options& options) {
   const auto& map = registry();
   const auto it = map.find(name);
   if (it == map.end()) {
     throw std::invalid_argument("unknown dictionary: " + name);
   }
-  return it->second();
+  return it->second(options);
+}
+
+std::unique_ptr<IDictionary> make_dictionary(const std::string& name) {
+  return make_dictionary(name, Options{});
 }
 
 }  // namespace citrus::adapters

@@ -54,9 +54,17 @@ class RelativisticHashTable {
   using key_type = Key;
   using mapped_type = Value;
 
-  explicit RelativisticHashTable(Rcu& domain) : rcu_(domain) {
-    table_.store(new Table(Traits::kInitialBuckets),
-                 std::memory_order_release);
+  explicit RelativisticHashTable(Rcu& domain)
+      : RelativisticHashTable(domain, Traits::kInitialBuckets) {}
+
+  // Pre-sized variant (adapters::Options::key_range_hint): starts with
+  // `initial_buckets` rounded up to a power of two, skipping the resize
+  // ramp a known-large workload would otherwise pay.
+  RelativisticHashTable(Rcu& domain, std::size_t initial_buckets)
+      : rcu_(domain) {
+    std::size_t n = Traits::kInitialBuckets;
+    while (n < initial_buckets) n <<= 1;
+    table_.store(new Table(n), std::memory_order_release);
   }
 
   RelativisticHashTable(const RelativisticHashTable&) = delete;

@@ -58,6 +58,7 @@
 
 #include "citrus/citrus_node.hpp"
 #include "citrus/node_pool.hpp"
+#include "citrus/structure_report.hpp"
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/rcu.hpp"
 #include "sync/backoff.hpp"
@@ -105,15 +106,19 @@ struct CitrusStats {
   std::uint64_t two_child_erases = 0;
   std::uint64_t lock_timeouts = 0;
   std::uint64_t recycled_nodes = 0;
+
+  // Fold another tree's counters into this one (sharded aggregation).
+  void merge(const CitrusStats& o) {
+    insert_retries += o.insert_retries;
+    erase_retries += o.erase_retries;
+    two_child_erases += o.two_child_erases;
+    lock_timeouts += o.lock_timeouts;
+    recycled_nodes += o.recycled_nodes;
+  }
 };
 
-// Result of check_structure(): quiescent structural audit used by tests.
-struct StructureReport {
-  bool ok = true;
-  std::string error;
-  std::size_t node_count = 0;  // real (non-sentinel) reachable nodes
-  std::size_t height = 0;      // edges on the longest root→leaf path
-};
+// check_structure() reports through core::StructureReport
+// (structure_report.hpp), shared with the adapter layer.
 
 template <typename Key, typename Value,
           rcu::rcu_domain Rcu = rcu::CounterFlagRcu,

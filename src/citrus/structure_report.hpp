@@ -1,0 +1,36 @@
+// Result type of the quiescent structural audits (`check_structure`).
+//
+// Lives in its own header so the type-erased adapter layer
+// (adapters/idictionary.hpp) can speak it without depending on the full
+// tree template. Every dictionary — Citrus, the baselines, the sharded
+// composite — reports through this one type; implementations without a
+// structural invariant of their own return a default-constructed (ok)
+// report with the fields they can fill.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace citrus::core {
+
+// Quiescent structural audit: valid only while no concurrent operations
+// run. `ok == false` carries a human-readable diagnosis in `error`.
+struct StructureReport {
+  bool ok = true;
+  std::string error;
+  std::size_t node_count = 0;  // real (non-sentinel) reachable nodes
+  std::size_t height = 0;      // edges on the longest root→leaf path
+
+  // Fold another report (e.g. one shard's) into this one: conjunction of
+  // ok, first error wins, counts add, heights max.
+  void merge(const StructureReport& other) {
+    if (ok && !other.ok) {
+      ok = false;
+      error = other.error;
+    }
+    node_count += other.node_count;
+    if (other.height > height) height = other.height;
+  }
+};
+
+}  // namespace citrus::core

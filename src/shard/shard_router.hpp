@@ -1,0 +1,61 @@
+// Key → shard routing for the sharded Citrus dictionary.
+//
+// The router must (a) be a handful of instructions — it sits in front of
+// every operation — and (b) spread *clustered* key distributions evenly.
+// Benchmarks draw keys uniformly, but real workloads are skewed (Zipf) or
+// sequential, and a naive `key & (shards - 1)` would map a sequential
+// scan's working set onto a round-robin of shards while leaving a
+// Zipf-hot key block on one shard. We therefore finalize the key with
+// SplitMix64's avalanche function (util/rng.hpp) — every input bit flips
+// each output bit with probability ~1/2 — and take the *high* bits of the
+// result, which are the best-mixed bits of a multiply-shift finalizer.
+//
+// Shard counts are restricted to powers of two so selection is a shift,
+// not a division, and so the router composes with power-of-two resize
+// schemes (cf. the relativistic hash baseline).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace citrus::shard {
+
+inline constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+template <typename Key>
+class ShardRouter {
+ public:
+  // `shard_count` must be a power of two (asserted). A single-shard
+  // router degenerates to the unsharded dictionary: shard_of == 0 always.
+  explicit ShardRouter(std::size_t shard_count) : shards_(shard_count) {
+    assert(is_power_of_two(shard_count) &&
+           "shard count must be a power of two");
+    // Number of high bits that select a shard.
+    std::size_t bits = 0;
+    for (std::size_t s = shard_count; s > 1; s >>= 1) ++bits;
+    shift_ = 64 - bits;
+  }
+
+  std::size_t shards() const noexcept { return shards_; }
+
+  std::size_t shard_of(const Key& key) const noexcept {
+    if (shards_ == 1) return 0;
+    std::uint64_t h = static_cast<std::uint64_t>(std::hash<Key>{}(key));
+    // std::hash is the identity for integral keys on the major standard
+    // libraries; the finalizer supplies all the mixing.
+    h = util::splitmix64(h);
+    return static_cast<std::size_t>(h >> shift_);
+  }
+
+ private:
+  std::size_t shards_;
+  unsigned shift_ = 64;
+};
+
+}  // namespace citrus::shard

@@ -1,0 +1,205 @@
+// ShardedCitrus — hash partitioning of the keyspace over N independent
+// Citrus trees, each with its **own RCU domain**, node pool and retire
+// queues.
+//
+// Why per-shard domains matter: the paper's counter+flag RCU lets many
+// updaters run synchronize_rcu concurrently because synchronizers share no
+// state — but every synchronizer still *waits for every registered reader*
+// of its domain. With one domain per shard, a two-child delete in shard i
+// waits only for readers currently inside shard i; readers traversing the
+// other N−1 shards are invisible to it (their flags live in other
+// domains). Grace periods shorten, per-shard trees are ~log(N) levels
+// shallower, and node-lock contention never crosses a shard boundary.
+//
+// The price is cross-shard semantics:
+//   * Point operations (insert/erase/contains/find/assign) touch exactly
+//     one shard and remain linearizable: the router is a pure function of
+//     the key, so per-key histories are per-shard histories, and a
+//     composition of linearizable point histories over disjoint key sets
+//     is linearizable (tests/test_linearizability.cpp checks this
+//     end-to-end against the recorded-history checker).
+//   * Aggregates (`size`, `check_structure`, `stats`) read per-shard
+//     state without a global snapshot and are exact only at quiescence —
+//     the same contract each CitrusTree already has for its own
+//     relaxed-counter size().
+//
+// Thread participation: a thread holds one ShardedCitrus::Registration,
+// which registers it with all N shard domains up front (registration is
+// rare; operations are hot). The per-thread domain-record lookup in
+// rcu/registry.hpp is a scan of a small TLS vector, so N registrations
+// cost N slots there — measurable only past ~64 shards.
+//
+// RCU-domain choice: counter+flag (the default) and the other
+// flag-sampling domains compose cleanly — a synchronizer in shard i only
+// needs shard-i readers to *leave their current section*, which they do
+// regardless of what other shards they visit. QSBR is the exception: a
+// quiescent-state domain needs every registered thread to checkpoint, and
+// a thread parked inside shard i's synchronize never checkpoints in shard
+// j, so ShardedCitrus over QsbrRcu can stall cross-shard grace periods
+// under concurrent two-child deletes. Keep sharded instantiations on
+// flag-based domains (the registry only exposes counter+flag).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "citrus/citrus_tree.hpp"
+#include "citrus/structure_report.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/rcu.hpp"
+#include "shard/shard_router.hpp"
+#include "sync/cache.hpp"
+
+namespace citrus::shard {
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = core::DefaultTraits>
+class ShardedCitrus {
+  using Tree = core::CitrusTree<Key, Value, Rcu, Traits>;
+
+  // Domain + tree on their own cache lines; the domain outlives the tree
+  // (declaration order) exactly as in the unsharded adapter.
+  struct alignas(sync::kDestructiveInterference) Shard {
+    Rcu domain;
+    Tree tree{domain};
+  };
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+  using rcu_type = Rcu;
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit ShardedCitrus(std::size_t shard_count = kDefaultShards)
+      : router_(shard_count) {
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  ShardedCitrus(const ShardedCitrus&) = delete;
+  ShardedCitrus& operator=(const ShardedCitrus&) = delete;
+
+  // RAII participation token covering every shard domain, mirroring
+  // Rcu::Registration for a single domain. A thread must hold one for as
+  // long as it operates on the dictionary.
+  class Registration {
+   public:
+    explicit Registration(ShardedCitrus& dict) {
+      regs_.reserve(dict.shards_.size());
+      for (auto& s : dict.shards_) {
+        regs_.push_back(
+            std::make_unique<typename Rcu::Registration>(s->domain));
+      }
+    }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+   private:
+    std::vector<std::unique_ptr<typename Rcu::Registration>> regs_;
+  };
+
+  // ── Point operations: route, then delegate ────────────────────────
+
+  bool insert(const Key& key, const Value& value) {
+    return shard_for(key).insert(key, value);
+  }
+  bool erase(const Key& key) { return shard_for(key).erase(key); }
+  bool assign(const Key& key, const Value& value) {
+    return shard_for(key).assign(key, value);
+  }
+  bool insert_or_assign(const Key& key, const Value& value) {
+    return shard_for(key).insert_or_assign(key, value);
+  }
+  bool contains(const Key& key) const { return shard_for(key).contains(key); }
+  std::optional<Value> find(const Key& key) const {
+    return shard_for(key).find(key);
+  }
+
+  // ── Aggregates (exact at quiescence; see header comment) ──────────
+
+  std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->tree.size();
+    return total;
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  core::CitrusStats stats() const {
+    core::CitrusStats out;
+    for (const auto& s : shards_) out.merge(s->tree.stats());
+    return out;
+  }
+
+  core::StructureReport check_structure() const {
+    core::StructureReport merged;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      core::StructureReport rep = shards_[i]->tree.check_structure();
+      if (!rep.ok) {
+        rep.error = "shard " + std::to_string(i) + ": " + rep.error;
+      }
+      merged.merge(rep);
+    }
+    return merged;
+  }
+
+  // Sum of grace periods driven across all shard domains.
+  std::uint64_t synchronize_calls() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->domain.synchronize_calls();
+    return total;
+  }
+
+  // Quiescent in-order visit per shard. Shards partition by *hash*, so
+  // concatenation is NOT globally key-ordered; keys_quiescent() sorts.
+  template <typename F>
+  void for_each_quiescent(F&& f) const {
+    for (const auto& s : shards_) s->tree.for_each_quiescent(f);
+  }
+
+  std::vector<Key> keys_quiescent() const {
+    std::vector<Key> out;
+    for_each_quiescent([&out](const Key& k, const Value&) { out.push_back(k); });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // ── Per-shard introspection (router tests, stats breakdown) ───────
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_of(const Key& key) const noexcept {
+    return router_.shard_of(key);
+  }
+  const Tree& shard_tree(std::size_t i) const { return shards_[i]->tree; }
+  Rcu& shard_domain(std::size_t i) { return shards_[i]->domain; }
+  std::uint64_t shard_synchronize_calls(std::size_t i) const {
+    return shards_[i]->domain.synchronize_calls();
+  }
+  core::CitrusStats shard_stats(std::size_t i) const {
+    return shards_[i]->tree.stats();
+  }
+  std::size_t shard_size(std::size_t i) const {
+    return shards_[i]->tree.size();
+  }
+
+ private:
+  Tree& shard_for(const Key& key) {
+    return shards_[router_.shard_of(key)]->tree;
+  }
+  const Tree& shard_for(const Key& key) const {
+    return shards_[router_.shard_of(key)]->tree;
+  }
+
+  ShardRouter<Key> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace citrus::shard

@@ -24,6 +24,44 @@ std::string format_ops(double ops) {
   return buf;
 }
 
+std::string format_stats(const adapters::StatsSnapshot& stats) {
+  std::string out = "gp=" + std::to_string(stats.grace_periods) +
+                    " retries=" +
+                    std::to_string(stats.insert_retries + stats.erase_retries) +
+                    " timeouts=" + std::to_string(stats.lock_timeouts) +
+                    " recycled=" + std::to_string(stats.recycled_nodes);
+  if (!stats.shards.empty()) {
+    std::size_t total = 0, biggest = 0;
+    for (const auto& s : stats.shards) {
+      total += s.size;
+      biggest = std::max(biggest, s.size);
+    }
+    const double fair = static_cast<double>(total) /
+                        static_cast<double>(stats.shards.size());
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " shards=%zu imbalance=%.2f",
+                  stats.shards.size(),
+                  fair > 0.0 ? static_cast<double>(biggest) / fair : 1.0);
+    out += buf;
+  }
+  return out;
+}
+
+void print_shard_breakdown(std::ostream& out,
+                           const adapters::StatsSnapshot& stats) {
+  if (stats.shards.empty()) return;
+  out << std::left << std::setw(8) << "shard" << std::right << std::setw(10)
+      << "size" << std::setw(10) << "grace" << std::setw(10) << "retries"
+      << std::setw(10) << "timeouts" << "\n";
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const auto& s = stats.shards[i];
+    out << std::left << std::setw(8) << i << std::right << std::setw(10)
+        << s.size << std::setw(10) << s.grace_periods << std::setw(10)
+        << s.retries << std::setw(10) << s.lock_timeouts << "\n";
+  }
+  out.flush();
+}
+
 void print_throughput_table(std::ostream& out, const std::string& title,
                             const std::vector<SeriesPoint>& points) {
   std::vector<std::string> series;

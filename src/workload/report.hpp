@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "adapters/idictionary.hpp"
 #include "util/stats.hpp"
 
 namespace citrus::workload {
@@ -31,5 +32,15 @@ void append_csv(const std::string& path, const std::string& figure,
 
 // Engineering formatting for throughput: "12.3M", "456k".
 std::string format_ops(double ops_per_sec);
+
+// One-line rendering of a StatsSnapshot: grace periods, retries, lock
+// timeouts, recycled nodes, and — for sharded dictionaries — the shard
+// count and size-imbalance factor (max shard size / fair share).
+std::string format_stats(const adapters::StatsSnapshot& stats);
+
+// Per-shard table ("shard  size  grace  retries  timeouts") for sharded
+// snapshots; prints nothing when the snapshot has no shard breakdown.
+void print_shard_breakdown(std::ostream& out,
+                           const adapters::StatsSnapshot& stats);
 
 }  // namespace citrus::workload

@@ -63,7 +63,7 @@ RunResult run_workload(adapters::IDictionary& dict,
                        const WorkloadConfig& config) {
   if (config.prefill) prefill(dict, config);
 
-  const std::uint64_t grace_before = dict.grace_periods();
+  const std::uint64_t grace_before = dict.stats().grace_periods;
   const int n = config.threads > 0 ? config.threads : 1;
   std::vector<ThreadCounters> counters(n);
   sync::SpinBarrier barrier(static_cast<std::uint32_t>(n) + 1);
@@ -175,7 +175,7 @@ RunResult run_workload(adapters::IDictionary& dict,
   }
   r.throughput = elapsed > 0.0 ? static_cast<double>(r.total_ops) / elapsed
                                : 0.0;
-  r.grace_periods = dict.grace_periods() - grace_before;
+  r.grace_periods = dict.stats().grace_periods - grace_before;
   {
     const auto scope = dict.enter_thread();
     r.final_size = dict.size();
@@ -184,11 +184,14 @@ RunResult run_workload(adapters::IDictionary& dict,
 }
 
 util::Summary run_repeated(const std::string& dictionary_name,
-                           const WorkloadConfig& config, int repeats) {
+                           const WorkloadConfig& config, int repeats,
+                           const adapters::Options& options) {
+  adapters::Options opt = options;
+  if (opt.key_range_hint == 0) opt.key_range_hint = config.key_range;
   std::vector<double> throughputs;
   throughputs.reserve(static_cast<std::size_t>(repeats));
   for (int i = 0; i < repeats; ++i) {
-    auto dict = adapters::make_dictionary(dictionary_name);
+    auto dict = adapters::make_dictionary(dictionary_name, opt);
     WorkloadConfig c = config;
     c.seed = config.seed + static_cast<std::uint64_t>(i) * 1315423911ull;
     throughputs.push_back(run_workload(*dict, c).throughput);

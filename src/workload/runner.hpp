@@ -22,7 +22,11 @@ RunResult run_workload(adapters::IDictionary& dict,
 
 // `repeats` independent runs on *fresh* dictionary instances; returns a
 // throughput summary (the paper reports the arithmetic mean of five runs).
+// `options` is forwarded to make_dictionary; an unset key_range_hint is
+// filled in from config.key_range so pre-sizable structures benefit
+// automatically.
 util::Summary run_repeated(const std::string& dictionary_name,
-                           const WorkloadConfig& config, int repeats);
+                           const WorkloadConfig& config, int repeats,
+                           const adapters::Options& options = {});
 
 }  // namespace citrus::workload

@@ -1,5 +1,5 @@
 // Type-erased adapters and the algorithm registry used by the figure
-// benches.
+// benches: the redesigned Options/StatsSnapshot/StructureReport API.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,13 +10,15 @@
 namespace {
 
 using citrus::adapters::make_dictionary;
+using citrus::adapters::Options;
 using citrus::adapters::registered_dictionaries;
 
 TEST(Registry, ContainsAllPaperAlgorithms) {
   const auto names = registered_dictionaries();
   for (const char* expected :
        {"citrus", "citrus-std-rcu", "citrus-epoch", "citrus-reclaim",
-        "citrus-mutex", "rbtree", "bonsai", "avl", "lockfree", "skiplist", "rcu-hash"}) {
+        "citrus-mutex", "citrus-shard4", "citrus-shard16", "citrus-shard64",
+        "rbtree", "bonsai", "avl", "lockfree", "skiplist", "rcu-hash"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing " << expected;
   }
@@ -39,19 +41,97 @@ TEST(Registry, EveryFactoryRoundTrips) {
     EXPECT_EQ(dict->size(), 1u) << name;
     EXPECT_TRUE(dict->erase(1)) << name;
     EXPECT_FALSE(dict->contains(1)) << name;
-    std::string err;
-    EXPECT_TRUE(dict->check_structure(&err)) << name << ": " << err;
+    const auto rep = dict->check_structure();
+    EXPECT_TRUE(rep.ok) << name << ": " << rep.error;
   }
 }
 
-TEST(Registry, GracePeriodCountersWiredThrough) {
+TEST(Registry, StatsSnapshotReportsGracePeriods) {
   auto dict = make_dictionary("citrus");
   const auto scope = dict->enter_thread();
   // Two-child delete drives synchronize_rcu.
   for (std::int64_t k : {50, 30, 70, 60, 80}) dict->insert(k, k);
-  const auto before = dict->grace_periods();
+  const auto before = dict->stats().grace_periods;
   EXPECT_TRUE(dict->erase(50));
-  EXPECT_GT(dict->grace_periods(), before);
+  EXPECT_GT(dict->stats().grace_periods, before);
+}
+
+TEST(Registry, ReclaimToggleOverridesNameDefault) {
+  // "citrus" defaults to the paper's leak mode; reclaim=true switches it
+  // to DefaultTraits, observable through the recycled-node counter after
+  // enough erases to fill a retire batch.
+  Options opt;
+  opt.reclaim = true;
+  auto dict = make_dictionary("citrus", opt);
+  const auto scope = dict->enter_thread();
+  for (std::int64_t k = 0; k < 400; ++k) dict->insert(k, k);
+  for (std::int64_t k = 0; k < 400; ++k) dict->erase(k);
+  EXPECT_GT(dict->stats().recycled_nodes, 0u);
+
+  // And reclaim=false turns it off for "citrus-reclaim".
+  Options off;
+  off.reclaim = false;
+  auto leaky = make_dictionary("citrus-reclaim", off);
+  const auto scope2 = leaky->enter_thread();
+  for (std::int64_t k = 0; k < 400; ++k) leaky->insert(k, k);
+  for (std::int64_t k = 0; k < 400; ++k) leaky->erase(k);
+  EXPECT_EQ(leaky->stats().recycled_nodes, 0u);
+}
+
+TEST(Registry, ShardCountOptionOverridesNameDefault) {
+  Options opt;
+  opt.shards = 8;
+  auto dict = make_dictionary("citrus-shard4", opt);
+  EXPECT_EQ(dict->stats().shards.size(), 8u);
+
+  auto by_name = make_dictionary("citrus-shard4");
+  EXPECT_EQ(by_name->stats().shards.size(), 4u);
+
+  Options bad;
+  bad.shards = 6;  // not a power of two
+  EXPECT_THROW(make_dictionary("citrus-shard4", bad), std::invalid_argument);
+}
+
+TEST(Registry, ShardedStatsBreakdownSumsToAggregate) {
+  auto dict = make_dictionary("citrus-shard4");
+  const auto scope = dict->enter_thread();
+  // Shuffled insertion order: sequential inserts would build degenerate
+  // per-shard paths whose nodes never have two children, and only
+  // two-child deletes drive synchronize_rcu in bench (no-reclaim) mode.
+  for (std::int64_t k = 0; k < 512; ++k) {
+    const std::int64_t mixed = (k * 269) % 512;
+    dict->insert(mixed, mixed);
+  }
+  // Force two-child deletes across shards.
+  for (std::int64_t k = 0; k < 512; k += 3) dict->erase(k);
+  const auto snap = dict->stats();
+  ASSERT_EQ(snap.shards.size(), 4u);
+  std::uint64_t gp = 0;
+  std::size_t sz = 0;
+  for (const auto& s : snap.shards) {
+    gp += s.grace_periods;
+    sz += s.size;
+  }
+  EXPECT_EQ(gp, snap.grace_periods);
+  EXPECT_EQ(sz, dict->size());
+  EXPECT_GT(snap.grace_periods, 0u);
+}
+
+TEST(Registry, UnshardedSnapshotsHaveNoShardBreakdown) {
+  for (const char* name : {"citrus", "avl", "rcu-hash"}) {
+    auto dict = make_dictionary(name);
+    EXPECT_TRUE(dict->stats().shards.empty()) << name;
+  }
+}
+
+TEST(Registry, CheckStructureReportsCounts) {
+  auto dict = make_dictionary("citrus");
+  const auto scope = dict->enter_thread();
+  for (std::int64_t k = 0; k < 100; ++k) dict->insert(k, k);
+  const auto rep = dict->check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.node_count, 100u);
+  EXPECT_GT(rep.height, 0u);
 }
 
 TEST(Registry, AdaptersSurviveMultiThreadedUse) {
@@ -74,8 +154,8 @@ TEST(Registry, AdaptersSurviveMultiThreadedUse) {
       });
     }
     for (auto& th : threads) th.join();
-    std::string err;
-    EXPECT_TRUE(dict->check_structure(&err)) << name << ": " << err;
+    const auto rep = dict->check_structure();
+    EXPECT_TRUE(rep.ok) << name << ": " << rep.error;
   }
 }
 

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "adapters/idictionary.hpp"
 #include "baselines/avl_bronson.hpp"
 #include "baselines/bonsai.hpp"
 #include "baselines/lazy_skiplist.hpp"
@@ -69,6 +70,48 @@ CheckResult record_and_check(int threads, int ops_per_thread,
   return citrus::lineariz::check_history(recorder, initial);
 }
 
+// Same harness over a type-erased dictionary from the registry — used for
+// the sharded composite, whose thread registration (all shard domains) is
+// wrapped by enter_thread().
+CheckResult record_and_check_dict(citrus::adapters::IDictionary& dict,
+                                  int threads, int ops_per_thread,
+                                  std::int64_t key_range, std::uint64_t seed) {
+  std::vector<std::int64_t> initial;
+  {
+    const auto scope = dict.enter_thread();
+    for (std::int64_t k = 0; k < key_range; k += 2) {
+      dict.insert(k, k);
+      initial.push_back(k);
+    }
+  }
+  HistoryRecorder recorder(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const auto scope = dict.enter_thread();
+      citrus::util::Xoshiro256 rng(seed + t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.bounded(key_range));
+        const auto inv = recorder.invoke();
+        switch (rng.bounded(3)) {
+          case 0:
+            recorder.record(t, key, OpType::kInsert, dict.insert(key, key),
+                            inv);
+            break;
+          case 1:
+            recorder.record(t, key, OpType::kErase, dict.erase(key), inv);
+            break;
+          default:
+            recorder.record(t, key, OpType::kContains, dict.contains(key),
+                            inv);
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  return citrus::lineariz::check_history(recorder, initial);
+}
+
 // Parameters chosen so expected events/key = threads*ops/range ~ 24 << 64.
 constexpr int kThreads = 4;
 constexpr int kOps = 1500;
@@ -103,6 +146,26 @@ TEST(Linearizability, CitrusSmallHotRange) {
   // linearizability-critical path (Figure 4's false-negative hazard).
   using Tree = citrus::core::CitrusTree<std::int64_t, std::int64_t>;
   const auto r = record_and_check<Tree, CounterFlagRcu>(3, 600, 48, 3);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, ShardedCitrus) {
+  // The router is a pure function of the key, so each key's history lives
+  // entirely in one shard; per-shard linearizability (Theorem 11 per
+  // tree) must therefore compose to whole-map linearizability for point
+  // operations. This drives the same history checker through the
+  // registry's citrus-shard4 to confirm it end-to-end.
+  auto dict = citrus::adapters::make_dictionary("citrus-shard4");
+  const auto r = record_and_check_dict(*dict, kThreads, kOps, kRange, 10);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+  EXPECT_GT(r.events_checked, 0u);
+}
+
+TEST(Linearizability, ShardedCitrusSmallHotRange) {
+  // Few keys per shard → frequent two-child deletes and successor copies
+  // inside each shard, plus constant cross-shard interleaving.
+  auto dict = citrus::adapters::make_dictionary("citrus-shard4");
+  const auto r = record_and_check_dict(*dict, 3, 600, 48, 11);
   EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
 }
 
