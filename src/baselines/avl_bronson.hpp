@@ -28,6 +28,8 @@
 // Reclamation (extension; the C reference leaks): with Traits::kReclaim
 // all operations run inside RCU read-side critical sections, and unlinked
 // routing nodes / replaced values are retired through the domain.
+// rcu-lint: exempt-file (optimistic version validation: readers take no
+//   locks by design; writers validate node versions after locking)
 #pragma once
 
 #include <algorithm>

@@ -14,6 +14,8 @@
 // unlinked nodes are retired through the domain; with it off the structure
 // matches the evaluation setups of the paper (no reclamation — unlinked
 // nodes are dropped).
+// rcu-lint: exempt-file (lazy-skiplist protocol: searches are wait-free
+//   by marked-bit validation; updates lock predecessors at each level)
 #pragma once
 
 #include <atomic>

@@ -25,6 +25,8 @@
 // operation runs in an RCU read-side critical section and the cleanup
 // winner retires the condemned chain; a per-node claim bit makes
 // retirement idempotent under helping races.
+// rcu-lint: exempt-file (lock-free CAS protocol: safety rests on
+//   edge flag/tag marking and helping, not on locks or RCU sections)
 #pragma once
 
 #include <atomic>

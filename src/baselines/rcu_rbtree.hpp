@@ -28,6 +28,8 @@
 // Rebalancing follows the classic insert/delete fixups (CLRS), adapted to
 // the copying rotation: a rotation invalidates the rotated node, so the
 // fixup continues on the copy the rotation returns.
+// rcu-lint: exempt-file (internal helpers run under the caller's writer
+//   mutex or read-side section; the adapter establishes both)
 #pragma once
 
 #include <atomic>

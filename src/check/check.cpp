@@ -1,0 +1,114 @@
+// ViolationSink — process-wide collector for rcucheck reports.
+//
+// Compiled unconditionally (it is a few hundred bytes and keeps the test
+// binary shape identical across build modes); with CITRUS_RCU_CHECK=OFF no
+// hook ever calls into it.
+
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace citrus::check {
+
+const char* to_string(ViolationClass c) noexcept {
+  switch (c) {
+    case ViolationClass::kDerefOutsideReadSection:
+      return "deref-outside-read-section";
+    case ViolationClass::kUnsafeSynchronize:
+      return "unsafe-synchronize";
+    case ViolationClass::kBadUnlock:
+      return "bad-unlock";
+    case ViolationClass::kRetireReachable:
+      return "retire-reachable";
+    case ViolationClass::kUseAfterReclaim:
+      return "use-after-reclaim";
+  }
+  return "unknown";
+}
+
+struct ViolationSink::Impl {
+  mutable std::mutex mu;
+  Violation ring[kRingCapacity];
+  std::size_t ring_size = 0;   // entries stored (<= capacity)
+  std::size_t ring_next = 0;   // next write position (wraps)
+  std::atomic<std::uint64_t> totals[kViolationClasses] = {};
+  std::atomic<Mode> mode{Mode::kAbort};
+};
+
+ViolationSink::Impl& ViolationSink::impl() const noexcept {
+  static Impl instance;
+  return instance;
+}
+
+ViolationSink& ViolationSink::instance() noexcept {
+  static ViolationSink sink;
+  return sink;
+}
+
+void ViolationSink::report(const Violation& v) noexcept {
+  Impl& im = impl();
+  im.totals[static_cast<std::size_t>(v.cls)].fetch_add(
+      1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(im.mu);
+    im.ring[im.ring_next] = v;
+    im.ring_next = (im.ring_next + 1) % kRingCapacity;
+    if (im.ring_size < kRingCapacity) ++im.ring_size;
+  }
+  if (im.mode.load(std::memory_order_relaxed) == Mode::kAbort) {
+    std::fprintf(stderr,
+                 "\n[rcucheck] RCU discipline violation: %s\n"
+                 "[rcucheck]   %s\n"
+                 "[rcucheck]   subject: %p\n"
+                 "[rcucheck]   at: %s:%u\n",
+                 to_string(v.cls), v.detail, v.subject, v.file, v.line);
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+ViolationSink::Mode ViolationSink::mode() const noexcept {
+  return impl().mode.load(std::memory_order_relaxed);
+}
+
+void ViolationSink::set_mode(Mode m) noexcept {
+  impl().mode.store(m, std::memory_order_relaxed);
+}
+
+std::uint64_t ViolationSink::total() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& t : impl().totals) n += t.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t ViolationSink::count(ViolationClass c) const noexcept {
+  return impl().totals[static_cast<std::size_t>(c)].load(
+      std::memory_order_relaxed);
+}
+
+std::vector<Violation> ViolationSink::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> g(im.mu);
+  std::vector<Violation> out;
+  out.reserve(im.ring_size);
+  // Oldest first: when full, the next write position is the oldest entry.
+  const std::size_t start =
+      im.ring_size < kRingCapacity ? 0 : im.ring_next;
+  for (std::size_t i = 0; i < im.ring_size; ++i) {
+    out.push_back(im.ring[(start + i) % kRingCapacity]);
+  }
+  return out;
+}
+
+void ViolationSink::clear() noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> g(im.mu);
+  im.ring_size = 0;
+  im.ring_next = 0;
+  for (auto& t : im.totals) t.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace citrus::check

@@ -1,0 +1,379 @@
+// rcucheck — a lockdep-style runtime verifier for the RCU/lock discipline
+// the Citrus tree's safety argument depends on (paper Sections 3-5).
+//
+// TSan finds data races; it cannot find *protocol* violations, because every
+// individual access in a broken client can still be a well-ordered atomic
+// operation. The obligations the paper's proof actually rests on are:
+//
+//   (a) every node dereference on a traversal path happens inside a
+//       read-side critical section (or under a node lock after validation —
+//       the updater discipline of Section 3);
+//   (b) synchronize_rcu is never called from inside a read-side critical
+//       section (self-deadlock), and calling it while holding node locks is
+//       only sound because Citrus readers take no locks — so it must be
+//       explicitly blessed at the call site that argues that invariant;
+//   (c) node locks are released by the thread that acquired them, exactly
+//       once;
+//   (d) a node is retired only after it has been marked and unlinked
+//       (Lemma 1: only marked nodes become unreachable);
+//   (e) a reclaimed node is never dereferenced again (the grace-period
+//       obligation retire/synchronize exists to discharge).
+//
+// This header is the whole opt-in surface. With -DCITRUS_RCU_CHECK=ON the
+// build defines CITRUS_RCU_CHECK=1 and every hook maintains a per-thread
+// CheckContext (read-side nesting depth, held node-lock set, current
+// domain); violations are routed to the process-wide ViolationSink, which
+// either aborts with a file:line report (default) or records into a ring
+// buffer that tests assert on. With the option off, kEnabled is false and
+// every hook is an empty inline function the optimizer deletes — the node
+// layout, lock types and generated code are bit-identical to a build that
+// never heard of this header (micro_tree_ops guards that claim).
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <vector>
+
+#if !defined(CITRUS_RCU_CHECK)
+#define CITRUS_RCU_CHECK 0
+#endif
+
+namespace citrus::check {
+
+inline constexpr bool kEnabled = CITRUS_RCU_CHECK != 0;
+
+// The five violation classes of the discipline above.
+enum class ViolationClass : std::uint8_t {
+  kDerefOutsideReadSection = 0,  // (a)
+  kUnsafeSynchronize = 1,        // (b)
+  kBadUnlock = 2,                // (c)
+  kRetireReachable = 3,          // (d)
+  kUseAfterReclaim = 4,          // (e)
+};
+inline constexpr std::size_t kViolationClasses = 5;
+
+const char* to_string(ViolationClass c) noexcept;
+
+struct Violation {
+  ViolationClass cls;
+  const void* subject;    // node, lock or domain the report is about
+  const char* detail;     // static string naming the broken obligation
+  const char* file;       // provenance of the instrumentation site
+  std::uint32_t line;
+};
+
+// Process-wide violation collector. Default mode aborts with a report (so a
+// whole test suite run under CITRUS_RCU_CHECK=ON enforces cleanliness for
+// free); tests that *seed* violations switch to kRecord and assert on the
+// ring buffer.
+class ViolationSink {
+ public:
+  enum class Mode { kAbort, kRecord };
+  static constexpr std::size_t kRingCapacity = 128;
+
+  static ViolationSink& instance() noexcept;
+
+  void report(const Violation& v) noexcept;
+
+  Mode mode() const noexcept;
+  void set_mode(Mode m) noexcept;
+
+  // Violations seen since the last clear() (monotone total and per class).
+  std::uint64_t total() const noexcept;
+  std::uint64_t count(ViolationClass c) const noexcept;
+
+  // Copy of the ring buffer, oldest first (at most kRingCapacity entries).
+  std::vector<Violation> snapshot() const;
+
+  void clear() noexcept;
+
+ private:
+  ViolationSink() = default;
+  struct Impl;
+  Impl& impl() const noexcept;
+};
+
+// RAII: record mode for a scope (seeded-violation tests).
+class ScopedRecordMode {
+ public:
+  ScopedRecordMode()
+      : prev_(ViolationSink::instance().mode()) {
+    ViolationSink::instance().set_mode(ViolationSink::Mode::kRecord);
+  }
+  ~ScopedRecordMode() { ViolationSink::instance().set_mode(prev_); }
+  ScopedRecordMode(const ScopedRecordMode&) = delete;
+  ScopedRecordMode& operator=(const ScopedRecordMode&) = delete;
+
+ private:
+  ViolationSink::Mode prev_;
+};
+
+// Canary values for pooled-node lifetime tracking (violation class (e)).
+// A live node carries kLiveCanary; recycle() stamps kFreeCanary and poisons
+// the payload bytes with kPoisonByte. Any other value means the slot was
+// trampled while free.
+inline constexpr std::uint64_t kLiveCanary = 0xC17A115A11FEED05ull;
+inline constexpr std::uint64_t kFreeCanary = 0xDEADC17A9E7122EDull;
+inline constexpr unsigned char kPoisonByte = 0xBD;
+
+// Poison pointer installed into the child slots of a recycled node: a
+// straggling updater that validates against a recycled parent can only see
+// a value that matches no live node.
+inline void* poison_pointer() noexcept {
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>(
+      0xBDBDBDBDBDBDB000ull));
+}
+
+#if CITRUS_RCU_CHECK
+
+namespace detail {
+
+// Per-thread discipline state. One per thread across all domains: the
+// read-side depth is global (obligation (a) only asks for *some* enclosing
+// section), the domain pointer names the innermost one for reports.
+struct CheckContext {
+  std::uint32_t read_depth = 0;
+  std::uint32_t sync_with_locks_allowed = 0;
+  std::uint32_t quiescent_depth = 0;
+  const void* current_domain = nullptr;
+  std::vector<const void*> held_locks;
+};
+
+inline CheckContext& ctx() noexcept {
+  thread_local CheckContext c;
+  return c;
+}
+
+inline void report(ViolationClass cls, const void* subject,
+                   const char* detail,
+                   const std::source_location& loc) noexcept {
+  ViolationSink::instance().report(Violation{
+      cls, subject, detail, loc.file_name(),
+      static_cast<std::uint32_t>(loc.line())});
+}
+
+}  // namespace detail
+
+// ── Hooks wired into the RCU domains ──────────────────────────────────
+
+inline void on_read_lock(const void* domain) noexcept {
+  auto& c = detail::ctx();
+  ++c.read_depth;
+  c.current_domain = domain;
+}
+
+inline void on_read_unlock(
+    const void* domain,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  auto& c = detail::ctx();
+  if (c.read_depth == 0) {
+    detail::report(ViolationClass::kBadUnlock, domain,
+                   "rcu read_unlock without a matching read_lock", loc);
+    return;
+  }
+  if (--c.read_depth == 0) c.current_domain = nullptr;
+}
+
+inline void on_synchronize(
+    const void* domain,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  auto& c = detail::ctx();
+  if (c.read_depth > 0) {
+    detail::report(ViolationClass::kUnsafeSynchronize, domain,
+                   "synchronize_rcu inside a read-side critical section "
+                   "(self-deadlock)",
+                   loc);
+  } else if (!c.held_locks.empty() && c.sync_with_locks_allowed == 0) {
+    detail::report(ViolationClass::kUnsafeSynchronize, domain,
+                   "synchronize_rcu while holding node locks without an "
+                   "AllowSyncWithHeldLocks blessing",
+                   loc);
+  }
+}
+
+// ── Hooks wired into the node-lock wrapper (sync/spinlock.hpp) ────────
+
+inline void on_node_lock(const void* lock) noexcept {
+  detail::ctx().held_locks.push_back(lock);
+}
+
+inline void on_node_unlock(
+    const void* lock,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  auto& held = detail::ctx().held_locks;
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == lock) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  detail::report(ViolationClass::kBadUnlock, lock,
+                 "unlock of a node lock this thread does not hold "
+                 "(unlock-without-lock or cross-thread unlock)",
+                 loc);
+}
+
+// ── Hooks wired into the tree's traversal paths and the node pool ─────
+
+// A node dereference is legal inside a read-side critical section, under at
+// least one node lock (the updater discipline: lock, then validate), or in
+// a declared-quiescent scope. Nodes carrying a pool canary are additionally
+// lifetime-checked (violation class (e)).
+template <typename Node>
+inline void on_node_access(
+    const Node* node,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  auto& c = detail::ctx();
+  if (c.read_depth == 0 && c.held_locks.empty() && c.quiescent_depth == 0) {
+    detail::report(ViolationClass::kDerefOutsideReadSection, node,
+                   "node dereference outside any read-side critical "
+                   "section, node lock or quiescent scope",
+                   loc);
+  }
+  if constexpr (requires { node->check_canary; }) {
+    const std::uint64_t canary = node->check_canary;
+    if (canary == kFreeCanary) {
+      detail::report(ViolationClass::kUseAfterReclaim, node,
+                     "dereference of a node already reclaimed to the pool",
+                     loc);
+    } else if (canary != kLiveCanary) {
+      detail::report(ViolationClass::kUseAfterReclaim, node,
+                     "node canary trampled (wild write or use of a slot "
+                     "that was never pool-allocated)",
+                     loc);
+    }
+  }
+}
+
+// Context-only variant for *updater-side header reads* (generation, marked,
+// child identity compares in validate): the type-stable pool explicitly
+// permits these on a recycled slot — the generation check is what detects
+// staleness — so the lifetime canary must not be consulted, only the
+// lock/critical-section context.
+template <typename Node>
+inline void on_node_header_access(
+    const Node* node,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  auto& c = detail::ctx();
+  if (c.read_depth == 0 && c.held_locks.empty() && c.quiescent_depth == 0) {
+    detail::report(ViolationClass::kDerefOutsideReadSection, node,
+                   "node header read outside any read-side critical "
+                   "section, node lock or quiescent scope",
+                   loc);
+  }
+}
+
+// retire()/recycle() of a node that was never marked: by Lemma 1 only
+// marked nodes become unreachable, so an unmarked retiree is still wired
+// into the tree — reclaiming it hands readers a dangling pointer.
+inline void on_retire(
+    const void* node, bool marked,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  if (!marked) {
+    detail::report(ViolationClass::kRetireReachable, node,
+                   "retire of an unmarked (still reachable) node — "
+                   "retire-before-unlink",
+                   loc);
+  }
+}
+
+// Pool-side lifetime transitions for the canary protocol.
+template <typename Node>
+inline void on_pool_recycle(
+    Node* node,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  if constexpr (requires { node->check_canary; }) {
+    if (node->check_canary == kFreeCanary) {
+      detail::report(ViolationClass::kUseAfterReclaim, node,
+                     "double recycle of a pooled node", loc);
+    }
+    node->check_canary = kFreeCanary;
+  }
+}
+
+template <typename Node>
+inline void on_pool_allocate(
+    Node* node, bool from_free_list,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  if constexpr (requires { node->check_canary; }) {
+    if (from_free_list && node->check_canary != kFreeCanary) {
+      detail::report(ViolationClass::kUseAfterReclaim, node,
+                     "free-list node canary trampled while on the free "
+                     "list (write after reclaim)",
+                     loc);
+    }
+    node->check_canary = kLiveCanary;
+  }
+}
+
+// ── Scoped annotations ────────────────────────────────────────────────
+
+// Blesses synchronize-while-holding-node-locks for a scope. The two-child
+// delete (paper Lines 57-83) holds up to five node locks across its grace
+// period; that is deadlock-free *because Citrus readers acquire no locks*,
+// an invariant the caller asserts by opening this scope.
+class AllowSyncWithHeldLocks {
+ public:
+  AllowSyncWithHeldLocks() noexcept { ++detail::ctx().sync_with_locks_allowed; }
+  ~AllowSyncWithHeldLocks() { --detail::ctx().sync_with_locks_allowed; }
+  AllowSyncWithHeldLocks(const AllowSyncWithHeldLocks&) = delete;
+  AllowSyncWithHeldLocks& operator=(const AllowSyncWithHeldLocks&) = delete;
+};
+
+// Declares the scope quiescent: no concurrent updaters exist, so bare node
+// dereferences (destructors, check_structure, for_each_quiescent) are not
+// violations of obligation (a).
+class ScopedQuiescent {
+ public:
+  ScopedQuiescent() noexcept { ++detail::ctx().quiescent_depth; }
+  ~ScopedQuiescent() { --detail::ctx().quiescent_depth; }
+  ScopedQuiescent(const ScopedQuiescent&) = delete;
+  ScopedQuiescent& operator=(const ScopedQuiescent&) = delete;
+};
+
+// Introspection for tests.
+inline std::uint32_t read_depth() noexcept { return detail::ctx().read_depth; }
+inline std::size_t held_lock_count() noexcept {
+  return detail::ctx().held_locks.size();
+}
+
+#else  // !CITRUS_RCU_CHECK — every hook is an empty inline the optimizer
+       // removes; the scoped annotations are empty types.
+
+inline void on_read_lock(const void*) noexcept {}
+inline void on_read_unlock(const void*) noexcept {}
+inline void on_synchronize(const void*) noexcept {}
+inline void on_node_lock(const void*) noexcept {}
+inline void on_node_unlock(const void*) noexcept {}
+template <typename Node>
+inline void on_node_access(const Node*) noexcept {}
+template <typename Node>
+inline void on_node_header_access(const Node*) noexcept {}
+inline void on_retire(const void*, bool) noexcept {}
+template <typename Node>
+inline void on_pool_recycle(Node*) noexcept {}
+template <typename Node>
+inline void on_pool_allocate(Node*, bool) noexcept {}
+
+// Non-defaulted (but empty) constructors keep -Wunused-variable quiet at
+// annotation sites without [[maybe_unused]] noise.
+class AllowSyncWithHeldLocks {
+ public:
+  AllowSyncWithHeldLocks() noexcept {}
+  AllowSyncWithHeldLocks(const AllowSyncWithHeldLocks&) = delete;
+  AllowSyncWithHeldLocks& operator=(const AllowSyncWithHeldLocks&) = delete;
+};
+
+class ScopedQuiescent {
+ public:
+  ScopedQuiescent() noexcept {}
+  ScopedQuiescent(const ScopedQuiescent&) = delete;
+  ScopedQuiescent& operator=(const ScopedQuiescent&) = delete;
+};
+
+inline std::uint32_t read_depth() noexcept { return 0; }
+inline std::size_t held_lock_count() noexcept { return 0; }
+
+#endif  // CITRUS_RCU_CHECK
+
+}  // namespace citrus::check

@@ -23,8 +23,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <utility>
+
+#include "check/check.hpp"
 
 namespace citrus::core {
 
@@ -53,6 +56,13 @@ struct CitrusNode {
 
   // ---- pool plumbing ----
   CitrusNode* pool_next = nullptr;
+
+#if CITRUS_RCU_CHECK
+  // Lifetime canary for the rcucheck use-after-reclaim detector: kLiveCanary
+  // while allocated, kFreeCanary while on a free list (check/check.hpp).
+  // Exists only in checked builds; the unchecked node layout is untouched.
+  std::uint64_t check_canary = 0;
+#endif
 
   // Payload storage; constructed/destroyed per pool lifetime so the node
   // header (lock, generation, marked) stays type-stable across reuse.
@@ -90,6 +100,23 @@ struct CitrusNode {
       key().~Key();
       value().~Value();
     }
+  }
+
+  // Pool hook: clear the link fields of a slot headed for the free list,
+  // so a recycled node can never be mistaken for a live interior node by a
+  // straggler still holding its address. `poison` is nullptr in unchecked
+  // builds and the rcucheck poison pattern in checked ones (where the
+  // payload bytes are additionally poisoned to trip the canary/ASan on any
+  // read of reclaimed data).
+  void scrub_links(CitrusNode* poison) {
+    child[kLeft].store(poison, std::memory_order_relaxed);
+    child[kRight].store(poison, std::memory_order_relaxed);
+    tag[kLeft].store(0, std::memory_order_relaxed);
+    tag[kRight].store(0, std::memory_order_relaxed);
+#if CITRUS_RCU_CHECK
+    std::memset(key_buf, check::kPoisonByte, sizeof(key_buf));
+    std::memset(value_buf, check::kPoisonByte, sizeof(value_buf));
+#endif
   }
 
   // Three-way comparison of a search key against this node, treating the

@@ -56,6 +56,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/check.hpp"
 #include "citrus/citrus_node.hpp"
 #include "citrus/node_pool.hpp"
 #include "citrus/structure_report.hpp"
@@ -135,6 +136,7 @@ class CitrusTree {
   // The domain is shared infrastructure (several structures may use one
   // domain, as in the kernel); the tree does not own it. Every thread
   // operating on the tree must hold a Rcu::Registration for `domain`.
+  // rcu-lint: quiescent (construction: the tree is not published yet)
   explicit CitrusTree(Rcu& domain) : rcu_(domain) {
     // Dummy layout from the paper: "The root of the tree always points to
     // a node with key −1, this node has a right child with key ∞; all
@@ -152,7 +154,9 @@ class CitrusTree {
   // Quiescent destruction: no concurrent operations, and the caller must
   // not destroy the tree while other threads still hold unflushed state
   // referring to it (worker threads are expected to have been joined).
+  // rcu-lint: quiescent (single-owner teardown, no concurrent operations)
   ~CitrusTree() {
+    check::ScopedQuiescent quiescent;
     std::vector<Node*> stack{root_};
     while (!stack.empty()) {
       Node* n = stack.back();
@@ -179,6 +183,7 @@ class CitrusTree {
     rcu::ReadGuard<Rcu> guard(rcu_);
     const Node* curr = search_locked_free(key);
     if (curr == nullptr) return std::nullopt;
+    check::on_node_access(curr);
     return curr->value();
   }
 
@@ -242,6 +247,7 @@ class CitrusTree {
         bump(&CitrusStats::erase_retries);
         continue;
       }
+      check::on_node_access(g.curr);  // locked + validated: live
       Node* left = g.curr->child[kLeft].load(std::memory_order_acquire);
       Node* right = g.curr->child[kRight].load(std::memory_order_acquire);
       Node* replacement = pool_.allocate(false, NodeKind::kReal,
@@ -284,6 +290,7 @@ class CitrusTree {
       }
 
       // Child pointers of a locked node are stable (all writers lock).
+      check::on_node_access(g.curr);  // locked + validated: live
       Node* left = g.curr->child[kLeft].load(std::memory_order_acquire);
       Node* right = g.curr->child[kRight].load(std::memory_order_acquire);
 
@@ -326,6 +333,7 @@ class CitrusTree {
   // API.
   template <typename F>
   void for_each_quiescent(F&& f) const {
+    check::ScopedQuiescent quiescent;
     in_order(real_root(), f);
   }
 
@@ -337,7 +345,9 @@ class CitrusTree {
 
   // Structural audit: strict BST order under the sentinels, no reachable
   // marked node, no node with two parents, node count vs size().
+  // rcu-lint: quiescent (structural audit; documented quiescent-only API)
   StructureReport check_structure() const {
+    check::ScopedQuiescent quiescent;
     StructureReport rep;
     std::unordered_set<const Node*> seen;
     // (lo, hi) exclusive bounds as node pointers; nullptr = unbounded.
@@ -455,12 +465,16 @@ class CitrusTree {
     Node* prev = root_;
     int direction = kRight;
     Node* curr = prev->child[kRight].load(std::memory_order_acquire);
+    check::on_node_access(curr);
     int c = curr->compare(key);  // root's right child is never null
     while (curr != nullptr && c != 0) {
       prev = curr;
       direction = c < 0 ? kLeft : kRight;
       curr = prev->child[direction].load(std::memory_order_acquire);
-      if (curr != nullptr) c = curr->compare(key);
+      if (curr != nullptr) {
+        check::on_node_access(curr);
+        c = curr->compare(key);
+      }
     }
     r.prev = prev;
     r.curr = curr;
@@ -474,9 +488,11 @@ class CitrusTree {
   }
 
   // Lock-free search used by find/contains; caller holds the read guard.
+  // rcu-lint: allow (caller holds the read guard — see find/contains)
   const Node* search_locked_free(const Key& key) const {
     const Node* curr = root_->child[kRight].load(std::memory_order_acquire);
     while (curr != nullptr) {
+      check::on_node_access(curr);
       const int c = curr->compare(key);
       if (c == 0) return curr;
       curr = curr->child[c < 0 ? kLeft : kRight].load(
@@ -488,8 +504,14 @@ class CitrusTree {
   // Paper `validate` (Lines 33-38) extended with generation checks (always
   // compiled; generations never change when reclamation is off, so the
   // extra comparisons are branch-predicted away in bench mode).
+  // rcu-lint: allow (caller holds the locks acquired on prev/curr)
   bool validate(Node* prev, std::uint64_t prev_gen, std::uint64_t tag,
                 Node* curr, std::uint64_t curr_gen, int direction) const {
+    // Header-only accesses: validate may legally inspect a recycled slot
+    // (the generation/marked checks are what detect that), so the lifetime
+    // canary is not consulted here.
+    check::on_node_header_access(prev);
+    if (curr != nullptr) check::on_node_header_access(curr);
     if (prev->generation.load(std::memory_order_acquire) != prev_gen) {
       return false;
     }
@@ -505,6 +527,7 @@ class CitrusTree {
   }
 
   // Paper `incrementTag` (Lines 39-41); caller holds node's lock.
+  // rcu-lint: allow (caller holds the node's lock)
   void increment_tag(Node* node, int direction) {
     if (node->child[direction].load(std::memory_order_relaxed) == nullptr) {
       node->tag[direction].fetch_add(1, std::memory_order_release);
@@ -512,6 +535,7 @@ class CitrusTree {
   }
 
   // Paper Lines 50-56: the victim has at most one child — mark and bypass.
+  // rcu-lint: allow (caller holds locks on g.prev and g.curr)
   void erase_single_child(const GetResult& g, Node* left, Node* right) {
     g.curr->marked.store(true, std::memory_order_release);
     Node* child = left != nullptr ? left : right;
@@ -537,10 +561,12 @@ class CitrusTree {
     std::uint64_t succ_gen, prev_succ_gen, succ_left_tag;
     {
       MaybeReadGuard guard(rcu_);
+      check::on_node_access(succ);
       Node* next = succ->child[kLeft].load(std::memory_order_acquire);
       while (next != nullptr) {
         prev_succ = succ;
         succ = next;
+        check::on_node_access(succ);
         next = next->child[kLeft].load(std::memory_order_acquire);
       }
       succ_gen = succ->generation.load(std::memory_order_acquire);
@@ -576,7 +602,13 @@ class CitrusTree {
                                      std::memory_order_release);  // Line 73
     pause(PausePoint::kAfterReplacementPublish);
 
-    rcu_.synchronize();  // Line 74: wait for readers
+    {
+      // rcucheck blessing: the grace period is awaited while holding up to
+      // five node locks (paper Lines 72-75). This cannot deadlock because
+      // Citrus readers acquire no locks — the invariant this scope asserts.
+      check::AllowSyncWithHeldLocks blessed;
+      rcu_.synchronize();  // Line 74: wait for readers
+    }
     pause(PausePoint::kBeforeSuccessorUnlink);
 
     succ->marked.store(true, std::memory_order_release);  // Line 75
@@ -608,6 +640,8 @@ class CitrusTree {
   // Queue an unreachable node; recycle a whole shard batch after a single
   // grace period once the batch is full.
   void retire(Node* n) {
+    // rcucheck (d): retiring an unmarked node means it was never unlinked.
+    check::on_retire(n, n->marked.load(std::memory_order_relaxed));
     if constexpr (!Traits::kReclaim) {
       (void)n;  // paper mode: unreachable nodes are simply dropped
       return;
@@ -635,14 +669,18 @@ class CitrusTree {
 
   // Read guard that compiles to nothing when reclamation is off (the paper
   // notes the successor walk "does not need a read-side critical section"
-  // — true only without reclamation).
+  // — true only without reclamation). Checked builds always open the
+  // section: the discipline verifier classifies the walk's dereferences by
+  // context, and the no-reclaim special case is a property of this tree's
+  // configuration, not of the client's discipline.
   class MaybeReadGuard {
    public:
+    static constexpr bool kGuard = Traits::kReclaim || check::kEnabled;
     explicit MaybeReadGuard(Rcu& rcu) : rcu_(rcu) {
-      if constexpr (Traits::kReclaim) rcu_.read_lock();
+      if constexpr (kGuard) rcu_.read_lock();
     }
     ~MaybeReadGuard() {
-      if constexpr (Traits::kReclaim) rcu_.read_unlock();
+      if constexpr (kGuard) rcu_.read_unlock();
     }
     MaybeReadGuard(const MaybeReadGuard&) = delete;
     MaybeReadGuard& operator=(const MaybeReadGuard&) = delete;
@@ -653,12 +691,14 @@ class CitrusTree {
 
   // ── Helpers ───────────────────────────────────────────────────────
 
+  // rcu-lint: quiescent (helper for the quiescent-only iteration APIs)
   const Node* real_root() const {
     // All real nodes live in the left subtree of the +inf sentinel.
     const Node* inf = root_->child[kRight].load(std::memory_order_acquire);
     return inf->child[kLeft].load(std::memory_order_acquire);
   }
 
+  // rcu-lint: quiescent (reached only through for_each_quiescent)
   template <typename F>
   void in_order(const Node* n, F& f) const {
     // Explicit stack: the tree is unbalanced and may degenerate to a path.

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sync/cache.hpp"
 #include "sync/spinlock.hpp"
 
@@ -52,6 +53,7 @@ namespace citrus::core {
 // Node must provide:
 //   void construct_payload(Args...);   // placement-init key/value/links
 //   void destroy_payload();            // destroy key/value
+//   void scrub_links(Node* poison);    // clear child/tag fields on recycle
 //   LockType lock;                     // stable across reuse
 //   std::atomic<std::uint64_t> generation;
 //   std::atomic<bool> marked;
@@ -80,10 +82,14 @@ class NodePool {
   template <typename... Args>
   Node* allocate(bool keep_locked, Args&&... args) {
     Node* n = pop_free();
+    const bool from_free_list = n != nullptr;
     if (n == nullptr) {
       n = carve();
       new (n) Node();  // header constructed exactly once per slot
     }
+    // rcucheck: verify the free-list canary survived and stamp the slot
+    // live *before* publication is possible (no-op in unchecked builds).
+    check::on_pool_allocate(n, from_free_list);
     // Re-initialization happens under the slot lock so that a stale updater
     // that managed to lock this slot cannot observe a half-built payload
     // after passing validation: it either holds the lock before us (and
@@ -102,9 +108,24 @@ class NodePool {
   // Returns a node's slot to the pool. Precondition: a grace period has
   // elapsed since the node became unreachable, and marked == true.
   void recycle(Node* n) {
-    assert(n->marked.load(std::memory_order_relaxed) &&
-           "recycling a node that was never marked for deletion");
+    // rcucheck (d): an unmarked node was never unlinked — reclaiming it
+    // hands readers a dangling pointer. (e): a free canary here means a
+    // double recycle. In unchecked builds the protocol is asserted only.
+    if constexpr (check::kEnabled) {
+      check::on_retire(n, n->marked.load(std::memory_order_relaxed));
+      check::on_pool_recycle(n);
+    } else {
+      assert(n->marked.load(std::memory_order_relaxed) &&
+             "recycling a node that was never marked for deletion");
+    }
     n->destroy_payload();
+    // Scrub the link fields so a free-list node can never be mistaken for
+    // a live interior node: a straggling updater validating against this
+    // slot must see children that match no live node (nullptr, or the
+    // rcucheck poison pattern so a checked traversal faults loudly).
+    n->scrub_links(check::kEnabled
+                       ? static_cast<Node*>(check::poison_pointer())
+                       : nullptr);
     live_.fetch_sub(1, std::memory_order_relaxed);
     Shard& s = shard();
     std::lock_guard<sync::SpinLock> g(s.lock);

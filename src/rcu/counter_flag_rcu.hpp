@@ -35,6 +35,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "check/check.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -65,6 +66,7 @@ class CounterFlagRcu
   using Record = CounterFlagRecord;
 
   void read_lock() noexcept {
+    check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
       ++r.shadow_counter;
@@ -77,6 +79,7 @@ class CounterFlagRcu
   }
 
   void read_unlock() noexcept {
+    check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
     if (--r.nest == 0) {
@@ -91,6 +94,7 @@ class CounterFlagRcu
   // other thread's word and waits for flagged ones to move. Concurrent
   // synchronize_rcu calls share no state at all (the paper's key point).
   void synchronize() noexcept {
+    check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&
            "synchronize() inside a read-side critical section deadlocks");

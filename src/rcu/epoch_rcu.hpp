@@ -22,6 +22,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "check/check.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -44,6 +45,7 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
   using Record = EpochRecord;
 
   void read_lock() noexcept {
+    check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
       r.word->store(epoch_.load(std::memory_order_relaxed),
@@ -52,6 +54,7 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
   }
 
   void read_unlock() noexcept {
+    check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
     if (--r.nest == 0) {
@@ -61,6 +64,7 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
   }
 
   void synchronize() noexcept {
+    check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&
            "synchronize() inside a read-side critical section deadlocks");

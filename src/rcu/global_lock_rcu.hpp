@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "check/check.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -55,6 +56,7 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
   static constexpr std::uint64_t kPhase = 1ull << 32;
 
   void read_lock() noexcept {
+    check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
       r.word->store(gp_ctr_.load(std::memory_order_relaxed),
@@ -63,6 +65,7 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
   }
 
   void read_unlock() noexcept {
+    check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
     if (--r.nest == 0) {
@@ -72,6 +75,7 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
   }
 
   void synchronize() noexcept {
+    check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&
            "synchronize() inside a read-side critical section deadlocks");

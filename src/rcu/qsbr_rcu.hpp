@@ -33,6 +33,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "check/check.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -63,6 +64,7 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
   // Registration puts the thread online; threads that stop operating for
   // a while should hold an OfflineGuard (or drop the Registration).
   void read_lock() noexcept {
+    check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
       // Come online lazily if the thread had gone offline.
@@ -74,6 +76,7 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
   }
 
   void read_unlock() noexcept {
+    check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
     if (--r.nest == 0) {
@@ -110,6 +113,7 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
   }
 
   void synchronize() noexcept {
+    check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&
            "synchronize() inside a read-side critical section deadlocks");

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "citrus/citrus_tree.hpp"
 #include "citrus/structure_report.hpp"
 #include "rcu/counter_flag_rcu.hpp"
@@ -76,6 +77,10 @@ class ShardedCitrus {
   using rcu_type = Rcu;
 
   static constexpr std::size_t kDefaultShards = 16;
+
+  // True when this build carries the rcucheck discipline verifier; every
+  // shard domain, node lock and traversal below is then instrumented.
+  static constexpr bool kRcuCheckEnabled = check::kEnabled;
 
   explicit ShardedCitrus(std::size_t shard_count = kDefaultShards)
       : router_(shard_count) {
@@ -140,6 +145,9 @@ class ShardedCitrus {
   }
 
   core::StructureReport check_structure() const {
+    // One quiescent scope across all shard walks (each tree also opens its
+    // own; the annotation nests).
+    check::ScopedQuiescent quiescent;
     core::StructureReport merged;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       core::StructureReport rep = shards_[i]->tree.check_structure();

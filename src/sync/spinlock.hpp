@@ -14,6 +14,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "check/check.hpp"
 #include "sync/backoff.hpp"
 
 namespace citrus::sync {
@@ -46,12 +47,60 @@ class SpinLock {
   std::atomic<bool> locked_{false};
 };
 
-// Tag types selecting a node-lock implementation in the tree Traits.
+// rcucheck instrumentation shim for *node* locks: reports every
+// acquisition/release to the per-thread held-lock set, which is how the
+// checker detects unlock-without-lock, cross-thread unlock, and
+// synchronize-while-locked (check/check.hpp). Internal infrastructure
+// locks (pool shards, retire queues) stay on the raw SpinLock — they are
+// not part of the paper's node-locking protocol and must not suppress the
+// deref-outside-critical-section check.
+template <typename Base>
+class CheckedLock {
+ public:
+  CheckedLock() = default;
+  CheckedLock(const CheckedLock&) = delete;
+  CheckedLock& operator=(const CheckedLock&) = delete;
+
+  void lock() {
+    base_.lock();
+    check::on_node_lock(this);
+  }
+
+  bool try_lock() {
+    if (!base_.try_lock()) return false;
+    check::on_node_lock(this);
+    return true;
+  }
+
+  void unlock() {
+    // Report before releasing so an abort-mode sink fires while the state
+    // that proves the violation still exists.
+    check::on_node_unlock(this);
+    base_.unlock();
+  }
+
+ private:
+  Base base_;
+};
+
+// Tag types selecting a node-lock implementation in the tree Traits. Under
+// CITRUS_RCU_CHECK the node locks are wrapped in the instrumentation shim;
+// otherwise they are the raw lock types (identical codegen to a build
+// without the checker).
+#if CITRUS_RCU_CHECK
+struct UseSpinLock {
+  using type = CheckedLock<SpinLock>;
+};
+struct UseStdMutex {
+  using type = CheckedLock<std::mutex>;
+};
+#else
 struct UseSpinLock {
   using type = SpinLock;
 };
 struct UseStdMutex {
   using type = std::mutex;
 };
+#endif
 
 }  // namespace citrus::sync

@@ -47,11 +47,19 @@ void prefill(adapters::IDictionary& dict, const WorkloadConfig& config) {
     threads.emplace_back([&dict, &inserted, &config, target, t] {
       const auto scope = dict.enter_thread();
       util::Xoshiro256 rng(config.seed * 0x9E3779B97F4A7C15ull + 77771 * t);
-      while (inserted.load(std::memory_order_relaxed) < target) {
-        const auto key =
-            static_cast<std::int64_t>(rng.bounded(config.key_range));
-        if (dict.insert(key, key)) {
-          inserted.fetch_add(1, std::memory_order_relaxed);
+      // Claim a ticket per successful insertion so the final size lands on
+      // `target` exactly: a bare check-then-insert lets several threads pass
+      // the size check together and overshoot.
+      while (true) {
+        const auto ticket = inserted.fetch_add(1, std::memory_order_relaxed);
+        if (ticket >= target) {
+          inserted.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        }
+        for (;;) {
+          const auto key =
+              static_cast<std::int64_t>(rng.bounded(config.key_range));
+          if (dict.insert(key, key)) break;
         }
       }
     });

@@ -86,7 +86,9 @@ TEST_F(CitrusAssign, SequentialOracle) {
         const auto got = tree.find(k);
         const auto it = oracle.find(k);
         ASSERT_EQ(got.has_value(), it != oracle.end());
-        if (got.has_value()) ASSERT_EQ(*got, it->second);
+        if (got.has_value()) {
+          ASSERT_EQ(*got, it->second);
+        }
       }
     }
   }

@@ -41,15 +41,13 @@ TYPED_TEST(CitrusConcurrent, MixedStressKeepsStructure) {
       citrus::util::Xoshiro256 rng(t + 1);
       for (int i = 0; i < kOps; ++i) {
         const long k = static_cast<long>(rng.bounded(512));
-        switch (rng.bounded(100)) {
-          case 0 ... 49:
-            tree.contains(k);
-            break;
-          case 50 ... 74:
-            tree.insert(k, k);
-            break;
-          default:
-            tree.erase(k);
+        const std::uint64_t op = rng.bounded(100);
+        if (op < 50) {
+          tree.contains(k);
+        } else if (op < 75) {
+          tree.insert(k, k);
+        } else {
+          tree.erase(k);
         }
       }
     });
@@ -155,6 +153,12 @@ TYPED_TEST(CitrusConcurrent, ReadersProgressDuringGracePeriods) {
   std::thread updater([&] {
     typename TypeParam::Registration reg(domain);
     citrus::util::Xoshiro256 rng(2);
+    // Don't start the clock until the reader is actually running, or an
+    // oversubscribed scheduler can let the updater finish before the
+    // reader's thread ever gets a slice.
+    while (reads.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::yield();
+    }
     for (int i = 0; i < 3000; ++i) {
       const long k = static_cast<long>(rng.bounded(128));
       tree.erase(k);

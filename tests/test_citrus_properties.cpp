@@ -89,7 +89,9 @@ TEST_P(CitrusSweep, QuiescentPropertiesHold) {
       ASSERT_EQ(tree.contains(k), in_set) << "key " << k;
       const auto v = tree.find(k);
       ASSERT_EQ(v.has_value(), in_set);
-      if (v.has_value()) ASSERT_EQ(*v, k * 3);
+      if (v.has_value()) {
+        ASSERT_EQ(*v, k * 3);
+      }
     }
   }
 

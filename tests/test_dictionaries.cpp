@@ -119,7 +119,9 @@ TYPED_TEST(DictionaryTest, SequentialOracle) {
       default: {
         const auto v = t.find(k);
         ASSERT_EQ(v.has_value(), oracle.count(k) > 0) << "key " << k;
-        if (v.has_value()) ASSERT_EQ(*v, k * 2);
+        if (v.has_value()) {
+          ASSERT_EQ(*v, k * 2);
+        }
       }
     }
   }
@@ -142,88 +144,86 @@ TYPED_TEST(DictionaryTest, AscendingDescendingChains) {
 TYPED_TEST(DictionaryTest, ConcurrentStripesExact) {
   constexpr int kThreads = 4;
   constexpr long kStripe = 500;
-  auto& h = this->h;
+  auto& dict = this->h;
   std::vector<std::set<long>> owned(kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&h, &owned, t] {
-      auto reg = h.enter();
+    threads.emplace_back([&dict, &owned, t] {
+      auto reg = dict.enter();
       citrus::util::Xoshiro256 rng(55 + t);
       auto& mine = owned[t];
       for (int i = 0; i < 12000; ++i) {
         const long k = t * kStripe + static_cast<long>(rng.bounded(kStripe));
         if (rng.bounded(2) == 0) {
-          ASSERT_EQ(h.tree.insert(k, k), mine.insert(k).second);
+          ASSERT_EQ(dict.tree.insert(k, k), mine.insert(k).second);
         } else {
-          ASSERT_EQ(h.tree.erase(k), mine.erase(k) > 0);
+          ASSERT_EQ(dict.tree.erase(k), mine.erase(k) > 0);
         }
       }
     });
   }
   for (auto& th : threads) th.join();
-  auto reg = h.enter();
+  auto reg = dict.enter();
   std::size_t expected = 0;
   for (const auto& mine : owned) expected += mine.size();
-  EXPECT_EQ(h.tree.size(), expected);
+  EXPECT_EQ(dict.tree.size(), expected);
   for (int t = 0; t < kThreads; ++t) {
     for (long k = t * kStripe; k < (t + 1) * kStripe; ++k) {
-      ASSERT_EQ(h.tree.contains(k), owned[t].count(k) > 0) << "key " << k;
+      ASSERT_EQ(dict.tree.contains(k), owned[t].count(k) > 0) << "key " << k;
     }
   }
   std::string err;
-  EXPECT_TRUE(h.check(&err)) << err;
+  EXPECT_TRUE(dict.check(&err)) << err;
 }
 
 TYPED_TEST(DictionaryTest, MixedStressKeepsStructure) {
   constexpr int kThreads = 6;
-  auto& h = this->h;
+  auto& dict = this->h;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&h, t] {
-      auto reg = h.enter();
+    threads.emplace_back([&dict, t] {
+      auto reg = dict.enter();
       citrus::util::Xoshiro256 rng(500 + t);
       for (int i = 0; i < 12000; ++i) {
         const long k = static_cast<long>(rng.bounded(256));
-        switch (rng.bounded(100)) {
-          case 0 ... 59:
-            h.tree.contains(k);
-            break;
-          case 60 ... 79:
-            h.tree.insert(k, k);
-            break;
-          default:
-            h.tree.erase(k);
+        const std::uint64_t op = rng.bounded(100);
+        if (op < 60) {
+          dict.tree.contains(k);
+        } else if (op < 80) {
+          dict.tree.insert(k, k);
+        } else {
+          dict.tree.erase(k);
         }
       }
     });
   }
   for (auto& th : threads) th.join();
   std::string err;
-  EXPECT_TRUE(h.check(&err)) << err;
+  EXPECT_TRUE(dict.check(&err)) << err;
 }
 
 TYPED_TEST(DictionaryTest, ReadersSeeStampedValues) {
-  auto& h = this->h;
+  auto& dict = this->h;
   std::atomic<bool> stop{false};
   std::atomic<bool> bad{false};
   std::vector<std::thread> threads;
   for (int t = 0; t < 2; ++t) {
-    threads.emplace_back([&h, &stop, t] {
-      auto reg = h.enter();
+    threads.emplace_back([&dict, &stop, t] {
+      auto reg = dict.enter();
       citrus::util::Xoshiro256 rng(t + 5);
       while (!stop.load(std::memory_order_relaxed)) {
         const long k = static_cast<long>(rng.bounded(64));
-        h.tree.insert(k, k * 13);
-        h.tree.erase(static_cast<long>(rng.bounded(64)));
+        dict.tree.insert(k, k * 13);
+        dict.tree.erase(static_cast<long>(rng.bounded(64)));
       }
     });
   }
-  threads.emplace_back([&h, &stop, &bad] {
-    auto reg = h.enter();
+  threads.emplace_back([&dict, &stop, &bad] {
+    auto reg = dict.enter();
     citrus::util::Xoshiro256 rng(99);
     for (int i = 0; i < 40000; ++i) {
       const long k = static_cast<long>(rng.bounded(64));
-      const auto v = h.tree.find(k);
+      const auto v = dict.tree.find(k);
       if (v.has_value() && *v != k * 13) bad.store(true);
     }
     stop.store(true);

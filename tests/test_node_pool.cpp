@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/check.hpp"
 #include "citrus/citrus_node.hpp"
 #include "citrus/node_pool.hpp"
 #include "sync/spinlock.hpp"
@@ -133,6 +134,35 @@ TEST(NodePool, NonTrivialPayloadDestroyed) {
   StrNode* m = pool.allocate(false, NodeKind::kReal, &k2, &v, nullptr, nullptr);
   EXPECT_EQ(m->key(), "second");
   pool.destroy_with_pool(m);
+}
+
+TEST(NodePool, RecycleScrubsStaleLinks) {
+  // Regression: free-list nodes used to keep their stale child pointers and
+  // tags, so a straggling updater validating against a recycled slot could
+  // see a child that matched a live node and pass validation it should
+  // fail. recycle() must scrub links/tags — to nullptr in plain builds, to
+  // the rcucheck poison pattern in checked builds (so a checked traversal
+  // that follows one faults loudly).
+  NodePool<Node> pool;
+  long k = 1, v = 1;
+  Node* a = pool.allocate(false, NodeKind::kReal, &k, &v, nullptr, nullptr);
+  Node* b = pool.allocate(false, NodeKind::kReal, &k, &v, nullptr, nullptr);
+  a->child[0].store(b);
+  a->child[1].store(b);
+  a->tag[0].store(7);
+  a->tag[1].store(9);
+  a->marked.store(true);
+  pool.recycle(a);
+  Node* const scrubbed =
+      citrus::check::kEnabled
+          ? static_cast<Node*>(citrus::check::poison_pointer())
+          : nullptr;
+  EXPECT_EQ(a->child[0].load(), scrubbed);
+  EXPECT_EQ(a->child[1].load(), scrubbed);
+  EXPECT_EQ(a->tag[0].load(), 0u);
+  EXPECT_EQ(a->tag[1].load(), 0u);
+  b->marked.store(true);
+  pool.recycle(b);
 }
 
 }  // namespace

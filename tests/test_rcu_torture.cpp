@@ -124,9 +124,11 @@ INSTANTIATE_TEST_SUITE_P(
     Mixes, TortureTest,
     ::testing::Values(TortureParam{2, 1, 300}, TortureParam{4, 1, 300},
                       TortureParam{2, 2, 200}, TortureParam{3, 3, 120}),
-    [](const ::testing::TestParamInfo<TortureParam>& info) {
-      return std::to_string(info.param.readers) + "r" +
-             std::to_string(info.param.updaters) + "u";
+    // Not named `info`: the INSTANTIATE macro expands into a function whose
+    // parameter is already called that, and -Wshadow objects.
+    [](const ::testing::TestParamInfo<TortureParam>& tpi) {
+      return std::to_string(tpi.param.readers) + "r" +
+             std::to_string(tpi.param.updaters) + "u";
     });
 
 }  // namespace

@@ -1,0 +1,274 @@
+// Seeded-violation suite for the rcucheck discipline verifier (src/check/).
+//
+// One deliberately broken mini-client per violation class (a)-(e) of
+// DESIGN.md "Correctness tooling", each asserting that the checker's ring
+// buffer names exactly that class; plus clean-run tests asserting zero
+// false positives on correct concurrent usage of the tree and the sharded
+// dictionary (the rest of the tier-1 suite enforces the same property
+// process-wide, because the sink's default mode aborts).
+//
+// Under CITRUS_RCU_CHECK=OFF every seeded test skips and the suite instead
+// verifies the hooks are inert no-ops.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/check.hpp"
+#include "citrus/citrus_node.hpp"
+#include "citrus/citrus_tree.hpp"
+#include "citrus/node_pool.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "shard/sharded_dict.hpp"
+#include "sync/spinlock.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::check::ViolationClass;
+using citrus::check::ViolationSink;
+using citrus::rcu::CounterFlagRcu;
+
+using NodeLock = citrus::sync::UseSpinLock::type;
+using Node = citrus::core::CitrusNode<long, long, NodeLock>;
+using Pool = citrus::core::NodePool<Node>;
+
+std::uint64_t count(ViolationClass c) {
+  return ViolationSink::instance().count(c);
+}
+
+// Record mode for the duration of each seeded test; skips when the checker
+// is compiled out.
+class RcuCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!citrus::check::kEnabled) {
+      GTEST_SKIP() << "CITRUS_RCU_CHECK is OFF; seeded violations need the "
+                      "instrumented build";
+    }
+    ViolationSink::instance().clear();
+    record_.emplace();
+  }
+  void TearDown() override {
+    record_.reset();
+    ViolationSink::instance().clear();
+  }
+
+ private:
+  std::optional<citrus::check::ScopedRecordMode> record_;
+};
+
+Node* allocate_real(Pool& pool, long key, long value) {
+  return pool.allocate(false, citrus::core::NodeKind::kReal, &key, &value,
+                       nullptr, nullptr);
+}
+
+// (a) A traversal step with no read-side critical section, no node lock
+// and no quiescent declaration.
+TEST_F(RcuCheckTest, DetectsDerefOutsideReadSection) {
+  Pool pool;
+  Node* n = allocate_real(pool, 1, 2);
+  citrus::check::on_node_access(n);  // broken reader: bare dereference
+  EXPECT_EQ(count(ViolationClass::kDerefOutsideReadSection), 1u);
+  n->marked.store(true, std::memory_order_relaxed);
+  pool.recycle(n);
+  EXPECT_EQ(count(ViolationClass::kDerefOutsideReadSection), 1u);
+}
+
+// Control for (a): the same dereference is legal inside a section, under a
+// node lock, or inside a declared-quiescent scope.
+TEST_F(RcuCheckTest, AllowsDerefInLegalContexts) {
+  Pool pool;
+  Node* n = allocate_real(pool, 1, 2);
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+
+  domain.read_lock();
+  citrus::check::on_node_access(n);
+  domain.read_unlock();
+
+  NodeLock lock;
+  lock.lock();
+  citrus::check::on_node_access(n);
+  lock.unlock();
+
+  {
+    citrus::check::ScopedQuiescent quiescent;
+    citrus::check::on_node_access(n);
+  }
+  EXPECT_EQ(ViolationSink::instance().total(), 0u);
+  n->marked.store(true, std::memory_order_relaxed);
+  pool.recycle(n);
+}
+
+// (b) synchronize_rcu from inside a read-side critical section.
+TEST_F(RcuCheckTest, DetectsSynchronizeInsideReadSection) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  domain.read_lock();
+  domain.synchronize();  // self-deadlock pattern (paper Section 3)
+  domain.read_unlock();
+  EXPECT_EQ(count(ViolationClass::kUnsafeSynchronize), 1u);
+}
+
+// (b) synchronize_rcu while holding a node lock, without the blessing the
+// tree's two-child delete uses to assert readers take no locks.
+TEST_F(RcuCheckTest, DetectsSynchronizeWhileHoldingNodeLock) {
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  NodeLock lock;
+  lock.lock();
+  domain.synchronize();  // unblessed: flagged
+  EXPECT_EQ(count(ViolationClass::kUnsafeSynchronize), 1u);
+  {
+    citrus::check::AllowSyncWithHeldLocks blessed;
+    domain.synchronize();  // blessed: the two-child-delete pattern
+  }
+  lock.unlock();
+  EXPECT_EQ(count(ViolationClass::kUnsafeSynchronize), 1u);
+}
+
+// (c) Unlock of a lock the thread never acquired.
+TEST_F(RcuCheckTest, DetectsUnlockWithoutLock) {
+  NodeLock lock;
+  lock.unlock();
+  EXPECT_EQ(count(ViolationClass::kBadUnlock), 1u);
+}
+
+// (c) Unlock from a different thread than the one holding the lock.
+TEST_F(RcuCheckTest, DetectsCrossThreadUnlock) {
+  NodeLock lock;
+  std::thread locker([&lock] { lock.lock(); });
+  locker.join();
+  lock.unlock();  // this thread's held-set does not contain it
+  EXPECT_EQ(count(ViolationClass::kBadUnlock), 1u);
+}
+
+// (d) Recycling a node that was never marked: by Lemma 1 only marked nodes
+// become unreachable, so this retiree is still wired into the structure.
+TEST_F(RcuCheckTest, DetectsRetireOfReachableNode) {
+  Pool pool;
+  Node* n = allocate_real(pool, 7, 7);
+  pool.recycle(n);  // retire-before-unlink
+  EXPECT_EQ(count(ViolationClass::kRetireReachable), 1u);
+}
+
+// (e) Dereference of a node after it was reclaimed to the pool: the free
+// canary + payload poison installed by recycle() trip the checked access.
+TEST_F(RcuCheckTest, DetectsUseAfterReclaim) {
+  Pool pool;
+  CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  Node* n = allocate_real(pool, 3, 4);
+  n->marked.store(true, std::memory_order_relaxed);
+  pool.recycle(n);
+
+  domain.read_lock();  // context is legal — the *lifetime* is not
+  citrus::check::on_node_access(n);
+  domain.read_unlock();
+  EXPECT_EQ(count(ViolationClass::kUseAfterReclaim), 1u);
+  EXPECT_EQ(count(ViolationClass::kDerefOutsideReadSection), 0u);
+}
+
+// The ring buffer names the class and carries file:line provenance of the
+// instrumentation site (here: the unlock hook in sync/spinlock.hpp).
+TEST_F(RcuCheckTest, RingBufferNamesClassAndProvenance) {
+  NodeLock lock;
+  lock.unlock();
+  const auto snap = ViolationSink::instance().snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].cls, ViolationClass::kBadUnlock);
+  ASSERT_NE(snap[0].file, nullptr);
+  EXPECT_NE(std::string(snap[0].file).find("spinlock.hpp"),
+            std::string::npos);
+  EXPECT_GT(snap[0].line, 0u);
+  EXPECT_STREQ(citrus::check::to_string(snap[0].cls), "bad-unlock");
+}
+
+// Zero false positives on a correct concurrent workload over the full
+// instrumented stack: searches, inserts, both erase shapes (the two-child
+// path exercises the blessed synchronize-while-locked), reclamation.
+TEST_F(RcuCheckTest, CleanTreeWorkloadReportsNothing) {
+  CounterFlagRcu domain;
+  citrus::core::CitrusTree<long, long> tree(domain);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&domain, &tree, t] {
+      CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(17 + t);
+      for (int i = 0; i < 4000; ++i) {
+        const long k = static_cast<long>(rng.bounded(128));
+        const std::uint64_t op = rng.bounded(100);
+        if (op < 40) {
+          tree.contains(k);
+        } else if (op < 55) {
+          tree.find(k);
+        } else if (op < 80) {
+          tree.insert(k, k);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(tree.stats().two_child_erases, 0u);
+  EXPECT_TRUE(tree.check_structure().ok);
+  EXPECT_EQ(ViolationSink::instance().total(), 0u);
+}
+
+TEST_F(RcuCheckTest, CleanShardedWorkloadReportsNothing) {
+  citrus::shard::ShardedCitrus<long, long> dict(4);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dict, t] {
+      citrus::shard::ShardedCitrus<long, long>::Registration reg(dict);
+      citrus::util::Xoshiro256 rng(91 + t);
+      for (int i = 0; i < 3000; ++i) {
+        const long k = static_cast<long>(rng.bounded(256));
+        const std::uint64_t op = rng.bounded(100);
+        if (op < 50) {
+          dict.contains(k);
+        } else if (op < 80) {
+          dict.insert(k, k);
+        } else {
+          dict.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(dict.check_structure().ok);
+  EXPECT_EQ(ViolationSink::instance().total(), 0u);
+}
+
+// With the checker compiled out, every hook must be an inert no-op and the
+// annotations empty objects — nothing reaches the sink.
+TEST(RcuCheckDisabled, HooksAreInertWhenCompiledOut) {
+  if (citrus::check::kEnabled) {
+    GTEST_SKIP() << "this test asserts the CITRUS_RCU_CHECK=OFF contract";
+  }
+  Pool pool;
+  Node* n = allocate_real(pool, 1, 1);
+  citrus::check::on_node_access(n);
+  citrus::check::on_retire(n, false);
+  citrus::check::on_read_lock(nullptr);
+  citrus::check::on_read_unlock(nullptr);
+  citrus::check::on_synchronize(nullptr);
+  {
+    citrus::check::AllowSyncWithHeldLocks blessed;
+    citrus::check::ScopedQuiescent quiescent;
+  }
+  EXPECT_EQ(citrus::check::read_depth(), 0u);
+  EXPECT_EQ(citrus::check::held_lock_count(), 0u);
+  EXPECT_EQ(ViolationSink::instance().total(), 0u);
+  n->marked.store(true, std::memory_order_relaxed);
+  pool.recycle(n);
+}
+
+}  // namespace

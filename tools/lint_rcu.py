@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""lint_rcu.py — static lint for the repo's RCU/lock discipline.
+
+Complements the runtime rcucheck layer (src/check/): flags *call sites the
+runtime can only catch if a test happens to execute them*. The rule mirrors
+runtime violation class (a): a function that dereferences tree-node state
+(`->child[...]`, `->key()`, `->value()`, `->next[...]`) must, somewhere in
+its body, establish a protection context — open a read-side critical
+section, take a lock, or carry an explicit annotation naming why neither is
+needed:
+
+    // rcu-lint: quiescent (<why no concurrent updaters exist>)
+    // rcu-lint: allow (<why protection is established by the caller>)
+    // rcu-lint: exempt-file (<why this file's safety protocol is not
+    //                         lock/critical-section shaped>)
+
+The last form exempts a whole file and exists for the comparison baselines
+(lock-free CAS protocols, optimistic version validation), whose safety
+arguments the RCU discipline does not describe.
+
+The scanner is a deliberately simple per-function brace tracker, not a
+parser; the annotations keep it zero-false-positive on this codebase, and
+the runtime layer backstops anything it cannot see.
+
+Usage:
+    tools/lint_rcu.py [--root DIR] [paths...]
+
+Exits nonzero if any finding is produced (CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# A dereference of RCU-protected node state.
+DEREF_RE = re.compile(
+    r"->\s*(?:child\s*\[|key\s*\(|value\s*\(|next\s*\[)"
+)
+
+# Tokens that establish a protection context inside the function body.
+GUARD_RE = re.compile(
+    r"\b(?:"
+    r"ReadGuard|MaybeReadGuard|read_lock\s*\(|rcu_read_lock"
+    r"|\.lock\s*\(|->lock\s*\.|try_lock\s*\(|acquire_timed\s*\("
+    r"|lock_guard|scoped_lock|unique_lock|shared_lock"
+    r"|ScopedQuiescent|for_each_quiescent"
+    r")"
+)
+
+# Annotation markers. They are comments, so they are translated to sentinel
+# tokens *before* comment stripping.
+MARKER_RE = re.compile(r"//\s*rcu-lint:\s*(quiescent|allow|exempt-file)\b")
+SENTINELS = {
+    "quiescent": "RCU_LINT_QUIESCENT_",
+    "allow": "RCU_LINT_ALLOW_",
+    "exempt-file": "RCU_LINT_EXEMPT_FILE_",
+}
+SENTINEL_RE = re.compile(r"\bRCU_LINT_(?:QUIESCENT|ALLOW)_\b")
+EXEMPT_FILE_RE = re.compile(r"\bRCU_LINT_EXEMPT_FILE_\b")
+
+# Start-of-function heuristic: a line ending in `{` whose head looks like a
+# signature (has `(` and no control keyword).
+CONTROL_KEYWORDS = re.compile(
+    r"^\s*(?:if|else|for|while|switch|do|return|case|catch|namespace)\b"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    rcu-lint markers are turned into sentinel identifiers first so they
+    survive stripping.
+    """
+    text = MARKER_RE.sub(lambda m: SENTINELS[m.group(1)], text)
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            out.append(c)
+            if c == quote:
+                state = "code"
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, func: str, deref: str):
+        self.path = path
+        self.line = line
+        self.func = func
+        self.deref = deref
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}: unprotected node dereference "
+            f"`{self.deref.strip()}` in `{self.func}` — no read-side "
+            f"critical section, lock acquisition or rcu-lint annotation "
+            f"in this function"
+        )
+
+
+def function_name(header: str) -> str:
+    m = re.search(r"([~\w:]+)\s*\(", header)
+    return m.group(1) if m else "<unknown>"
+
+
+def scan_file(path: pathlib.Path) -> list[Finding]:
+    text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+    if EXEMPT_FILE_RE.search(text):
+        return []
+    lines = text.split("\n")
+
+    findings: list[Finding] = []
+    # Stack of open function scopes: (name, brace_depth_at_entry,
+    # guarded_flag, derefs list of (line, text)).
+    func_stack: list[dict] = []
+    depth = 0
+    header_acc = ""  # accumulates a potential multi-line signature
+
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        opens = line.count("{")
+        closes = line.count("}")
+
+        # Detect a function body opening at this line.
+        if opens and not CONTROL_KEYWORDS.match(header_acc + " " + line):
+            candidate = (header_acc + " " + line).strip()
+            head = candidate.split("{", 1)[0]
+            looks_like_sig = (
+                "(" in head
+                and not head.rstrip().endswith(("=", ",", "(") )
+                and ";" not in head.split("(", 1)[0]
+                and "=" not in head.split("(", 1)[0]
+            )
+            if looks_like_sig and func_stack and not any(
+                f["is_func"] for f in func_stack
+            ):
+                looks_like_sig = looks_like_sig  # lambdas inside structs ok
+            if looks_like_sig:
+                func_stack.append(
+                    {
+                        "name": function_name(head),
+                        "entry_depth": depth,
+                        # An annotation above the signature blesses the body.
+                        "guarded": bool(SENTINEL_RE.search(candidate)),
+                        "derefs": [],
+                        "is_func": True,
+                    }
+                )
+        if stripped and not opens:
+            # Keep at most a few lines of signature continuation.
+            header_acc = (header_acc + " " + stripped)[-400:]
+            if stripped.endswith((";", "}")):
+                header_acc = ""
+        else:
+            header_acc = ""
+
+        # Classify the line's content against the innermost open function.
+        if func_stack:
+            top = func_stack[-1]
+            if GUARD_RE.search(line) or SENTINEL_RE.search(line):
+                top["guarded"] = True
+            m = DEREF_RE.search(line)
+            if m:
+                top["derefs"].append((lineno, line.strip()[:60]))
+
+        depth += opens - closes
+
+        # Close any function scopes whose body ended.
+        while func_stack and depth <= func_stack[-1]["entry_depth"]:
+            done = func_stack.pop()
+            if done["derefs"] and not done["guarded"]:
+                for dline, dtext in done["derefs"]:
+                    findings.append(Finding(path, dline, done["name"], dtext))
+            # A guarded inner scope does not bless the outer one, but an
+            # unguarded inner deref already reported stays reported.
+
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None, help="repo root (default: cwd)")
+    ap.add_argument("paths", nargs="*", help="files/dirs (default: src/)")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root) if args.root else pathlib.Path.cwd()
+    targets = [pathlib.Path(p) for p in args.paths] or [root / "src"]
+
+    files: list[pathlib.Path] = []
+    for t in targets:
+        if t.is_dir():
+            files.extend(sorted(t.rglob("*.hpp")))
+            files.extend(sorted(t.rglob("*.cpp")))
+        else:
+            files.append(t)
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(scan_file(f))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nlint_rcu: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_rcu: clean ({len(files)} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
