@@ -5,9 +5,20 @@
 //   * synchronize_rcu with active reader churn,
 //   * multi-threaded synchronize throughput (the Figure 8 mechanism in
 //     isolation: global-lock RCU serializes, the others do not).
+//
+// The gp_seq A/B: CounterFlagRcu is the shared-grace-period engine
+// (hierarchical scan + piggybacking), FlatCounterFlagRcu is the paper's
+// flat per-call scan. The acceptance pair is BM_ConcurrentSynchronize at
+// 16 threads: the engine must beat the flat baseline ≥2× (concurrent
+// callers share one scan instead of each walking every reader), while
+// BM_ReadSection must show no regression (the read fast path is one
+// seq_cst store + one uncontended seq_cst load either way).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/epoch_rcu.hpp"
@@ -17,6 +28,7 @@ namespace {
 
 using citrus::rcu::CounterFlagRcu;
 using citrus::rcu::EpochRcu;
+using citrus::rcu::FlatCounterFlagRcu;
 using citrus::rcu::GlobalLockRcu;
 
 template <typename Rcu>
@@ -56,31 +68,141 @@ void BM_SynchronizeWithReaderChurn(benchmark::State& state) {
 }
 
 // Threaded: every benchmark thread synchronizes concurrently. This is the
-// contention point Figure 8 exposes.
+// contention point Figure 8 exposes. With no readers registered beyond
+// the synchronizers themselves a flat scan is just N idle-word loads, so
+// this isolates the engine's leader-election overhead (the flat variant
+// has none — the paper's synchronizers share no state at all).
+// Both concurrent benchmarks report scans actually performed per
+// synchronize call as a counter ("scans_per_call"): 1.0 for every
+// per-call-scan domain by construction, < 1 when callers piggyback on the
+// shared grace-period sequence. This is the machine-independent form of
+// the sharing win — on a single-core CI runner the wall-clock columns
+// measure the scheduler, not the scan.
 template <typename Rcu>
 void BM_ConcurrentSynchronize(benchmark::State& state) {
   static Rcu domain;
   typename Rcu::Registration reg(domain);
+  std::uint64_t scans0 = 0;
+  if constexpr (requires(const Rcu& d) { d.grace_periods_started(); }) {
+    if (state.thread_index() == 0) scans0 = domain.grace_periods_started();
+  }
   for (auto _ : state) domain.synchronize();
+  if (state.thread_index() == 0) {
+    const double calls = static_cast<double>(state.iterations()) *
+                         static_cast<double>(state.threads());
+    if constexpr (requires(const Rcu& d) { d.grace_periods_started(); }) {
+      state.counters["scans_per_call"] =
+          static_cast<double>(domain.grace_periods_started() - scans0) /
+          calls;
+    } else {
+      state.counters["scans_per_call"] = 1.0;  // one flat scan per call
+    }
+  }
+}
+
+// The acceptance metric at 16 threads: concurrent synchronizers against
+// churning readers. Here a flat scan must sample every churning reader's
+// word and spin-wait out flagged sections — N scanners each keep R hot
+// reader lines in shared state, so every reader store pays an N-way
+// invalidation and the waits compound. The engine elects one leader per
+// grace period; the other callers spin locally on the shared sequence
+// word, so reader lines have a single remote spinner regardless of N.
+template <typename Rcu>
+void BM_ConcurrentSynchronizeWithChurn(benchmark::State& state) {
+  static Rcu domain;
+  static std::atomic<bool> stop;
+  static std::vector<std::thread> churners;
+  typename Rcu::Registration reg(domain);
+  std::uint64_t scans0 = 0;
+  if (state.thread_index() == 0) {
+    if constexpr (requires(const Rcu& d) { d.grace_periods_started(); }) {
+      scans0 = domain.grace_periods_started();
+    }
+    stop.store(false);
+    for (int i = 0; i < 4; ++i) {
+      churners.emplace_back([] {
+        typename Rcu::Registration r(domain);
+        while (!stop.load(std::memory_order_relaxed)) {
+          domain.read_lock();
+          benchmark::DoNotOptimize(&domain);
+          domain.read_unlock();
+        }
+      });
+    }
+  }
+  for (auto _ : state) domain.synchronize();
+  if (state.thread_index() == 0) {
+    stop.store(true);
+    for (auto& t : churners) t.join();
+    churners.clear();
+    const double calls = static_cast<double>(state.iterations()) *
+                         static_cast<double>(state.threads());
+    if constexpr (requires(const Rcu& d) { d.grace_periods_started(); }) {
+      state.counters["scans_per_call"] =
+          static_cast<double>(domain.grace_periods_started() - scans0) /
+          calls;
+    } else {
+      state.counters["scans_per_call"] = 1.0;  // one flat scan per call
+    }
+  }
+}
+
+// Expedited flat scan on the engine domain: the single-updater escape
+// hatch that bypasses grace-period sharing entirely.
+void BM_SynchronizeExpedited(benchmark::State& state) {
+  static CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  for (auto _ : state) domain.synchronize_expedited();
+}
+
+// Deferred grace period: start + wait as separate steps (what the
+// pipelined Reclaimer does to overlap grace periods with callbacks).
+template <typename Rcu>
+void BM_StartThenAwaitGracePeriod(benchmark::State& state) {
+  static Rcu domain;
+  typename Rcu::Registration reg(domain);
+  for (auto _ : state) {
+    const citrus::rcu::GpCookie cookie = domain.start_grace_period();
+    benchmark::DoNotOptimize(domain.poll(cookie));
+    domain.synchronize(cookie);
+  }
 }
 
 }  // namespace
 
 BENCHMARK_TEMPLATE(BM_ReadSection, CounterFlagRcu);
+BENCHMARK_TEMPLATE(BM_ReadSection, FlatCounterFlagRcu);
 BENCHMARK_TEMPLATE(BM_ReadSection, GlobalLockRcu);
 BENCHMARK_TEMPLATE(BM_ReadSection, EpochRcu);
 
 BENCHMARK_TEMPLATE(BM_SynchronizeNoReaders, CounterFlagRcu);
+BENCHMARK_TEMPLATE(BM_SynchronizeNoReaders, FlatCounterFlagRcu);
 BENCHMARK_TEMPLATE(BM_SynchronizeNoReaders, GlobalLockRcu);
 BENCHMARK_TEMPLATE(BM_SynchronizeNoReaders, EpochRcu);
 
 BENCHMARK_TEMPLATE(BM_SynchronizeWithReaderChurn, CounterFlagRcu)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_SynchronizeWithReaderChurn, FlatCounterFlagRcu)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_TEMPLATE(BM_SynchronizeWithReaderChurn, GlobalLockRcu)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_TEMPLATE(BM_SynchronizeWithReaderChurn, EpochRcu)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, CounterFlagRcu)->Threads(2)->Threads(4);
-BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, GlobalLockRcu)->Threads(2)->Threads(4);
-BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, EpochRcu)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, CounterFlagRcu)
+    ->Threads(2)->Threads(4)->Threads(8)->Threads(16);
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, FlatCounterFlagRcu)
+    ->Threads(2)->Threads(4)->Threads(8)->Threads(16);
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, GlobalLockRcu)
+    ->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronize, EpochRcu)
+    ->Threads(2)->Threads(4);
+
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronizeWithChurn, CounterFlagRcu)
+    ->Threads(8)->Threads(16)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ConcurrentSynchronizeWithChurn, FlatCounterFlagRcu)
+    ->Threads(8)->Threads(16)->UseRealTime();
+
+BENCHMARK_TEMPLATE(BM_StartThenAwaitGracePeriod, CounterFlagRcu);
+BENCHMARK_TEMPLATE(BM_StartThenAwaitGracePeriod, EpochRcu);
+BENCHMARK(BM_SynchronizeExpedited);

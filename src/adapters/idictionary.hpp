@@ -29,6 +29,8 @@ struct ShardStats {
   std::uint64_t retries = 0;        // insert + erase validation retries
   std::uint64_t lock_timeouts = 0;  // bounded try-lock giving up
   std::uint64_t recycled_nodes = 0; // nodes returned to the pool
+  std::uint64_t gp_started = 0;     // grace-period scans led in this shard
+  std::uint64_t gp_shared = 0;      // calls that piggybacked on a scan
   std::size_t size = 0;             // keys resident (relaxed counter)
 };
 
@@ -44,6 +46,14 @@ struct StatsSnapshot {
   std::uint64_t erase_retries = 0;
   std::uint64_t lock_timeouts = 0;
   std::uint64_t recycled_nodes = 0;
+  // Grace-period engine breakdown (rcu/gp_seq.hpp); all zero on domains
+  // without the shared sequence. gp_started counts scans actually
+  // performed, gp_shared counts synchronize calls satisfied by another
+  // caller's concurrent scan, gp_expedited counts expedited (flat-scan)
+  // calls. Sharing ratio = gp_shared / (gp_started + gp_shared).
+  std::uint64_t gp_started = 0;
+  std::uint64_t gp_shared = 0;
+  std::uint64_t gp_expedited = 0;
   std::vector<ShardStats> shards;   // per-shard breakdown; empty if unsharded
 };
 
@@ -97,7 +107,11 @@ using DictionaryFactory =
 // Global algorithm registry. Names used by the benches, with the traits
 // each maps to (BenchTraits = paper-faithful: no reclamation, no stats;
 // DefaultTraits = reclamation + stats on):
-//   citrus            Citrus tree, paper's counter+flag RCU, BenchTraits
+//   citrus            Citrus tree, counter+flag RCU (shared gp_seq +
+//                     hierarchical scan), BenchTraits
+//   citrus-gpseq      explicit alias of `citrus` for the grace-period A/B
+//   citrus-flat       Citrus over the paper's flat per-call scan (no
+//                     grace-period sharing) — the gp_seq baseline
 //   citrus-std-rcu    Citrus over the stock (global-lock) RCU — Fig 8 left;
 //                     BenchTraits
 //   citrus-epoch      Citrus over epoch-based RCU — RCU-choice ablation;

@@ -85,6 +85,9 @@ class TreeAdapter final : public IDictionary {
       snap.erase_retries = s.erase_retries;
       snap.lock_timeouts = s.lock_timeouts;
       snap.recycled_nodes = s.recycled_nodes;
+      snap.gp_started = s.gp_started;
+      snap.gp_shared = s.gp_shared;
+      snap.gp_expedited = s.gp_expedited;
     }
     return snap;
   }
@@ -148,12 +151,17 @@ class ShardedAdapter final : public IDictionary {
       out.retries = s.insert_retries + s.erase_retries;
       out.lock_timeouts = s.lock_timeouts;
       out.recycled_nodes = s.recycled_nodes;
+      out.gp_started = s.gp_started;
+      out.gp_shared = s.gp_shared;
       out.size = dict_.shard_size(i);
       snap.grace_periods += out.grace_periods;
       snap.insert_retries += s.insert_retries;
       snap.erase_retries += s.erase_retries;
       snap.lock_timeouts += s.lock_timeouts;
       snap.recycled_nodes += s.recycled_nodes;
+      snap.gp_started += s.gp_started;
+      snap.gp_shared += s.gp_shared;
+      snap.gp_expedited += s.gp_expedited;
       snap.shards.push_back(out);
     }
     return snap;
@@ -222,6 +230,12 @@ const std::map<std::string, DictionaryFactory>& registry() {
   using rcu::GlobalLockRcu;
   static const std::map<std::string, DictionaryFactory> map = {
       {"citrus", citrus_factory<CounterFlagRcu>("citrus", false)},
+      // A/B pair for the grace-period engine: "citrus-gpseq" is an
+      // explicit alias of the default (shared gp_seq + hierarchical
+      // scan), "citrus-flat" is the paper's flat per-call scan.
+      {"citrus-gpseq", citrus_factory<CounterFlagRcu>("citrus-gpseq", false)},
+      {"citrus-flat",
+       citrus_factory<rcu::FlatCounterFlagRcu>("citrus-flat", false)},
       {"citrus-std-rcu",
        citrus_factory<GlobalLockRcu>("citrus-std-rcu", false)},
       {"citrus-epoch", citrus_factory<EpochRcu>("citrus-epoch", false)},

@@ -191,6 +191,33 @@ inline void on_synchronize(
   }
 }
 
+// Deferred grace periods (rcu/gp_seq.hpp). Starting a grace period is a
+// fence + sequence snapshot — non-blocking and legal anywhere, including
+// inside a read-side critical section, so on_gp_start only exists as an
+// instrumentation point. *Waiting* on a cookie (synchronize(cookie)) has
+// exactly the blocking profile of synchronize_rcu, so on_gp_wait enforces
+// the same obligation (b).
+
+inline void on_gp_start(const void* /*domain*/) noexcept {}
+
+inline void on_gp_wait(
+    const void* domain,
+    const std::source_location& loc = std::source_location::current()) noexcept {
+  auto& c = detail::ctx();
+  if (c.read_depth > 0) {
+    detail::report(ViolationClass::kUnsafeSynchronize, domain,
+                   "grace-period wait (synchronize on a cookie) inside a "
+                   "read-side critical section (self-deadlock)",
+                   loc);
+  } else if (!c.held_locks.empty() && c.sync_with_locks_allowed == 0) {
+    detail::report(ViolationClass::kUnsafeSynchronize, domain,
+                   "grace-period wait (synchronize on a cookie) while "
+                   "holding node locks without an AllowSyncWithHeldLocks "
+                   "blessing",
+                   loc);
+  }
+}
+
 // ── Hooks wired into the node-lock wrapper (sync/spinlock.hpp) ────────
 
 inline void on_node_lock(const void* lock) noexcept {
@@ -343,6 +370,8 @@ inline std::size_t held_lock_count() noexcept {
 inline void on_read_lock(const void*) noexcept {}
 inline void on_read_unlock(const void*) noexcept {}
 inline void on_synchronize(const void*) noexcept {}
+inline void on_gp_start(const void*) noexcept {}
+inline void on_gp_wait(const void*) noexcept {}
 inline void on_node_lock(const void*) noexcept {}
 inline void on_node_unlock(const void*) noexcept {}
 template <typename Node>

@@ -108,6 +108,16 @@ struct CitrusStats {
   std::uint64_t lock_timeouts = 0;
   std::uint64_t recycled_nodes = 0;
 
+  // Grace-period engine counters of this tree's RCU domain (zero on
+  // domains without the shared gp_seq). Domain-level: if several trees
+  // share one domain, each stats() reports the same domain totals.
+  // gp_started counts scans actually performed; gp_shared counts
+  // synchronize calls that piggybacked on another caller's scan —
+  // gp_started + gp_shared equals the domain's gp-path synchronize calls.
+  std::uint64_t gp_started = 0;
+  std::uint64_t gp_shared = 0;
+  std::uint64_t gp_expedited = 0;
+
   // Fold another tree's counters into this one (sharded aggregation).
   void merge(const CitrusStats& o) {
     insert_retries += o.insert_retries;
@@ -115,6 +125,9 @@ struct CitrusStats {
     two_child_erases += o.two_child_erases;
     lock_timeouts += o.lock_timeouts;
     recycled_nodes += o.recycled_nodes;
+    gp_started += o.gp_started;
+    gp_shared += o.gp_shared;
+    gp_expedited += o.gp_expedited;
   }
 };
 
@@ -323,6 +336,20 @@ class CitrusTree {
           stats_.two_child_erases.load(std::memory_order_relaxed);
       out.lock_timeouts = stats_.lock_timeouts.load(std::memory_order_relaxed);
       out.recycled_nodes = stats_.recycled_nodes.load(std::memory_order_relaxed);
+    }
+    // Domain-side counters are kept by the grace-period engine itself and
+    // cost nothing to read, so they are reported even with kStats off.
+    if constexpr (requires(const Rcu& d) {
+                    { d.grace_periods_started() };
+                    { d.grace_periods_shared() };
+                  }) {
+      out.gp_started = rcu_.grace_periods_started();
+      out.gp_shared = rcu_.grace_periods_shared();
+      if constexpr (requires(const Rcu& d) {
+                      { d.grace_periods_expedited() };
+                    }) {
+        out.gp_expedited = rcu_.grace_periods_expedited();
+      }
     }
     return out;
   }

@@ -1,4 +1,13 @@
-// The paper's new user-space RCU implementation (Section 5, "New RCU").
+// The paper's new user-space RCU implementation (Section 5, "New RCU"),
+// in two variants:
+//
+//   * FlatCounterFlagRcu — the paper-faithful baseline: synchronize_rcu
+//     independently scans every registered thread's {counter, flag} word.
+//   * CounterFlagRcu (default) — the same reader protocol behind a
+//     scalable grace-period engine: concurrent synchronizers share one
+//     scan via a Linux-style gp_seq (rcu/gp_seq.hpp), and the scan itself
+//     is hierarchical — it reads one per-group summary word and descends
+//     only into groups with (possibly) active readers.
 //
 // Quoting the paper: "each thread has a counter and flag, the counter counts
 // the number of critical sections executed by the thread and a flag
@@ -20,15 +29,19 @@
 // cache line; a synchronizer spins on remote words only, so readers'
 // stores stay local until a grace period is actually in progress.
 //
-// Why this satisfies the RCU property: let R be a read-side critical
-// section with a step preceding an invocation S of synchronize_rcu. R's
-// rcu_read_lock (seq_cst store of an odd word w) precedes S's sampling
-// fence, so S samples either w (flag set, and the word cannot take the
-// value w again — the counter is monotone) or a later value. If it samples
-// w it waits until the word changes, which happens no earlier than R's
-// rcu_read_unlock (or R's next read_lock, which also follows R's unlock).
-// If it samples a later value, R had already unlocked. Either way S returns
-// only after R completed.
+// Why the flat scan satisfies the RCU property: let R be a read-side
+// critical section with a step preceding an invocation S of
+// synchronize_rcu. R's rcu_read_lock (seq_cst store of an odd word w)
+// precedes S's sampling fence, so S samples either w (flag set, and the
+// word cannot take the value w again — the counter is monotone) or a later
+// value. If it samples w it waits until the word changes, which happens no
+// earlier than R's rcu_read_unlock (or R's next read_lock, which also
+// follows R's unlock). If it samples a later value, R had already
+// unlocked. Either way S returns only after R completed.
+//
+// The hierarchical scan additionally relies on the group `active_hint`
+// invariant maintained by the trim/repair handshake below; the full
+// argument (and the piggybacking cookie argument) is DESIGN.md §5.
 #pragma once
 
 #include <atomic>
@@ -36,6 +49,7 @@
 #include <cstdint>
 
 #include "check/check.hpp"
+#include "rcu/gp_seq.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -60,6 +74,13 @@ struct CounterFlagRecord : RecordCommon<CounterFlagRecord> {
   }
 };
 
+// ── Default domain: shared grace periods + hierarchical scan ────────────
+//
+// Reader fast path vs. the flat variant: one extra seq_cst *load* of this
+// record's own trim_seq (a plain MOV on x86) and a predictable branch —
+// the repair slow path (one fetch_or on the group header) runs only after
+// a grace-period leader trimmed this record's hint bit, i.e. at most once
+// per (trim, next section) pair.
 class CounterFlagRcu
     : public DomainBase<CounterFlagRcu, CounterFlagRecord> {
  public:
@@ -75,6 +96,20 @@ class CounterFlagRcu
       // whose sampling fence follows it (x86: one locked instruction).
       r.word->store((r.shadow_counter << 1) | Record::kFlag,
                     std::memory_order_seq_cst);
+      // Hierarchy repair (Dekker with the leader's trim, DESIGN.md §5.3):
+      // the word store above must precede this load, so that either the
+      // trimming leader's re-validation sees our active word, or we see
+      // its trim_seq increment and re-publish our group hint bit here.
+      const std::uint64_t trims =
+          r.trim_seq.load(std::memory_order_seq_cst);
+      if (trims != r.repair_seen) [[unlikely]] {
+        r.repair_seen = trims;
+        r.group_hint->fetch_or(r.group_bit, std::memory_order_seq_cst);
+        // Orders this (possibly piggyback-skipped) section's body loads
+        // after any grace-period leader whose hint sample missed the
+        // fetch_or above — see the adoption argument in DESIGN.md §5.2.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
     }
   }
 
@@ -90,6 +125,175 @@ class CounterFlagRcu
     }
   }
 
+  // Still lock-free among synchronizers — but instead of each call paying
+  // a scan, concurrent calls elect one leader per grace period and the
+  // rest piggyback on its scan (rcu/gp_seq.hpp).
+  void synchronize() noexcept {
+    check::on_synchronize(this);
+    assert(!in_read_section() &&
+           "synchronize() inside a read-side critical section deadlocks");
+    count_synchronize();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    gp_.drive(gp_.snap(), [this] { scan_readers(); });
+  }
+
+  // ── Deferred grace periods (gp_poll_domain) ──────────────────────────
+
+  // Fence + snapshot only: names a grace period that, once elapsed,
+  // covers every unlink this thread performed before the call. Never
+  // blocks, never scans, legal anywhere (even inside a read section).
+  GpCookie start_grace_period() noexcept {
+    check::on_gp_start(this);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return gp_.snap();
+  }
+
+  // Non-blocking probe: has the named grace period elapsed?
+  bool poll(GpCookie cookie) const noexcept { return gp_.done(cookie); }
+
+  // Block until the named grace period has elapsed (leading a scan only
+  // if nobody else is driving one).
+  void synchronize(GpCookie cookie) noexcept {
+    check::on_gp_wait(this);
+    assert(!in_read_section() &&
+           "waiting on a grace period inside a read-side critical section "
+           "deadlocks");
+    gp_.drive(cookie, [this] { scan_readers(); });
+  }
+
+  // ── Expedited path ───────────────────────────────────────────────────
+
+  // For single-updater workloads: skip the gp_seq handshake and scan every
+  // occupied record directly, exactly like the flat baseline. Ignores the
+  // group hints (so it neither depends on nor perturbs the hint
+  // invariant) and shares no state with other synchronizers.
+  void synchronize_expedited() noexcept {
+    check::on_synchronize(this);
+    Record* me = find_record();
+    assert((me == nullptr || me->nest == 0) &&
+           "synchronize_expedited() inside a read-side critical section "
+           "deadlocks");
+    count_synchronize();
+    expedited_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    registry_.for_each_occupied([me](Record& r) {
+      if (&r == me) return;
+      const std::uint64_t w = r.word->load(std::memory_order_acquire);
+      if ((w & Record::kFlag) == 0) return;  // not inside a section
+      sync::Backoff bo;
+      while (r.word->load(std::memory_order_acquire) == w) bo.pause();
+    });
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  // ── Grace-period statistics ──────────────────────────────────────────
+  //
+  // started() + shared() equals the number of gp_seq-path synchronize
+  // calls; started() is the number of scans actually performed on that
+  // path. Sharing ratio = shared / (started + shared).
+
+  std::uint64_t grace_periods_started() const noexcept {
+    return gp_.started();
+  }
+  std::uint64_t grace_periods_shared() const noexcept { return gp_.shared(); }
+  std::uint64_t grace_periods_expedited() const noexcept {
+    return expedited_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t gp_sequence() const noexcept { return gp_.current(); }
+
+ private:
+  using Registry = GroupedRegistry<Record>;
+
+  bool in_read_section() const noexcept {
+    const Record* me = find_record();
+    return me != nullptr && me->nest != 0;
+  }
+
+  // Runs only as the gp_seq leader, after its sampling fence — at most one
+  // instance executes at a time (leader exclusivity), which the trim
+  // protocol below relies on.
+  void scan_readers() noexcept {
+    // Self-skip, as in the flat scan: the leader's own section (legal
+    // only in rcucheck's record-and-continue mode, where the seeded
+    // violation must not also deadlock the test) never blocks its own
+    // grace period.
+    Record* me = find_record();
+    registry_.for_each_group([me](typename Registry::Group& g) {
+      const std::uint64_t hint =
+          g.header.active_hint.load(std::memory_order_seq_cst);
+      // Idle group: every pre-fence section in it had completed (hint
+      // invariant, DESIGN.md §5.3) — skip all kGroupSize words.
+      std::uint64_t bits = hint;
+      while (bits != 0) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        Record& r = g.slots[i];
+        if (&r == me) continue;  // hint bit stays set — the record is hot
+        const std::uint64_t w = r.word->load(std::memory_order_seq_cst);
+        if ((w & Record::kFlag) != 0) {
+          // Active section that may predate our fence: wait it out and
+          // leave the hint bit set — the record is demonstrably hot.
+          sync::Backoff bo;
+          while (r.word->load(std::memory_order_acquire) == w) bo.pause();
+          continue;
+        }
+        // Quiescent: trim the hint so future scans skip this record.
+        // Order matters — clear, THEN bump trim_seq, THEN re-validate:
+        // a reader that misses the bump has its active word visible to
+        // the re-validation (Dekker), and a reader that sees the bump
+        // repairs a bit we have already cleared, never one we are about
+        // to clear (which is why the bump must follow the clear).
+        const std::uint64_t bit = std::uint64_t{1} << i;
+        g.header.active_hint.fetch_and(~bit, std::memory_order_seq_cst);
+        r.trim_seq.fetch_add(1, std::memory_order_seq_cst);
+        if ((r.word->load(std::memory_order_seq_cst) & Record::kFlag) != 0) {
+          // The owner re-entered between our sample and the trim; its
+          // section began after this grace period's fence (no need to
+          // wait), but the hint must stay truthful for the next one.
+          g.header.active_hint.fetch_or(bit, std::memory_order_seq_cst);
+        }
+      }
+    });
+  }
+
+  GpSeq gp_;
+  std::atomic<std::uint64_t> expedited_{0};
+};
+
+static_assert(rcu_domain<CounterFlagRcu>);
+static_assert(gp_poll_domain<CounterFlagRcu>);
+
+// ── Baseline: the paper's flat scan, verbatim ───────────────────────────
+//
+// One full scan of every occupied record per synchronize call, no shared
+// synchronizer state at all. Kept (and registered as `citrus-flat`) as the
+// A/B baseline for the grace-period engine; bench/micro_rcu_primitives.cpp
+// and bench/fig8_rcu_scaling.cpp run both variants side by side.
+class FlatCounterFlagRcu
+    : public DomainBase<FlatCounterFlagRcu, CounterFlagRecord> {
+ public:
+  using Record = CounterFlagRecord;
+
+  void read_lock() noexcept {
+    check::on_read_lock(this);
+    Record& r = self();
+    if (r.nest++ == 0) {
+      ++r.shadow_counter;
+      r.word->store((r.shadow_counter << 1) | Record::kFlag,
+                    std::memory_order_seq_cst);
+    }
+  }
+
+  void read_unlock() noexcept {
+    check::on_read_unlock(this);
+    Record& r = self();
+    assert(r.nest > 0 && "read_unlock without matching read_lock");
+    if (--r.nest == 0) {
+      ++r.read_sections;
+      r.word->store(r.shadow_counter << 1, std::memory_order_release);
+    }
+  }
+
   // Lock-free among synchronizers: each one independently samples every
   // other thread's word and waits for flagged ones to move. Concurrent
   // synchronize_rcu calls share no state at all (the paper's key point).
@@ -100,7 +304,7 @@ class CounterFlagRcu
            "synchronize() inside a read-side critical section deadlocks");
     count_synchronize();
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    registry_.for_each([me](Record& r) {
+    registry_.for_each_occupied([me](Record& r) {
       if (&r == me) return;
       const std::uint64_t w = r.word->load(std::memory_order_acquire);
       if ((w & Record::kFlag) == 0) return;  // not inside a section
@@ -111,6 +315,6 @@ class CounterFlagRcu
   }
 };
 
-static_assert(rcu_domain<CounterFlagRcu>);
+static_assert(rcu_domain<FlatCounterFlagRcu>);
 
 }  // namespace citrus::rcu

@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "check/check.hpp"
+#include "rcu/gp_seq.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -63,18 +64,58 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
     }
   }
 
+  // Shares grace periods exactly like CounterFlagRcu: concurrent
+  // synchronizers elect one leader per grace period via gp_seq; only the
+  // leader advances the epoch and scans (rcu/gp_seq.hpp). A sequential
+  // caller still leads every time, so the epoch advances once per call in
+  // single-threaded use.
   void synchronize() noexcept {
     check::on_synchronize(this);
-    Record* me = find_record();
-    assert((me == nullptr || me->nest == 0) &&
+    assert(!in_read_section() &&
            "synchronize() inside a read-side critical section deadlocks");
     count_synchronize();
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    gp_.drive(gp_.snap(), [this] { scan_readers(); });
+  }
+
+  // Deferred grace periods (gp_poll_domain) — see counter_flag_rcu.hpp.
+  GpCookie start_grace_period() noexcept {
+    check::on_gp_start(this);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return gp_.snap();
+  }
+  bool poll(GpCookie cookie) const noexcept { return gp_.done(cookie); }
+  void synchronize(GpCookie cookie) noexcept {
+    check::on_gp_wait(this);
+    assert(!in_read_section() &&
+           "waiting on a grace period inside a read-side critical section "
+           "deadlocks");
+    gp_.drive(cookie, [this] { scan_readers(); });
+  }
+
+  std::uint64_t grace_periods_started() const noexcept {
+    return gp_.started();
+  }
+  std::uint64_t grace_periods_shared() const noexcept { return gp_.shared(); }
+
+  std::uint64_t current_epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool in_read_section() const noexcept {
+    const Record* me = find_record();
+    return me != nullptr && me->nest != 0;
+  }
+
+  // Leader-only (gp_seq exclusivity), after the leader's sampling fence.
+  void scan_readers() noexcept {
     // Sections pinned at or below `old_epoch` predate this grace period.
     const std::uint64_t old_epoch =
         epoch_.fetch_add(1, std::memory_order_acq_rel);
-    registry_.for_each([me, old_epoch](Record& r) {
-      if (&r == me) return;
+    // No self-skip needed: the leader is outside any section (asserted at
+    // the call sites), so its own word is 0 and the loop breaks at once.
+    registry_.for_each_occupied([old_epoch](Record& r) {
       sync::Backoff bo;
       for (;;) {
         const std::uint64_t w = r.word->load(std::memory_order_acquire);
@@ -82,17 +123,13 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
         bo.pause();
       }
     });
-    std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
-  std::uint64_t current_epoch() const noexcept {
-    return epoch_.load(std::memory_order_relaxed);
-  }
-
- private:
+  GpSeq gp_;
   alignas(sync::kDestructiveInterference) std::atomic<std::uint64_t> epoch_{1};
 };
 
 static_assert(rcu_domain<EpochRcu>);
+static_assert(gp_poll_domain<EpochRcu>);
 
 }  // namespace citrus::rcu

@@ -87,7 +87,7 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
     for (int flip = 0; flip < 2; ++flip) {
       const std::uint64_t new_gp =
           gp_ctr_.fetch_xor(kPhase, std::memory_order_acq_rel) ^ kPhase;
-      registry_.for_each([me, new_gp](Record& r) {
+      registry_.for_each_occupied([me, new_gp](Record& r) {
         if (&r == me) return;
         sync::Backoff bo;
         for (;;) {

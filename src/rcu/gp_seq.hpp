@@ -1,0 +1,143 @@
+// Shared grace-period sequence — the piggybacking engine behind
+// CounterFlagRcu and EpochRcu (modelled on the Linux kernel's ->gp_seq,
+// cf. Liang et al., "Verification of the Tree-Based Hierarchical
+// Read-Copy Update in the Linux Kernel").
+//
+// The paper's counter-flag synchronize_rcu takes no lock, but every call
+// pays one full scan of remote reader words. Under N concurrent two-child
+// deleters those N scans are redundant: a single scan whose sampling fence
+// is ordered after *all* of their unlinks retires all N requests at once.
+// GpSeq turns "one scan per call" into "one scan per grace period".
+//
+// State is a single monotone 64-bit word, Linux-style:
+//
+//   bit 0        — a grace period is in progress (a leader is scanning)
+//   bits 63..1   — number of grace periods completed
+//
+// so the word moves  even --CAS--> odd --store--> even+2  and only the
+// thread that won the CAS (the *leader*) ever scans. Everyone else
+// (*followers*) waits for the sequence to reach its cookie — no scan, no
+// lock, and the paper's "synchronizers do not coordinate via locks"
+// property is preserved: the CAS is a single wide-spread-free atomic, a
+// stalled leader can stall followers of the SAME grace period (they would
+// have had to wait for its scan anyway via the reader words), and the
+// expedited path in the domain bypasses GpSeq entirely.
+//
+// Cookie protocol (all operations on seq_ are seq_cst):
+//
+//   snap():  s = seq_;  cookie = (s + 3) & ~1
+//     * s even (no GP running): cookie = s + 2 — the next full grace
+//       period. The caller's retire fence precedes the snap, and any
+//       future leader CAS (s -> s+1) follows it in seq_'s modification
+//       order, so that leader's sampling fence is ordered after the
+//       caller's fence. One full GP suffices.
+//     * s odd (GP in flight): cookie = s + 3 — the grace period AFTER the
+//       one in flight. The in-flight leader's sampling fence may precede
+//       the caller's retire, so the in-flight GP may have sampled a reader
+//       that still sees the not-yet-retired pointer. Only a GP that
+//       *starts* after the snap is safe to adopt.
+//
+//   done(c): seq_ >= c.  The leader's completion store is seq_cst; a
+//     follower that reads seq_ >= c synchronizes-with it, so everything
+//     the scan observed (all pre-GP readers gone) happens-before the
+//     follower's return.
+//
+//   drive(c, scan): leader-election loop. A caller leads at most once and
+//     never leads a useless grace period: the largest even s < c is c - 2,
+//     whose grace period completes to exactly c.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "sync/backoff.hpp"
+#include "sync/cache.hpp"
+
+namespace citrus::rcu {
+
+// Opaque grace-period cookie (see GpSeq::snap). Obtained from
+// start_grace_period(), redeemed via poll()/synchronize(cookie).
+using GpCookie = std::uint64_t;
+
+class GpSeq {
+ public:
+  static constexpr std::uint64_t kInProgress = 1;
+
+  GpSeq() = default;
+  GpSeq(const GpSeq&) = delete;
+  GpSeq& operator=(const GpSeq&) = delete;
+
+  // Cookie for "a full grace period from now". The caller must execute a
+  // seq_cst fence (ordering its unlinks) BEFORE calling snap.
+  GpCookie snap() const noexcept {
+    return (seq_.load(std::memory_order_seq_cst) + 3) & ~kInProgress;
+  }
+
+  // Non-blocking: has the grace period named by `cookie` completed?
+  bool done(GpCookie cookie) const noexcept {
+    return seq_.load(std::memory_order_seq_cst) >= cookie;
+  }
+
+  // Wait until the grace period named by `cookie` has completed, scanning
+  // at most once: if no grace period that satisfies the cookie is running,
+  // become the leader (CAS even -> odd), fence, run `scan` (which must
+  // wait out all readers whose section predates the fence), and publish
+  // completion (odd -> even+2). Otherwise spin-wait on the sequence —
+  // piggybacking on the concurrent leader's scan.
+  template <typename ScanFn>
+  void drive(GpCookie cookie, ScanFn&& scan) noexcept {
+    bool led = false;
+    sync::Backoff bo;
+    for (;;) {
+      std::uint64_t s = seq_.load(std::memory_order_seq_cst);
+      if (s >= cookie) {
+        if (!led) shared_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if ((s & kInProgress) == 0) {
+        // No grace period in flight; try to lead s -> s+1.
+        if (seq_.compare_exchange_strong(s, s + kInProgress,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst)) {
+          // Sampling fence: every reader word store that precedes a
+          // follower's snap of `s` (or earlier) is ordered before this
+          // fence via seq_'s single modification order, so the scan
+          // observes it.
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          scan();
+          seq_.store(s + 2, std::memory_order_seq_cst);
+          started_.fetch_add(1, std::memory_order_relaxed);
+          led = true;
+          bo.reset();
+          continue;  // loop: s + 2 may still be < cookie (odd snap)
+        }
+        continue;  // lost the election; someone else is leading
+      }
+      bo.pause();  // follower: wait for the in-flight scan
+    }
+  }
+
+  std::uint64_t current() const noexcept {
+    return seq_.load(std::memory_order_seq_cst);
+  }
+
+  // Grace periods this engine actually scanned for / calls that rode an
+  // existing or concurrent grace period without scanning. Every drive()
+  // increments exactly one of the two, so
+  //   started() + shared() == number of drive() calls.
+  std::uint64_t started() const noexcept {
+    return started_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shared() const noexcept {
+    return shared_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(sync::kDestructiveInterference) std::atomic<std::uint64_t> seq_{0};
+  alignas(sync::kDestructiveInterference) std::atomic<std::uint64_t>
+      started_{0};
+  std::atomic<std::uint64_t> shared_{0};
+};
+
+}  // namespace citrus::rcu

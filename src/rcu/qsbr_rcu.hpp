@@ -130,7 +130,7 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
       }
     }
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    registry_.for_each([me](Record& r) {
+    registry_.for_each_occupied([me](Record& r) {
       if (&r == me) return;
       const std::uint64_t w = r.word->load(std::memory_order_acquire);
       if ((w & Record::kOnline) == 0) return;  // offline: quiescent

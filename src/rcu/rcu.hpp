@@ -34,17 +34,39 @@ struct Retired {
   void* ctx;
 };
 
-// Fields every per-thread record shares. `Self` is the concrete record type
-// (CRTP for the intrusive registry link). All fields except `in_use` are
-// owner-thread-only.
+// Fields every per-thread record shares. `Self` is the concrete record
+// type (kept for interface stability; the registry no longer links records
+// intrusively — they live in fixed groups, see rcu/registry.hpp). `nest`,
+// `retired` and `read_sections` are owner-thread-only.
 template <typename Self>
 struct RecordCommon {
   std::atomic<bool> in_use{false};
-  Self* next = nullptr;
   std::uint32_t nest = 0;             // read-side nesting depth
   std::vector<Retired> retired;       // deferred frees of this thread
   std::uint64_t read_sections = 0;    // statistics: completed sections
+
+  // Registry backrefs into this record's group header, set once at group
+  // construction (before the group is published) and immutable after.
+  // `group_bit` is this record's bit in both summary words.
+  std::atomic<std::uint64_t>* group_occupied = nullptr;
+  std::atomic<std::uint64_t>* group_hint = nullptr;
+  std::uint64_t group_bit = 0;
+
+  // Dekker-style repair handshake for hierarchical domains. A grace-period
+  // leader that clears this record's `group_hint` bit (because the record
+  // looked quiescent) increments `trim_seq` AFTER the clear; the owner
+  // compares it against its private `repair_seen` on every outermost
+  // read_lock and re-publishes the bit on mismatch. The owner never writes
+  // `trim_seq`, so a delayed owner store can never erase a newer trim
+  // notification (the ABA that a plain flag would allow). Domains that do
+  // not use the hierarchy ignore both fields.
+  std::atomic<std::uint64_t> trim_seq{0};
+  std::uint64_t repair_seen = ~std::uint64_t{0};  // owner-thread-only
 };
+
+// Opaque grace-period cookie; defined with the engine in rcu/gp_seq.hpp
+// and re-declared here so the concept below does not pull in the engine.
+using GpCookie = std::uint64_t;
 
 // Static interface required of an RCU domain. The data structures are
 // templated on this concept, so swapping the synchronization substrate is a
@@ -59,6 +81,23 @@ concept rcu_domain = requires(D d, void* p, void (*fn)(void*, void*)) {
   d.flush_retired();                 // force reclamation of this thread's queue
   { d.synchronize_calls() } -> std::convertible_to<std::uint64_t>;
 };
+
+// Refinement for domains with a shared grace-period sequence (gp_seq.hpp):
+// grace periods can be started without waiting and redeemed later, so a
+// caller (e.g. rcu/reclaimer.hpp) can overlap a grace period with useful
+// work. start_grace_period() only fences and snapshots the sequence — it
+// never blocks and never scans; poll() is a non-blocking completion probe;
+// synchronize(cookie) blocks until the named grace period has elapsed,
+// scanning at most once across all concurrent synchronizers.
+template <typename D>
+concept gp_poll_domain =
+    rcu_domain<D> && requires(D d, const D cd, GpCookie c) {
+      { d.start_grace_period() } noexcept -> std::same_as<GpCookie>;
+      { cd.poll(c) } noexcept -> std::convertible_to<bool>;
+      d.synchronize(c);
+      { cd.grace_periods_started() } -> std::convertible_to<std::uint64_t>;
+      { cd.grace_periods_shared() } -> std::convertible_to<std::uint64_t>;
+    };
 
 // RAII read-side critical section, equivalent to the paper's
 // rcu_read_lock/rcu_read_unlock bracket around `get`.

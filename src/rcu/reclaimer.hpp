@@ -2,18 +2,31 @@
 // worker. DomainBase::retire() makes the *retiring* thread pay for the
 // grace period when its batch fills; for update-heavy workloads that puts
 // synchronize_rcu latency on the operation's critical path. A Reclaimer
-// moves that cost to a dedicated background thread: producers enqueue
-// callbacks with one mutex-protected push, the worker swaps the queue,
-// waits one grace period covering the whole batch, and runs the callbacks.
+// moves that cost to a dedicated background thread.
+//
+// Producers push onto a lock-free MPSC intrusive stack (one CAS, no mutex,
+// legal inside read-side critical sections); the worker detaches the whole
+// stack with one exchange. On a gp_poll_domain the worker *pipelines*:
+// after waiting out batch N's grace period it first collects batch N+1 and
+// opens its grace period (start_grace_period — fence + sequence snapshot,
+// no blocking), and only then runs batch N's callbacks — so batch N+1's
+// grace period elapses while batch N's destructors execute, and under the
+// shared gp_seq it is usually retired by some updater's concurrent scan
+// before the worker even asks. On a plain rcu_domain the worker falls back
+// to one synchronize() per batch.
+//
+// All counters are atomics, so the read-only accessors pending() and
+// batches() never touch a lock (they are polled from stats paths).
 //
 // The worker thread holds its own Registration with the domain. The
 // destructor drains everything still queued (paying a final grace period),
 // so objects handed to a Reclaimer are reliably freed before it dies.
 #pragma once
 
-#include <condition_variable>
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
-#include <mutex>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -32,22 +45,26 @@ class Reclaimer {
   Reclaimer& operator=(const Reclaimer&) = delete;
 
   ~Reclaimer() {
-    {
-      std::lock_guard<std::mutex> guard(mutex_);
-      stopping_ = true;
-    }
-    cv_.notify_one();
+    stopping_.store(true, std::memory_order_release);
+    wakeups_.fetch_add(1, std::memory_order_release);
+    wakeups_.notify_one();
     worker_.join();
   }
 
   // Defer fn(ptr, ctx) to after a future grace period. Callable from any
-  // thread, including inside a read-side critical section (nothing blocks).
+  // thread, including inside a read-side critical section (nothing blocks;
+  // the push is a single CAS).
   void enqueue(void* ptr, void (*fn)(void*, void*), void* ctx) {
-    {
-      std::lock_guard<std::mutex> guard(mutex_);
-      queue_.push_back(Retired{ptr, fn, ctx});
-    }
-    cv_.notify_one();
+    auto* node = new Node{Retired{ptr, fn, ctx}, nullptr};
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    Node* old_head = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = old_head;
+    } while (!head_.compare_exchange_weak(old_head, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+    wakeups_.fetch_add(1, std::memory_order_release);
+    wakeups_.notify_one();
   }
 
   template <typename T>
@@ -56,50 +73,96 @@ class Reclaimer {
         ptr, [](void* p, void*) { delete static_cast<T*>(p); }, nullptr);
   }
 
-  // Objects enqueued but not yet reclaimed (racy snapshot).
-  std::size_t pending() const {
-    std::lock_guard<std::mutex> guard(mutex_);
-    return queue_.size() + in_flight_;
+  // Objects enqueued but not yet reclaimed (racy snapshot, lock-free).
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
   }
 
-  // Completed reclamation batches (each cost one grace period).
-  std::uint64_t batches() const {
-    std::lock_guard<std::mutex> guard(mutex_);
-    return batches_;
+  // Completed reclamation batches (each awaited one grace period).
+  std::uint64_t batches() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct Node {
+    Retired item;
+    Node* next;
+  };
+
   void run() {
     typename Domain::Registration registration(domain_);
-    std::vector<Retired> batch;
+    std::vector<Retired> ready;  // grace period awaited; run these
+    std::vector<Retired> aging;  // covered by `cookie`, still aging
+    GpCookie cookie{};
     for (;;) {
-      {
-        std::unique_lock<std::mutex> guard(mutex_);
-        cv_.wait(guard, [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty() && stopping_) return;
-        batch.swap(queue_);
-        in_flight_ = batch.size();
+      if (aging.empty()) {
+        if (!wait_for_work()) return;  // stopping and nothing queued
+        collect(aging);
+        cookie = begin_grace_period();
       }
-      // One grace period covers the whole batch: everything in it was
-      // retired (hence unlinked) before this call.
+      // Everything in `aging` was enqueued (hence unlinked) before
+      // `cookie` was snapped, so one grace period covers the whole batch.
+      await_grace_period(cookie);
+      ready.swap(aging);
+      // Pipeline: open the next batch's grace period before running this
+      // batch's callbacks, so it ages while the destructors execute.
+      collect(aging);
+      if (!aging.empty()) cookie = begin_grace_period();
+      for (const Retired& r : ready) r.fn(r.ptr, r.ctx);
+      pending_.fetch_sub(ready.size(), std::memory_order_release);
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      ready.clear();
+    }
+  }
+
+  // Detach the whole producer stack and append it to `out` (FIFO order —
+  // the stack is LIFO, so reverse while copying out).
+  void collect(std::vector<Retired>& out) {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    const std::size_t mark = out.size();
+    while (node != nullptr) {
+      out.push_back(node->item);
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+    std::reverse(out.begin() + static_cast<std::ptrdiff_t>(mark), out.end());
+  }
+
+  // Sleep until work arrives or we are told to stop with an empty queue.
+  bool wait_for_work() {
+    for (;;) {
+      if (head_.load(std::memory_order_acquire) != nullptr) return true;
+      if (stopping_.load(std::memory_order_acquire)) return false;
+      const std::uint64_t seen = wakeups_.load(std::memory_order_acquire);
+      if (head_.load(std::memory_order_acquire) != nullptr) return true;
+      if (stopping_.load(std::memory_order_acquire)) return false;
+      wakeups_.wait(seen, std::memory_order_acquire);
+    }
+  }
+
+  GpCookie begin_grace_period() {
+    if constexpr (gp_poll_domain<Domain>) {
+      return domain_.start_grace_period();
+    } else {
+      return GpCookie{0};
+    }
+  }
+
+  void await_grace_period(GpCookie cookie) {
+    if constexpr (gp_poll_domain<Domain>) {
+      domain_.synchronize(cookie);
+    } else {
       domain_.synchronize();
-      for (const Retired& r : batch) r.fn(r.ptr, r.ctx);
-      batch.clear();
-      {
-        std::lock_guard<std::mutex> guard(mutex_);
-        in_flight_ = 0;
-        ++batches_;
-      }
     }
   }
 
   Domain& domain_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Retired> queue_;
-  std::size_t in_flight_ = 0;
-  std::uint64_t batches_ = 0;
-  bool stopping_ = false;
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<bool> stopping_{false};
   std::thread worker_;
 };
 

@@ -3,10 +3,28 @@
 // An RCU domain must be able to enumerate the reader state of every thread
 // that may be inside a read-side critical section. Following the user-space
 // RCU design of Desnoyers et al., each participating thread owns a *record*
-// (one padded cache line of reader state); records live in an intrusive
-// lock-free list owned by the domain and are recycled — never freed — until
-// the domain itself is destroyed, so synchronize() can walk the list without
-// any lock and without use-after-free concerns.
+// (reader state padded against false sharing); records are recycled — never
+// freed — until the domain itself is destroyed, so synchronize() can walk
+// them without any lock and without use-after-free concerns.
+//
+// Layout (new in the scalable-grace-period rework): records live in
+// fixed-size *groups* of kGroupSize slots. Each group carries two summary
+// words on their own padded header line:
+//
+//   occupied    — bit i set while slot i is held by a live Registration.
+//                 Maintained here (acquire/release); lets a scan skip
+//                 whole groups of exited threads.
+//   active_hint — bit i set when slot i *may* be inside (or about to
+//                 enter) a read-side critical section. Maintained by the
+//                 hierarchical domains (counter_flag_rcu.hpp) via the
+//                 record's `resummarize` handshake; an over-approximation,
+//                 so scans may trust a clear bit but must re-validate a
+//                 set one against the record's own word. Domains that do
+//                 not use the hierarchy simply never touch it.
+//
+// Groups form an append-only lock-free list (a new group is published only
+// when every existing group is fully occupied), so iteration needs no lock
+// and sees every group that existed when it started.
 //
 // Threads participate explicitly through an RAII `Registration` (mirroring
 // urcu's rcu_register_thread/rcu_unregister_thread). The registration caches
@@ -17,6 +35,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -24,6 +43,7 @@
 
 #include "rcu/rcu.hpp"
 #include "sync/backoff.hpp"
+#include "sync/cache.hpp"
 
 namespace citrus::rcu {
 
@@ -53,79 +73,174 @@ inline std::vector<TlsSlot>& tls_slots() {
 
 }  // namespace detail
 
-// Intrusive lock-free registry of per-thread records. `Record` must have:
-//   std::atomic<bool> in_use;
-//   Record* next;                 // registry linkage, set once
-//   void reset_for_reuse();       // return reader state to quiescent
-template <typename Record>
-class ThreadRegistry {
- public:
-  ThreadRegistry() = default;
-  ThreadRegistry(const ThreadRegistry&) = delete;
-  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+// Records per group. 8 keeps a group's reader words within a few pages
+// while letting one 64-bit summary word cover up to 64 slots if ever
+// retuned; the summary fan-out is what matters, not the exact value.
+inline constexpr std::size_t kGroupSize = 8;
 
-  ~ThreadRegistry() {
-    Record* r = head_.load(std::memory_order_acquire);
-    while (r != nullptr) {
-      Record* next = r->next;
-      delete r;
-      r = next;
+// Grouped lock-free registry of per-thread records. `Record` must derive
+// from RecordCommon (rcu.hpp) and provide reset_for_reuse(), returning
+// reader state to quiescent.
+template <typename Record>
+class GroupedRegistry {
+  static_assert(kGroupSize >= 1 && kGroupSize <= 64);
+  static constexpr std::uint64_t kFullMask =
+      kGroupSize == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << kGroupSize) - 1;
+
+ public:
+  struct Group {
+    // Summary words alone on a destructive-interference line: scanned by
+    // every synchronizer, written only on registration churn and (hint)
+    // read-lock slow paths / leader trims.
+    struct alignas(sync::kDestructiveInterference) Header {
+      std::atomic<std::uint64_t> occupied{0};
+      std::atomic<std::uint64_t> active_hint{0};
+    };
+
+    Group() {
+      for (std::size_t i = 0; i < kGroupSize; ++i) {
+        slots[i].group_occupied = &header.occupied;
+        slots[i].group_hint = &header.active_hint;
+        slots[i].group_bit = std::uint64_t{1} << i;
+      }
+    }
+
+    Header header;
+    Record slots[kGroupSize];
+    Group* next = nullptr;  // set once, before publication
+  };
+
+  GroupedRegistry() = default;
+  GroupedRegistry(const GroupedRegistry&) = delete;
+  GroupedRegistry& operator=(const GroupedRegistry&) = delete;
+
+  ~GroupedRegistry() {
+    Group* g = head_.load(std::memory_order_acquire);
+    while (g != nullptr) {
+      Group* next = g->next;
+      delete g;
+      g = next;
     }
   }
 
   // Returns a quiescent record owned by the calling thread until release().
   Record* acquire() {
-    // Try to recycle a record released by an exited thread.
-    for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
-         r = r->next) {
-      bool expected = false;
-      if (!r->in_use.load(std::memory_order_relaxed) &&
-          r->in_use.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
-        r->reset_for_reuse();
-        return r;
+    for (;;) {
+      for (Group* g = head_.load(std::memory_order_acquire); g != nullptr;
+           g = g->next) {
+        std::uint64_t occ = g->header.occupied.load(std::memory_order_relaxed);
+        while (occ != kFullMask) {
+          const unsigned i =
+              static_cast<unsigned>(std::countr_zero(~occ & kFullMask));
+          const std::uint64_t bit = std::uint64_t{1} << i;
+          // seq_cst: the new owner's first read_lock word store is
+          // po-after this CAS, so a synchronizer whose (seq_cst) occupied
+          // load misses the CAS provably fenced before that store — the
+          // skipped section began after sampling and needs no wait.
+          if (g->header.occupied.compare_exchange_weak(
+                  occ, occ | bit, std::memory_order_seq_cst,
+                  std::memory_order_relaxed)) {
+            return prepare(g->slots[i]);
+          }
+        }
       }
+      // Every published group is full: publish a fresh one with slot 0
+      // pre-claimed. If we lose the publication race, retry the scan —
+      // the winner's group has free slots.
+      auto* g = new Group();
+      g->header.occupied.store(1, std::memory_order_relaxed);
+      Group* old_head = head_.load(std::memory_order_relaxed);
+      do {
+        g->next = old_head;
+      } while (!head_.compare_exchange_weak(old_head, g,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed));
+      return prepare(g->slots[0]);
     }
-    auto* r = new Record();
-    r->in_use.store(true, std::memory_order_relaxed);
-    Record* old_head = head_.load(std::memory_order_relaxed);
-    do {
-      r->next = old_head;
-    } while (!head_.compare_exchange_weak(old_head, r,
-                                          std::memory_order_release,
-                                          std::memory_order_relaxed));
-    return r;
   }
 
   void release(Record* r) {
+    // Quiesce the record, drop its hint bit, then free the slot — in that
+    // order, so a new owner (possible only after the occupied bit clears)
+    // never races this cleanup. A grace-period leader's concurrent hint
+    // restore can only re-set the bit spuriously; hints over-approximate,
+    // and the next scan trims it again.
     r->reset_for_reuse();
-    r->in_use.store(false, std::memory_order_release);
+    r->group_hint->fetch_and(~r->group_bit, std::memory_order_seq_cst);
+    r->in_use.store(false, std::memory_order_relaxed);
+    r->group_occupied->fetch_and(~r->group_bit, std::memory_order_release);
   }
 
-  // Visits every record ever acquired (including currently unused ones,
-  // whose state is quiescent). Safe concurrently with acquire/release.
+  // Visits every record slot of every group, including unoccupied ones
+  // (whose state is quiescent). Safe concurrently with acquire/release.
   template <typename F>
   void for_each(F&& f) const {
-    for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
-         r = r->next) {
-      f(*r);
+    for (Group* g = head_.load(std::memory_order_acquire); g != nullptr;
+         g = g->next) {
+      for (std::size_t i = 0; i < kGroupSize; ++i) f(g->slots[i]);
     }
   }
 
-  // Number of records currently allocated (used + recyclable).
+  // Visits only records whose occupied bit is set — the flat scan used by
+  // the non-hierarchical domains. A slot being released concurrently is
+  // either visited (it is quiescent by then anyway) or already skipped.
+  template <typename F>
+  void for_each_occupied(F&& f) const {
+    for (Group* g = head_.load(std::memory_order_seq_cst); g != nullptr;
+         g = g->next) {
+      std::uint64_t occ = g->header.occupied.load(std::memory_order_seq_cst);
+      while (occ != 0) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(occ));
+        occ &= occ - 1;
+        f(g->slots[i]);
+      }
+    }
+  }
+
+  // Group-granular visit for hierarchical scans.
+  template <typename F>
+  void for_each_group(F&& f) const {
+    for (Group* g = head_.load(std::memory_order_seq_cst); g != nullptr;
+         g = g->next) {
+      f(*g);
+    }
+  }
+
+  // Number of record slots currently allocated (occupied + recyclable).
   std::size_t allocated() const {
     std::size_t n = 0;
-    for_each([&n](const Record&) { ++n; });
+    for (Group* g = head_.load(std::memory_order_acquire); g != nullptr;
+         g = g->next) {
+      n += kGroupSize;
+    }
     return n;
   }
 
  private:
-  std::atomic<Record*> head_{nullptr};
+  Record* prepare(Record& r) {
+    r.reset_for_reuse();
+    // The previous owner's hint bit is gone (release() clears it): force
+    // the first outermost read_lock to publish the bit by desyncing the
+    // repair handshake. This closes the registration race — a leader
+    // mid-trim cannot lose a brand-new reader, because that reader repairs
+    // its own bit before relying on the fast path.
+    r.repair_seen = r.trim_seq.load(std::memory_order_relaxed) - 1;
+    r.in_use.store(true, std::memory_order_relaxed);
+    return &r;
+  }
+
+  std::atomic<Group*> head_{nullptr};
 };
+
+// Backward-compatible alias: the intrusive list is gone, but domain code
+// and tests refer to the registry by this name.
+template <typename Record>
+using ThreadRegistry = GroupedRegistry<Record>;
 
 // CRTP base providing domain identity, registration and the thread-local
 // record lookup. `Derived` must define `Record` (satisfying the
-// ThreadRegistry contract) and the read/synchronize protocol on top of it.
+// GroupedRegistry contract) and the read/synchronize protocol on top of it.
 template <typename Derived, typename Record>
 class DomainBase {
  public:
@@ -228,7 +343,9 @@ class DomainBase {
     return r == nullptr ? 0 : r->retired.size();
   }
 
-  // Total completed grace periods driven by this domain.
+  // Total synchronize() calls against this domain. With grace-period
+  // sharing this counts *calls*, not scans; see grace_periods_started()
+  // on the gp_seq-backed domains for the scan count.
   std::uint64_t synchronize_calls() const noexcept {
     return sync_calls_.load(std::memory_order_relaxed);
   }
@@ -261,7 +378,7 @@ class DomainBase {
     sync_calls_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  ThreadRegistry<Record> registry_;
+  GroupedRegistry<Record> registry_;
 
  private:
   friend class Registration;

@@ -159,10 +159,28 @@ class ShardedCitrus {
     return merged;
   }
 
-  // Sum of grace periods driven across all shard domains.
+  // Sum of synchronize calls across all shard domains.
   std::uint64_t synchronize_calls() const noexcept {
     std::uint64_t total = 0;
     for (const auto& s : shards_) total += s->domain.synchronize_calls();
+    return total;
+  }
+
+  // Grace-period engine aggregates across all shard domains (zero when
+  // the domain lacks the shared gp_seq). started counts scans actually
+  // performed; shared counts calls that piggybacked on a concurrent scan.
+  std::uint64_t grace_periods_started() const noexcept {
+    std::uint64_t total = 0;
+    if constexpr (requires(const Rcu& d) { d.grace_periods_started(); }) {
+      for (const auto& s : shards_) total += s->domain.grace_periods_started();
+    }
+    return total;
+  }
+  std::uint64_t grace_periods_shared() const noexcept {
+    std::uint64_t total = 0;
+    if constexpr (requires(const Rcu& d) { d.grace_periods_shared(); }) {
+      for (const auto& s : shards_) total += s->domain.grace_periods_shared();
+    }
     return total;
   }
 

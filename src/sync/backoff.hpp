@@ -4,16 +4,21 @@
 // oversubscribed (more runnable threads than cores) — in the extreme, the
 // reproduction box has a single core, so a synchronize_rcu spinning on a
 // descheduled reader would otherwise burn its whole quantum doing nothing.
-// Backoff spins with a pause instruction for a bounded number of rounds and
-// then starts yielding to the scheduler.
+// The schedule is capped-exponential spin, then yield, then (far out on
+// the tail) a short sleep:
+//
+//   rounds [0, spin_limit)        — bursts of cpu_relax(), burst length
+//                                   doubling up to 2^max_burst_log2
+//   rounds [spin_limit, +kYields) — sched yields (cede the core to the
+//                                   reader we are waiting for)
+//   beyond                        — 50us sleeps (a descheduled or
+//                                   SIGSTOPped peer; stop churning the
+//                                   run queue)
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <thread>
-
-#if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>
-#endif
 
 namespace citrus::sync {
 
@@ -21,7 +26,7 @@ namespace citrus::sync {
 // resources for the sibling hyperthread). Falls back to a compiler barrier.
 inline void cpu_relax() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
-  _mm_pause();
+  __builtin_ia32_pause();
 #elif defined(__aarch64__)
   asm volatile("yield" ::: "memory");
 #else
@@ -29,25 +34,37 @@ inline void cpu_relax() noexcept {
 #endif
 }
 
-// Exponential pause backoff that escalates to sched yields. Usage:
+// Capped-exponential spin-then-yield backoff. Usage:
 //
 //   Backoff bo;
 //   while (!condition()) bo.pause();
 class Backoff {
  public:
-  // `spin_limit` is the number of pause() calls before we start yielding.
-  explicit Backoff(std::uint32_t spin_limit = 64) noexcept
-      : spin_limit_(spin_limit) {}
+  // Yield rounds before escalating to sleeps. 256 yields ≈ a scheduler
+  // quantum's worth of chances for the awaited thread to run.
+  static constexpr std::uint32_t kYields = 256;
+
+  // `spin_limit` is the number of pause() calls before we start yielding;
+  // `max_burst_log2` caps the exponential burst growth (2^6 = 64 relax
+  // instructions ≈ the cost of one cache miss, so a capped burst never
+  // delays noticing the condition by more than a miss or two).
+  explicit Backoff(std::uint32_t spin_limit = 64,
+                   std::uint32_t max_burst_log2 = 6) noexcept
+      : spin_limit_(spin_limit), max_burst_log2_(max_burst_log2) {}
 
   void pause() noexcept {
     ++total_;
     if (rounds_ < spin_limit_) {
-      // Exponentially growing burst of relax instructions, capped.
-      std::uint32_t burst = 1u << (rounds_ < 6 ? rounds_ : 6);
+      const std::uint32_t shift =
+          rounds_ < max_burst_log2_ ? rounds_ : max_burst_log2_;
+      const std::uint32_t burst = 1u << shift;
       for (std::uint32_t i = 0; i < burst; ++i) cpu_relax();
       ++rounds_;
-    } else {
+    } else if (rounds_ - spin_limit_ < kYields) {
       std::this_thread::yield();
+      ++rounds_;
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
 
@@ -59,6 +76,7 @@ class Backoff {
 
  private:
   std::uint32_t spin_limit_;
+  std::uint32_t max_burst_log2_;
   std::uint32_t rounds_ = 0;
   std::uint64_t total_ = 0;
 };

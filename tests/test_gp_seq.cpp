@@ -1,0 +1,360 @@
+// The shared grace-period engine (rcu/gp_seq.hpp) and the hierarchical
+// counter-flag domain built on it:
+//   * cookie arithmetic (an in-flight grace period must not be adopted),
+//   * leader election / piggybacking and the started+shared accounting,
+//   * start/poll/synchronize(cookie) deferred grace periods,
+//   * hint-trim + repair (a reader whose group hint was trimmed while it
+//     was idle must become visible to the next scan again),
+//   * the expedited flat path,
+//   * the grace-period-sharing torture: many concurrent synchronizers
+//     publishing/poisoning their own buffers under churning readers, with
+//     total scans ≪ total synchronize calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/epoch_rcu.hpp"
+#include "rcu/gp_seq.hpp"
+#include "rcu/reclaimer.hpp"
+#include "sync/barrier.hpp"
+
+namespace {
+
+using citrus::rcu::CounterFlagRcu;
+using citrus::rcu::EpochRcu;
+using citrus::rcu::FlatCounterFlagRcu;
+using citrus::rcu::GpCookie;
+using citrus::rcu::GpSeq;
+
+static_assert(citrus::rcu::gp_poll_domain<CounterFlagRcu>);
+static_assert(citrus::rcu::gp_poll_domain<EpochRcu>);
+static_assert(!citrus::rcu::gp_poll_domain<FlatCounterFlagRcu>);
+
+// ── Raw engine semantics ─────────────────────────────────────────────
+
+TEST(GpSeq, CookieNamesNextFullGracePeriodWhenIdle) {
+  GpSeq gp;
+  EXPECT_EQ(gp.current(), 0u);
+  const GpCookie c = gp.snap();
+  EXPECT_EQ(c, 2u);  // idle (even): the very next grace period suffices
+  EXPECT_FALSE(gp.done(c));
+  int scans = 0;
+  gp.drive(c, [&] { ++scans; });
+  EXPECT_EQ(scans, 1);
+  EXPECT_EQ(gp.current(), 2u);
+  EXPECT_TRUE(gp.done(c));
+  EXPECT_EQ(gp.started(), 1u);
+  EXPECT_EQ(gp.shared(), 0u);
+}
+
+TEST(GpSeq, CompletedGracePeriodIsSharedNotRescanned) {
+  GpSeq gp;
+  int scans = 0;
+  gp.drive(gp.snap(), [&] { ++scans; });
+  // A cookie snapped before that grace period completed is already done:
+  // driving it again must not scan.
+  gp.drive(2, [&] { ++scans; });
+  EXPECT_EQ(scans, 1);
+  EXPECT_EQ(gp.started(), 1u);
+  EXPECT_EQ(gp.shared(), 1u);
+}
+
+TEST(GpSeq, SnapDuringInFlightGracePeriodRequiresTheNextOne) {
+  GpSeq gp;
+  GpCookie inner = 0;
+  gp.drive(gp.snap(), [&] {
+    // Sequence is odd here (grace period in progress). A snap taken now
+    // must NOT be satisfied by the in-flight grace period — its sampling
+    // fence may predate this caller's unlinks.
+    inner = gp.snap();
+  });
+  EXPECT_EQ(gp.current(), 2u);
+  EXPECT_EQ(inner, 4u);
+  EXPECT_FALSE(gp.done(inner));
+  int scans = 0;
+  gp.drive(inner, [&] { ++scans; });
+  EXPECT_EQ(scans, 1);
+  EXPECT_TRUE(gp.done(inner));
+}
+
+TEST(GpSeq, ConcurrentDriversAccountEveryCallExactlyOnce) {
+  GpSeq gp;
+  constexpr int kThreads = 8;
+  constexpr int kDrives = 200;
+  std::atomic<std::uint64_t> scans{0};
+  citrus::sync::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kDrives; ++i) {
+        gp.drive(gp.snap(), [&] { scans.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(gp.started() + gp.shared(), kThreads * kDrives);
+  EXPECT_EQ(gp.started(), scans.load());
+  EXPECT_EQ(gp.current(), 2 * gp.started());
+}
+
+// ── Deferred grace periods on the counter-flag domain ────────────────
+
+TEST(CounterFlagGp, StartPollSynchronizeCookie) {
+  CounterFlagRcu domain;
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> release_reader{false};
+  std::atomic<bool> reader_done{false};
+
+  std::thread reader([&] {
+    CounterFlagRcu::Registration reg(domain);
+    domain.read_lock();
+    barrier.arrive_and_wait();
+    while (!release_reader.load()) std::this_thread::yield();
+    reader_done.store(true);
+    domain.read_unlock();
+  });
+
+  CounterFlagRcu::Registration reg(domain);
+  barrier.arrive_and_wait();
+  const GpCookie cookie = domain.start_grace_period();
+  // Nothing is driving grace periods, so the cookie cannot complete on
+  // its own — poll stays false without blocking.
+  EXPECT_FALSE(domain.poll(cookie));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(domain.poll(cookie));
+  release_reader.store(true);
+  domain.synchronize(cookie);  // drives the scan, waits out the reader
+  EXPECT_TRUE(reader_done.load());
+  EXPECT_TRUE(domain.poll(cookie));
+  reader.join();
+  EXPECT_GE(domain.grace_periods_started(), 1u);
+}
+
+TEST(CounterFlagGp, TrimmedReaderIsWaitedForAgain) {
+  // A reader that goes idle long enough to be hint-trimmed must become
+  // visible to later scans the moment it re-enters a section (the
+  // trim_seq repair handshake).
+  CounterFlagRcu domain;
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> release_reader{false};
+  std::atomic<bool> reader_done{false};
+
+  std::thread reader([&] {
+    CounterFlagRcu::Registration reg(domain);
+    domain.read_lock();  // publish the hint bit once
+    domain.read_unlock();
+    barrier.arrive_and_wait();  // idle while the main thread trims
+    barrier.arrive_and_wait();
+    domain.read_lock();  // re-enter: the repair path must re-publish
+    barrier.arrive_and_wait();
+    while (!release_reader.load()) std::this_thread::yield();
+    reader_done.store(true);
+    domain.read_unlock();
+  });
+
+  CounterFlagRcu::Registration reg(domain);
+  barrier.arrive_and_wait();
+  // Each scan trims idle records; the reader's hint bit is certainly
+  // clear after these.
+  for (int i = 0; i < 10; ++i) domain.synchronize();
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();  // reader is now inside a section again
+  std::atomic<bool> sync_returned{false};
+  std::thread syncer([&] {
+    CounterFlagRcu::Registration r(domain);
+    domain.synchronize();
+    EXPECT_TRUE(reader_done.load());
+    sync_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(sync_returned.load());
+  release_reader.store(true);
+  syncer.join();
+  reader.join();
+  EXPECT_TRUE(sync_returned.load());
+}
+
+TEST(CounterFlagGp, ExpeditedWaitsForPreexistingReader) {
+  CounterFlagRcu domain;
+  citrus::sync::SpinBarrier barrier(2);
+  std::atomic<bool> release_reader{false};
+  std::atomic<bool> reader_done{false};
+
+  std::thread reader([&] {
+    CounterFlagRcu::Registration reg(domain);
+    domain.read_lock();
+    barrier.arrive_and_wait();
+    while (!release_reader.load()) std::this_thread::yield();
+    reader_done.store(true);
+    domain.read_unlock();
+  });
+
+  CounterFlagRcu::Registration reg(domain);
+  barrier.arrive_and_wait();
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release_reader.store(true);
+  });
+  domain.synchronize_expedited();
+  EXPECT_TRUE(reader_done.load());
+  EXPECT_EQ(domain.grace_periods_expedited(), 1u);
+  EXPECT_EQ(domain.grace_periods_started(), 0u);  // bypassed the engine
+  releaser.join();
+  reader.join();
+}
+
+// ── The grace-period-sharing torture (satellite task) ────────────────
+//
+// Many synchronizers, each running the classic unlink/synchronize/poison
+// loop on its own buffer pair, under readers that validate every
+// publisher's current buffer. A slow reader stretches each grace period,
+// so concurrent synchronize calls pile onto the in-flight scan. Asserts
+// both the RCU property (no poisoned buffer is ever read) and the
+// engine's whole point: total scans ≪ total synchronize calls.
+TEST(CounterFlagGp, SharingTorture) {
+  CounterFlagRcu domain;
+  constexpr int kSyncers = 8;
+  constexpr int kReaders = 2;
+  constexpr int kIters = 50;
+
+  struct Buf {
+    std::atomic<bool> poisoned{false};
+  };
+  struct Publisher {
+    Buf bufs[2];
+    std::atomic<Buf*> current{&bufs[0]};
+  };
+  std::vector<Publisher> pubs(kSyncers);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      CounterFlagRcu::Registration reg(domain);
+      while (!stop.load(std::memory_order_relaxed)) {
+        domain.read_lock();
+        for (auto& p : pubs) {
+          Buf* b = p.current.load(std::memory_order_acquire);
+          if (b->poisoned.load(std::memory_order_acquire)) {
+            violation.store(true);
+          }
+        }
+        // Stretch the section so grace periods overlap and synchronizers
+        // are forced to share scans.
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        domain.read_unlock();
+      }
+    });
+  }
+
+  std::vector<std::thread> syncers;
+  for (int t = 0; t < kSyncers; ++t) {
+    syncers.emplace_back([&, t] {
+      CounterFlagRcu::Registration reg(domain);
+      Publisher& p = pubs[static_cast<std::size_t>(t)];
+      for (int i = 0; i < kIters; ++i) {
+        Buf* old = p.current.load(std::memory_order_relaxed);
+        Buf* fresh = old == &p.bufs[0] ? &p.bufs[1] : &p.bufs[0];
+        fresh->poisoned.store(false, std::memory_order_release);
+        p.current.store(fresh, std::memory_order_release);
+        domain.synchronize();
+        // No pre-existing reader can still hold `old`.
+        old->poisoned.store(true, std::memory_order_release);
+      }
+    });
+  }
+  for (auto& th : syncers) th.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_FALSE(violation.load());
+  const std::uint64_t calls = kSyncers * kIters;
+  const std::uint64_t started = domain.grace_periods_started();
+  const std::uint64_t shared = domain.grace_periods_shared();
+  EXPECT_EQ(domain.synchronize_calls(), calls);
+  // Exact engine invariant: every gp-path call either led or piggybacked.
+  EXPECT_EQ(started + shared, calls);
+  // The point of the engine: scans ≪ calls. With sections stretched to
+  // ~500us, piggybacking is overwhelming; half is a very loose bound.
+  EXPECT_LE(started, calls / 2) << "started=" << started
+                                << " shared=" << shared;
+}
+
+// ── Registry growth and reuse under the grouped layout ───────────────
+
+TEST(CounterFlagGp, ManyConcurrentRegistrationsSpanGroups) {
+  CounterFlagRcu domain;
+  constexpr int kThreads = 20;  // > 2 groups of 8
+  citrus::sync::SpinBarrier barrier(kThreads);
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      CounterFlagRcu::Registration reg(domain);
+      domain.read_lock();
+      domain.read_unlock();
+      barrier.arrive_and_wait();  // hold all registrations live at once
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (domain.registrations() != kThreads) std::this_thread::yield();
+  {
+    CounterFlagRcu::Registration reg(domain);
+    domain.synchronize();  // scan across multiple groups
+  }
+  release.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(domain.registrations(), 0u);
+}
+
+// ── Pipelined Reclaimer over the poll API ────────────────────────────
+
+TEST(ReclaimerPoll, PipelinedReclaimFreesEverything) {
+  static std::atomic<int> freed;
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  CounterFlagRcu domain;
+  {
+    citrus::rcu::Reclaimer<CounterFlagRcu> reclaimer(domain);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&] {
+        CounterFlagRcu::Registration reg(domain);
+        for (int i = 0; i < 250; ++i) {
+          domain.read_lock();
+          reclaimer.enqueue_delete(new Obj);
+          domain.read_unlock();
+        }
+      });
+    }
+    for (auto& th : producers) th.join();
+    while (reclaimer.pending() != 0) std::this_thread::yield();
+    EXPECT_EQ(freed.load(), 1000);
+    EXPECT_GE(reclaimer.batches(), 1u);
+    EXPECT_LT(reclaimer.batches(), 1000u);  // batching amortized
+  }
+}
+
+// ── Epoch domain rides the same engine ───────────────────────────────
+
+TEST(EpochGp, CookieApiDrivesEpochGracePeriods) {
+  EpochRcu domain;
+  EpochRcu::Registration reg(domain);
+  const auto epoch_before = domain.current_epoch();
+  const GpCookie cookie = domain.start_grace_period();
+  EXPECT_FALSE(domain.poll(cookie));
+  domain.synchronize(cookie);
+  EXPECT_TRUE(domain.poll(cookie));
+  EXPECT_EQ(domain.current_epoch(), epoch_before + 1);  // one scan led
+  EXPECT_EQ(domain.grace_periods_started(), 1u);
+}
+
+}  // namespace

