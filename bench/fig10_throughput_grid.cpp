@@ -12,7 +12,10 @@
 //     synchronize_rcu cost; it and the lock-free tree skip the balancing
 //     cost the AVL tree pays.
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "adapters/idictionary.hpp"
 #include "util/cli.hpp"
 #include "workload/report.hpp"
 #include "workload/runner.hpp"
@@ -26,12 +29,14 @@ int main(int argc, char** argv) {
   const std::string csv = opts.get("csv", "");
   const auto ranges = opts.get_int_list("ranges", {200000, 2000000});
 
-  // The paper's six algorithms plus our sharded Citrus (16 hash shards,
-  // one RCU domain each) — the harness extension the shard ablation
-  // studies in isolation.
-  const std::vector<std::string> algorithms = {
-      "citrus", "citrus-shard16", "avl",     "skiplist",
-      "bonsai", "rbtree",         "lockfree"};
+  // The comparison set comes from registry introspection: one
+  // representative per algorithm family (the paper's six, the relativistic
+  // hash, and the 16-shard Citrus harness extension). New families join
+  // the grid by registering with comparison=true — no list to edit here.
+  std::vector<std::string> algorithms;
+  for (const auto& info : adapters::available_dictionaries()) {
+    if (info.comparison) algorithms.push_back(info.name);
+  }
   const double mixes[] = {1.0, 0.98, 0.5};
 
   for (const auto range : ranges) {

@@ -7,7 +7,10 @@
 // global update lock is uncontended. The paper's observations: Bonsai
 // still trails (path copying), Citrus sits with the leading group.
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "adapters/idictionary.hpp"
 #include "util/cli.hpp"
 #include "workload/report.hpp"
 #include "workload/runner.hpp"
@@ -21,8 +24,14 @@ int main(int argc, char** argv) {
   const std::string csv = opts.get("csv", "");
   const auto ranges = opts.get_int_list("ranges", {200000, 2000000});
 
-  const std::vector<std::string> algorithms = {"citrus", "avl",     "skiplist",
-                                               "bonsai", "rbtree", "lockfree"};
+  // Unsharded members of the registry's comparison set: the single-writer
+  // figure is about one uncontended update lock, which per-shard writers
+  // would dilute.
+  std::vector<std::string> algorithms;
+  for (const auto& info : adapters::available_dictionaries()) {
+    if (info.comparison && !info.traits.sharded)
+      algorithms.push_back(info.name);
+  }
 
   for (const auto range : ranges) {
     workload::WorkloadConfig config;

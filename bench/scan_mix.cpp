@@ -1,0 +1,155 @@
+// Scan-mix sweep (harness extension; the paper's workloads are point-ops
+// only): throughput under a mix that carves a scan fraction out of the
+// update share, swept over scan-fraction x scan-width x threads.
+//
+// Series are the registry's scan-capable dictionaries (traits ceiling
+// above kWeak: Citrus' validated chunked traversal, the sharded merge
+// scan, Bonsai's snapshot) plus "skiplist" as the documented weak
+// succ-chain fallback for contrast. The shape to look for: Citrus scan
+// cost grows with width but stays flat across threads (chunked scans
+// never stall grace periods), while the weak fallback pays one full
+// point-lookup per key scanned.
+//
+// Defaults are sized for a quick run; a fuller sweep:
+//   ./scan_mix --seconds=1 --repeats=3 --threads=1,2,4,8,16
+//              --widths=100,1000,10000 --scan-pcts=5,20
+// Pass --json=BENCH_scan_scaling.json for the machine-readable records
+// archived by the CI bench-smoke lane.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "adapters/idictionary.hpp"
+#include "util/cli.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+namespace {
+
+struct ScanPoint {
+  std::string algorithm;
+  int threads = 0;
+  int scan_pct = 0;
+  std::int64_t scan_width = 0;
+  citrus::util::Summary throughput;  // total ops/sec over repeats
+  double scans_per_sec = 0.0;
+  double keys_per_scan = 0.0;
+  double retries_per_scan = 0.0;  // 0 on stats-free (BenchTraits) builds
+};
+
+// {"figure":"scan_mix","points":[{...},...]} — same field names as the
+// CSV columns so external tooling can consume either.
+void write_json(const std::string& path, const std::vector<ScanPoint>& points) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "scan_mix: cannot open --json path " << path << "\n";
+    return;
+  }
+  out << "{\"figure\":\"scan_mix\",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    if (i != 0) out << ",";
+    out << "{\"series\":\"" << p.algorithm << "\",\"threads\":" << p.threads
+        << ",\"scan_pct\":" << p.scan_pct
+        << ",\"scan_width\":" << p.scan_width
+        << ",\"mean_ops\":" << p.throughput.mean
+        << ",\"stddev_ops\":" << p.throughput.stddev
+        << ",\"repeats\":" << p.throughput.count
+        << ",\"scans_per_sec\":" << p.scans_per_sec
+        << ",\"keys_per_scan\":" << p.keys_per_scan
+        << ",\"retries_per_scan\":" << p.retries_per_scan << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace citrus;
+  util::Options opts(argc, argv);
+  const auto threads = opts.get_int_list("threads", {1, 2, 4, 8});
+  const auto widths = opts.get_int_list("widths", {100, 1000});
+  const auto scan_pcts = opts.get_int_list("scan-pcts", {10});
+  const double seconds = opts.get_double("seconds", 0.3);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 1));
+  const std::string csv = opts.get("csv", "");
+  const std::string json = opts.get("json", "");
+
+  workload::WorkloadConfig config;
+  config.key_range = opts.get_int("range", 200000);
+  config.contains_fraction = opts.get_double("contains", 0.5);
+  config.seconds = seconds;
+
+  // Scan-capable series from registry introspection, weak contrast last.
+  std::vector<std::string> algorithms;
+  for (const auto& info : adapters::available_dictionaries()) {
+    if (info.comparison &&
+        info.traits.scan_consistency != adapters::ScanConsistency::kWeak) {
+      algorithms.push_back(info.name);
+    }
+  }
+  algorithms.push_back("skiplist");
+
+  std::vector<ScanPoint> points;
+  std::vector<workload::SeriesPoint> table;
+  for (const auto pct : scan_pcts) {
+    for (const auto width : widths) {
+      config.scan_fraction = static_cast<double>(pct) / 100.0;
+      config.scan_width = width;
+      for (const auto& algorithm : algorithms) {
+        for (const auto t : threads) {
+          config.threads = static_cast<int>(t);
+          adapters::Options dict_opts;
+          dict_opts.key_range_hint = config.key_range;
+          std::vector<double> ops;
+          std::uint64_t scans = 0, keys = 0, retries = 0;
+          double run_secs = 0.0;
+          for (int rep = 0; rep < repeats; ++rep) {
+            auto dict = adapters::make_dictionary(algorithm, dict_opts);
+            workload::WorkloadConfig c = config;
+            c.seed = config.seed + static_cast<std::uint64_t>(rep) * 7919;
+            const auto r = workload::run_workload(*dict, c);
+            ops.push_back(r.throughput);
+            scans += r.scan_ops;
+            keys += r.scan_keys;
+            retries += r.scan_retries;
+            run_secs += r.seconds;
+          }
+          ScanPoint p;
+          p.algorithm = algorithm;
+          p.threads = config.threads;
+          p.scan_pct = static_cast<int>(pct);
+          p.scan_width = width;
+          p.throughput = util::summarize(std::move(ops));
+          p.scans_per_sec =
+              run_secs > 0.0 ? static_cast<double>(scans) / run_secs : 0.0;
+          p.keys_per_scan =
+              scans > 0 ? static_cast<double>(keys) / static_cast<double>(scans)
+                        : 0.0;
+          p.retries_per_scan =
+              scans > 0
+                  ? static_cast<double>(retries) / static_cast<double>(scans)
+                  : 0.0;
+          points.push_back(p);
+          table.push_back({algorithm + "/s" + std::to_string(pct) + "/w" +
+                               std::to_string(width),
+                           config.threads, p.throughput});
+          std::cout << "scan_mix " << algorithm << " scan=" << pct
+                    << "% width=" << width << " threads=" << t << " -> "
+                    << workload::format_ops(p.throughput.mean)
+                    << " ops/s (" << workload::format_ops(p.scans_per_sec)
+                    << " scans/s, " << p.keys_per_scan << " keys/scan)"
+                    << std::endl;
+        }
+      }
+    }
+  }
+  workload::print_throughput_table(
+      std::cout, "Scan mix: total ops/s by series (algorithm/scan%/width)",
+      table);
+  workload::append_csv(csv, "scan_mix", table);
+  write_json(json, points);
+  return 0;
+}

@@ -1,68 +1,88 @@
-// Figure 1 of the paper, live: why Citrus does *not* offer a concurrent
-// iterator.
+// Figure 1 of the paper — and its resolution.
 //
 // "Since each reader may observe a different permutation of the writes to
 // the data structure, the values returned by r1 and r2 are such that they
-// observed the updates in different order" — two concurrent in-order
-// traversals of a tree under fine-grained-locked updates can each observe
-// a set of keys that the other contradicts: r1 sees the effect of delete
-// A but not delete B, r2 sees B but not A. No single ordering of the two
-// deletes explains both views, so naive iteration is not linearizable.
+// observed the updates in different order" — an in-order traversal that
+// walks the tree while updates run can observe a set of keys that no
+// single point in time contained. Historically this program only
+// *demonstrated* the anomaly; Citrus deliberately exposed no iterator.
 //
-// This program runs two scanner threads against a Citrus tree while
-// updaters delete/reinsert two witness keys, and counts "crossed" pairs of
-// observations. It then runs the same experiment against Bonsai snapshots
-// (which are immutable copies, the trade-off of its single global writer
-// lock) where crossings cannot occur.
+// The dictionary API now has validated range scans (see DESIGN.md,
+// "Ordered operations & snapshot semantics"), so this runs as a resolved
+// regression with exit-code asserts:
 //
-// Run: ./iteration_anomaly [rounds]
-#include <algorithm>
+//   Part 1 replays Figure 1 deterministically: a staged naive scan reads
+//   witness A, two deletes land, then it reads witness B. The observed set
+//   {A} corresponds to no instant ({A,B} -> {B} -> {}), and the joint
+//   multi-key linearizability checker must reject it.
+//
+//   Part 2 runs real concurrent scanners against the same deletion
+//   workload, but through CitrusTree::range — the seqlock-validated scan
+//   whose result is atomic. Every recorded history must check out.
+//
+// Run: ./iteration_anomaly [rounds]   (exit 0 = regression holds)
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 #include <vector>
 
-#include "baselines/bonsai.hpp"
 #include "citrus/citrus_tree.hpp"
+#include "lineariz/checker.hpp"
 #include "rcu/counter_flag_rcu.hpp"
 
 namespace {
 
+using citrus::lineariz::check_multikey_history;
+using citrus::lineariz::HistoryRecorder;
+using citrus::lineariz::OpType;
 using citrus::rcu::CounterFlagRcu;
 
-constexpr long kWitnessA = 100;
-constexpr long kWitnessB = 200;
-constexpr int kFiller = 64;
+constexpr long kWitnessA = 101;
+constexpr long kWitnessB = 201;
+constexpr int kFiller = 64;  // keys k*5, disjoint from the witnesses
 
-struct View {
-  bool saw_a;
-  bool saw_b;
-};
+// Part 1: the staged Figure-1 interleaving, one step at a time. Returns
+// true iff the checker correctly rejects the torn observation.
+bool figure1_detected(citrus::core::CitrusTree<long, long>& tree) {
+  HistoryRecorder rec(1);
+  auto t = rec.invoke();
+  tree.insert(kWitnessA, 1);
+  rec.record(0, kWitnessA, OpType::kInsert, true, t);
+  t = rec.invoke();
+  tree.insert(kWitnessB, 1);
+  rec.record(0, kWitnessB, OpType::kInsert, true, t);
 
-// Naive in-order scan of the Citrus tree via repeated point queries — the
-// moral equivalent of an iterator that walks the structure while updates
-// run. (Citrus deliberately exposes no concurrent iterator; this simulates
-// one operation at a time, exactly like Figure 1's readers.)
-template <typename Tree>
-View scan(const Tree& tree) {
-  View v{};
-  // Walk "left subtree" (keys < 150) then "right subtree".
-  for (long k = 0; k <= 150; ++k) {
-    if (k == kWitnessA) v.saw_a = tree.contains(k);
-  }
-  for (long k = 151; k <= 300; ++k) {
-    if (k == kWitnessB) v.saw_b = tree.contains(k);
-  }
-  return v;
+  // The "iterator" starts: it passes witness A while A is still there...
+  const auto scan_start = rec.invoke();
+  const bool saw_a = tree.contains(kWitnessA);
+
+  // ...both deletes land in the middle of the walk...
+  t = rec.invoke();
+  tree.erase(kWitnessA);
+  rec.record(0, kWitnessA, OpType::kErase, true, t);
+  t = rec.invoke();
+  tree.erase(kWitnessB);
+  rec.record(0, kWitnessB, OpType::kErase, true, t);
+
+  // ...and it reaches witness B only afterwards.
+  const bool saw_b = tree.contains(kWitnessB);
+  std::vector<std::int64_t> observed;
+  if (saw_a) observed.push_back(kWitnessA);
+  if (saw_b) observed.push_back(kWitnessB);
+  rec.record_range(0, kWitnessA, kWitnessB, observed, scan_start);
+
+  // {A} without {B}: no instant of {A,B} -> {B} -> {} looks like that.
+  const auto r = check_multikey_history(rec, {});
+  return saw_a && !saw_b && !r.linearizable;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int rounds = argc > 1 ? std::atoi(argv[1]) : 400;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 200;
 
-  // ---- Part 1: Citrus under concurrent deletes --------------------
   CounterFlagRcu domain;
   citrus::core::CitrusTree<long, long> tree(domain);
   {
@@ -70,77 +90,66 @@ int main(int argc, char** argv) {
     for (long k = 0; k < kFiller; ++k) tree.insert(k * 5, k);
   }
 
-  std::atomic<bool> stop{false};
-  std::atomic<long> crossings{0};
-
-  auto scanner = [&](bool a_first) {
+  // ---- Part 1: the anomaly, reproduced and caught -----------------
+  bool detected;
+  {
     CounterFlagRcu::Registration reg(domain);
-    while (!stop.load(std::memory_order_relaxed)) {
-      // Two scans per round in opposite subtree order, mimicking r1/r2
-      // progress skew from Figure 1.
-      const View v = scan(tree);
-      // Record asymmetric views: saw exactly one witness.
-      if (v.saw_a != v.saw_b) {
-        crossings.fetch_add(a_first == v.saw_a ? 1 : -1,
-                            std::memory_order_relaxed);
+    detected = figure1_detected(tree);
+  }
+  std::printf("figure 1 anomaly: naive staged scan observed {A} of "
+              "{A,B}->{B}->{}; checker %s it\n",
+              detected ? "rejected" : "MISSED");
+  if (!detected) return 1;
+
+  // ---- Part 2: validated range scans are atomic -------------------
+  // Two scanner threads run CitrusTree::range over the witness interval
+  // while the main thread cycles the witnesses. Every (updates + scans)
+  // history of every round must be linearizable.
+  std::atomic<int> torn{0};
+  std::atomic<long> scans_done{0};
+  constexpr int kScansPerThread = 8;  // 12 updates + 16 scans = 28 events
+  for (int i = 0; i < rounds; ++i) {
+    HistoryRecorder rec(3);
+    auto scanner = [&](int tid) {
+      CounterFlagRcu::Registration reg(domain);
+      for (int s = 0; s < kScansPerThread; ++s) {
+        const auto t = rec.invoke();
+        std::vector<std::int64_t> observed;
+        tree.range(kWitnessA, kWitnessB, [&](const long& k, const long&) {
+          if (k == kWitnessA || k == kWitnessB) observed.push_back(k);
+          return true;
+        });
+        rec.record_range(tid, kWitnessA, kWitnessB, std::move(observed), t);
+        scans_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    std::thread r1(scanner, 1), r2(scanner, 2);
+    {
+      CounterFlagRcu::Registration reg(domain);
+      // {} -> {A} -> {A,B} -> {B} -> {}: every strict subset transition
+      // appears, so a torn scan would have plenty to mis-observe.
+      const std::pair<long, OpType> steps[] = {
+          {kWitnessA, OpType::kInsert}, {kWitnessB, OpType::kInsert},
+          {kWitnessA, OpType::kErase},  {kWitnessB, OpType::kErase}};
+      for (int lap = 0; lap < 3; ++lap) {
+        for (const auto& [key, op] : steps) {
+          const auto t = rec.invoke();
+          const bool ok =
+              op == OpType::kInsert ? tree.insert(key, 1) : tree.erase(key);
+          rec.record(0, key, op, ok, t);
+        }
       }
     }
-  };
-  std::thread r1(scanner, true);
-  std::thread r2(scanner, false);
-
-  {
-    CounterFlagRcu::Registration reg(domain);
-    for (int i = 0; i < rounds; ++i) {
-      tree.insert(kWitnessA, 1);
-      tree.insert(kWitnessB, 1);
-      tree.erase(kWitnessA);
-      tree.erase(kWitnessB);
+    r1.join();
+    r2.join();
+    const auto r = check_multikey_history(rec, {});
+    if (!r.linearizable) {
+      torn.fetch_add(1);
+      std::fprintf(stderr, "round %d: %s\n", i, r.detail.c_str());
     }
-    stop.store(true);
   }
-  r1.join();
-  r2.join();
-  std::printf(
-      "citrus: %ld asymmetric scan views observed across %d update rounds\n"
-      "        (non-zero = concurrent readers disagreed about update order,\n"
-      "         the Figure 1 anomaly — hence no iterator in the Citrus API)\n",
-      std::labs(crossings.load()), rounds);
-
-  // ---- Part 2: Bonsai snapshots are immune ------------------------
-  citrus::baselines::BonsaiTree<long, long> bonsai(domain);
-  {
-    CounterFlagRcu::Registration reg(domain);
-    for (long k = 0; k < kFiller; ++k) bonsai.insert(k * 5, k);
-  }
-  stop.store(false);
-  std::atomic<long> torn{0};
-  auto snapshotter = [&] {
-    CounterFlagRcu::Registration reg(domain);
-    while (!stop.load(std::memory_order_relaxed)) {
-      const auto snap = bonsai.snapshot();
-      // A snapshot is one immutable version: it is always sorted and
-      // duplicate-free; witnesses appear/disappear atomically per version.
-      if (!std::is_sorted(snap.begin(), snap.end())) torn.fetch_add(1);
-    }
-  };
-  std::thread s1(snapshotter), s2(snapshotter);
-  {
-    CounterFlagRcu::Registration reg(domain);
-    for (int i = 0; i < rounds; ++i) {
-      bonsai.insert(kWitnessA, 1);
-      bonsai.insert(kWitnessB, 1);
-      bonsai.erase(kWitnessA);
-      bonsai.erase(kWitnessB);
-    }
-    stop.store(true);
-  }
-  s1.join();
-  s2.join();
-  std::printf(
-      "bonsai: %ld torn snapshots (always 0 — path-copying gives atomic\n"
-      "        multi-item reads, the capability Citrus trades away for\n"
-      "        concurrent updaters)\n",
-      torn.load());
-  return 0;
+  std::printf("validated scans: %ld concurrent range() calls across %d "
+              "rounds, %d torn (must be 0)\n",
+              scans_done.load(), rounds, torn.load());
+  return torn.load() == 0 ? 0 : 1;
 }

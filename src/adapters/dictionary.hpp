@@ -13,6 +13,7 @@
 #include <concepts>
 #include <cstddef>
 #include <optional>
+#include <utility>
 
 namespace citrus::adapters {
 
@@ -30,5 +31,22 @@ concept dictionary = requires(D d, const D cd,
   } -> std::convertible_to<std::optional<typename D::mapped_type>>;
   { cd.size() } -> std::convertible_to<std::size_t>;
 };
+
+// Ordered extension: strict successor (min key > k) and strict predecessor
+// (max key < k). Every typed implementation in this repo models it; the
+// per-implementation consistency level (validated snapshot vs weak) is
+// surfaced through the type-erased layer's DictionaryTraits.
+template <typename D>
+concept ordered_dictionary =
+    dictionary<D> && requires(const D cd, const typename D::key_type& k) {
+      {
+        cd.succ(k)
+      } -> std::convertible_to<std::optional<
+          std::pair<typename D::key_type, typename D::mapped_type>>>;
+      {
+        cd.pred(k)
+      } -> std::convertible_to<std::optional<
+          std::pair<typename D::key_type, typename D::mapped_type>>>;
+    };
 
 }  // namespace citrus::adapters

@@ -2,6 +2,12 @@
 // used by the figure-reproduction benchmarks. Each adapter owns its RCU
 // domain(s) and its tree(s); worker threads obtain a ThreadScope (RAII
 // thread registration with every underlying RCU domain) before operating.
+//
+// Beyond the point operations the paper defines (insert/delete/contains),
+// the interface exposes ordered access: strict successor/predecessor,
+// bounded range scans with a caller-chosen consistency level, and a
+// snapshot iterator. See DESIGN.md, "Ordered operations & snapshot
+// semantics", for the per-implementation guarantees.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,80 @@ class ThreadScope {
   virtual ~ThreadScope() = default;
 };
 
+// One key/value pair, as returned by the ordered operations.
+struct Entry {
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+};
+
+// Consistency level of a range scan or snapshot, weakest to strongest:
+//
+//   kWeak     A sequence of independent point reads (repeated succ). Keys
+//             are emitted in strictly increasing order, and every emitted
+//             pair was present at some instant, but concurrent updates can
+//             make the scan miss a key that was present throughout, or
+//             observe an insert+delete pair no single point in time
+//             contains. The fallback every implementation supports.
+//   kChunked  The scan is a sequence of chunks; each chunk is an atomic
+//             (linearizable) view of its key interval, and chunks cover
+//             disjoint, ascending intervals. Read-side critical sections
+//             stay bounded by the chunk size, so long scans never stall
+//             grace periods. The whole scan is not atomic: updates may be
+//             observed in one chunk and missed in a later one.
+//   kSnapshot The entire result is an atomic view: exactly the in-range
+//             content of the structure at one linearization point.
+enum class ScanConsistency { kWeak, kChunked, kSnapshot };
+
+const char* to_string(ScanConsistency c);
+
+// Per-scan knobs. `consistency` is the level the caller asks for; an
+// implementation serves the strongest level it supports that is <= the
+// request (asking for kSnapshot from a weak-only baseline yields kWeak —
+// check traits().scan_consistency for the ceiling). Asking for kWeak
+// forces the weak path even on implementations that can do better, which
+// is how the tests exercise both strategies.
+struct ScanOptions {
+  ScanConsistency consistency = ScanConsistency::kChunked;
+  std::size_t limit = 0;  // max pairs to visit; 0 = unlimited
+  std::size_t chunk = 0;  // kChunked chunk size; 0 = implementation default
+};
+
+// Range-scan callback: return true to continue, false to stop the scan.
+using RangeVisitor = std::function<bool(std::int64_t key, std::int64_t value)>;
+
+// Forward iterator over a scan's results. next() returns entries in
+// strictly increasing key order, then std::nullopt. The snapshot must not
+// outlive the dictionary it came from; it never pins a read-side critical
+// section between next() calls, so holding one indefinitely cannot stall
+// grace periods.
+class ISnapshot {
+ public:
+  virtual ~ISnapshot() = default;
+  virtual std::optional<Entry> next() = 0;
+  // The level this snapshot actually provides (may be below the request).
+  virtual ScanConsistency consistency() const = 0;
+};
+
+// Static capabilities of a registered dictionary, surfaced both per-name
+// (available_dictionaries) and per-instance (IDictionary::traits — the
+// instance view reflects Options overrides such as `reclaim`).
+struct DictionaryTraits {
+  bool sharded = false;      // multiple internal RCU domains / trees
+  bool reclaiming = false;   // grace-period memory reclamation on
+  // Strongest scan consistency the implementation can serve.
+  ScanConsistency scan_consistency = ScanConsistency::kWeak;
+};
+
+struct DictionaryInfo {
+  std::string name;
+  DictionaryTraits traits;  // the name's default-Options traits
+  // True for the one representative of each algorithm family — the set
+  // the cross-algorithm figure benches sweep. False for ablation aliases
+  // (RCU flavor, lock type, reclaim tier, extra shard counts), which the
+  // A/B ablation benches name literally.
+  bool comparison = false;
+};
+
 // One shard's slice of a StatsSnapshot. Unsharded dictionaries report a
 // snapshot with an empty `shards` vector; sharded ones fill one entry per
 // shard so benches can see imbalance and per-shard grace-period pressure.
@@ -31,6 +111,8 @@ struct ShardStats {
   std::uint64_t recycled_nodes = 0; // nodes returned to the pool
   std::uint64_t gp_started = 0;     // grace-period scans led in this shard
   std::uint64_t gp_shared = 0;      // calls that piggybacked on a scan
+  std::uint64_t scans = 0;          // validated scan chunks served
+  std::uint64_t scan_retries = 0;   // chunk attempts discarded on conflict
   std::size_t size = 0;             // keys resident (relaxed counter)
 };
 
@@ -54,6 +136,13 @@ struct StatsSnapshot {
   std::uint64_t gp_started = 0;
   std::uint64_t gp_shared = 0;
   std::uint64_t gp_expedited = 0;
+  // Ordered-operation breakdown (validated scans only; weak succ-chain
+  // scans do not count). scans = successful chunk validations,
+  // scan_retries = chunks discarded because a writer raced the walk,
+  // scan_keys_visited = pairs emitted by successful chunks.
+  std::uint64_t scans = 0;
+  std::uint64_t scan_retries = 0;
+  std::uint64_t scan_keys_visited = 0;
   std::vector<ShardStats> shards;   // per-shard breakdown; empty if unsharded
 };
 
@@ -85,9 +174,31 @@ class IDictionary {
 
   virtual bool insert(std::int64_t key, std::int64_t value) = 0;
   virtual bool erase(std::int64_t key) = 0;
-  virtual bool contains(std::int64_t key) const = 0;
   virtual std::optional<std::int64_t> find(std::int64_t key) const = 0;
   virtual std::size_t size() const = 0;
+
+  // Membership is by definition find(k).has_value(); non-virtual so no
+  // adapter can drift from that definition.
+  bool contains(std::int64_t key) const { return find(key).has_value(); }
+
+  // Strict successor (min key > k) / predecessor (max key < k).
+  virtual std::optional<Entry> succ(std::int64_t key) const = 0;
+  virtual std::optional<Entry> pred(std::int64_t key) const = 0;
+
+  // Visit every pair with lo <= key <= hi in ascending key order, subject
+  // to opts. Returns the number of pairs visited. The default
+  // implementation is the documented weak mode: a succ-chain of point
+  // reads (ScanConsistency::kWeak); overriders serve stronger levels.
+  virtual std::size_t range(std::int64_t lo, std::int64_t hi,
+                            const RangeVisitor& visit,
+                            const ScanOptions& opts = {}) const;
+
+  // Iterator over the full key space at the strongest consistency the
+  // implementation supports. The default is the weak succ-chain cursor.
+  virtual std::unique_ptr<ISnapshot> snapshot() const;
+
+  // Capabilities of this instance (reflects Options overrides).
+  virtual DictionaryTraits traits() const { return {}; }
 
   // Quiescent structural audit. Implementations fill the report fields
   // they can compute safely without the caller holding a ThreadScope;
@@ -130,7 +241,14 @@ using DictionaryFactory =
 //   lockfree          Natarajan-Mittal lock-free external BST
 //   skiplist          Herlihy lazy skiplist
 //   rcu-hash          relativistic hash table (per-bucket locks, RCU resize)
+//
+// Scan-consistency ceilings: citrus* serve kSnapshot (validated in-tree
+// traversal), citrus-shard* serve kChunked (k-way merge of per-shard
+// atomic chunks), bonsai serves kSnapshot (scan of the RCU-published
+// immutable root), everything else serves kWeak.
 std::vector<std::string> registered_dictionaries();
+// Introspection: every registered name with its default-Options traits.
+std::vector<DictionaryInfo> available_dictionaries();
 std::unique_ptr<IDictionary> make_dictionary(const std::string& name,
                                              const Options& options);
 // Back-compat convenience: default Options.

@@ -1,7 +1,9 @@
 #include "adapters/idictionary.hpp"
 
+#include <limits>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "adapters/dictionary.hpp"
 #include "baselines/avl_bronson.hpp"
@@ -19,6 +21,97 @@
 
 namespace citrus::adapters {
 
+const char* to_string(ScanConsistency c) {
+  switch (c) {
+    case ScanConsistency::kWeak: return "weak";
+    case ScanConsistency::kChunked: return "chunked";
+    case ScanConsistency::kSnapshot: return "snapshot";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::int64_t kKeyMin = std::numeric_limits<std::int64_t>::min();
+
+// Lazy succ-chain cursor: one point read per next() call, no read-side
+// section held between calls. ScanConsistency::kWeak by construction.
+class WeakSnapshot final : public ISnapshot {
+ public:
+  explicit WeakSnapshot(const IDictionary& dict) : dict_(dict) {}
+
+  std::optional<Entry> next() override {
+    std::optional<Entry> e;
+    if (!started_) {
+      started_ = true;
+      // kKeyMin has no strict predecessor, so probe it directly first.
+      if (const auto v = dict_.find(kKeyMin)) e = Entry{kKeyMin, *v};
+      else e = dict_.succ(kKeyMin);
+    } else {
+      e = dict_.succ(last_);
+    }
+    if (e) last_ = e->key;
+    return e;
+  }
+
+  ScanConsistency consistency() const override {
+    return ScanConsistency::kWeak;
+  }
+
+ private:
+  const IDictionary& dict_;
+  bool started_ = false;
+  std::int64_t last_ = 0;
+};
+
+// Materialized scan result: entries were collected up front at the stated
+// consistency level; iteration is just a vector walk.
+class VectorSnapshot final : public ISnapshot {
+ public:
+  VectorSnapshot(std::vector<Entry> entries, ScanConsistency level)
+      : entries_(std::move(entries)), level_(level) {}
+
+  std::optional<Entry> next() override {
+    if (pos_ == entries_.size()) return std::nullopt;
+    return entries_[pos_++];
+  }
+
+  ScanConsistency consistency() const override { return level_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t pos_ = 0;
+  ScanConsistency level_;
+};
+
+}  // namespace
+
+// Weak mode: a succ-chain of independent point reads. Keys ascend
+// strictly, every pair was present at some instant, but the sequence as a
+// whole is not atomic. This is the floor every implementation shares;
+// adapters with a validated scan override and serve stronger levels.
+std::size_t IDictionary::range(std::int64_t lo, std::int64_t hi,
+                               const RangeVisitor& visit,
+                               const ScanOptions& opts) const {
+  if (hi < lo) return 0;
+  std::size_t visited = 0;
+  // Start at lo itself (succ is strict, and lo-1 may not exist).
+  std::optional<Entry> cur;
+  if (const auto v = find(lo)) cur = Entry{lo, *v};
+  else cur = succ(lo);
+  while (cur && cur->key <= hi) {
+    if (opts.limit != 0 && visited == opts.limit) break;
+    ++visited;
+    if (!visit(cur->key, cur->value)) break;
+    cur = succ(cur->key);
+  }
+  return visited;
+}
+
+std::unique_ptr<ISnapshot> IDictionary::snapshot() const {
+  return std::make_unique<WeakSnapshot>(*this);
+}
+
 namespace {
 
 template <typename Rcu>
@@ -30,16 +123,43 @@ class RcuThreadScope final : public ThreadScope {
   typename Rcu::Registration registration_;
 };
 
+template <typename Key, typename Value>
+std::optional<Entry> to_entry(std::optional<std::pair<Key, Value>> p) {
+  if (!p) return std::nullopt;
+  return Entry{static_cast<std::int64_t>(p->first),
+               static_cast<std::int64_t>(p->second)};
+}
+
 // Adapter owning a domain and a tree built on it. `Tree` must be
-// constructible from `Rcu&` and satisfy the dictionary concept.
+// constructible from `Rcu&` and satisfy the ordered_dictionary concept.
 template <typename Rcu, typename Tree>
 class TreeAdapter final : public IDictionary {
+  // Native validated scan, chunkable (Citrus): range(lo, hi, f, limit,
+  // chunk) where chunk == 0 means one unbounded validated pass.
+  static constexpr bool kHasChunkedRange =
+      requires(const Tree& t, const typename Tree::key_type& k,
+               bool (*f)(const typename Tree::key_type&,
+                         const typename Tree::mapped_type&)) {
+        { t.range(k, k, f, std::size_t{0}, std::size_t{0}) };
+      };
+  // Native single-pass scan (Bonsai: one walk of the published root).
+  static constexpr bool kHasSnapshotRange =
+      !kHasChunkedRange &&
+      requires(const Tree& t, const typename Tree::key_type& k,
+               bool (*f)(const typename Tree::key_type&,
+                         const typename Tree::mapped_type&)) {
+        { t.range(k, k, f, std::size_t{0}) };
+      };
+
  public:
   // Extra args are forwarded to the tree after the domain (e.g. the
   // relativistic hash table's initial bucket count).
   template <typename... Args>
-  explicit TreeAdapter(std::string name, Args&&... args)
-      : name_(std::move(name)), tree_(domain_, std::forward<Args>(args)...) {}
+  explicit TreeAdapter(std::string name, DictionaryTraits traits,
+                       Args&&... args)
+      : name_(std::move(name)),
+        traits_(traits),
+        tree_(domain_, std::forward<Args>(args)...) {}
 
   std::unique_ptr<ThreadScope> enter_thread() override {
     return std::make_unique<RcuThreadScope<Rcu>>(domain_);
@@ -49,13 +169,61 @@ class TreeAdapter final : public IDictionary {
     return tree_.insert(key, value);
   }
   bool erase(std::int64_t key) override { return tree_.erase(key); }
-  bool contains(std::int64_t key) const override {
-    return tree_.contains(key);
-  }
   std::optional<std::int64_t> find(std::int64_t key) const override {
     return tree_.find(key);
   }
   std::size_t size() const override { return tree_.size(); }
+
+  std::optional<Entry> succ(std::int64_t key) const override {
+    return to_entry(tree_.succ(key));
+  }
+  std::optional<Entry> pred(std::int64_t key) const override {
+    return to_entry(tree_.pred(key));
+  }
+
+  std::size_t range(std::int64_t lo, std::int64_t hi,
+                    const RangeVisitor& visit,
+                    const ScanOptions& opts) const override {
+    if constexpr (kHasChunkedRange) {
+      if (opts.consistency != ScanConsistency::kWeak) {
+        // kSnapshot: one unbounded validated pass (chunk 0). kChunked:
+        // bounded read-side sections of `chunk` keys with key-cursor
+        // re-entry between them.
+        const std::size_t chunk =
+            opts.consistency == ScanConsistency::kSnapshot
+                ? 0
+                : (opts.chunk != 0 ? opts.chunk : Tree::kDefaultScanChunk);
+        return tree_.range(lo, hi, visit, opts.limit, chunk);
+      }
+    } else if constexpr (kHasSnapshotRange) {
+      if (opts.consistency != ScanConsistency::kWeak) {
+        return tree_.range(lo, hi, visit, opts.limit);
+      }
+    }
+    return IDictionary::range(lo, hi, visit, opts);
+  }
+
+  std::unique_ptr<ISnapshot> snapshot() const override {
+    if constexpr (kHasChunkedRange || kHasSnapshotRange) {
+      std::vector<Entry> entries;
+      ScanOptions opts;
+      opts.consistency = ScanConsistency::kSnapshot;
+      this->range(
+          std::numeric_limits<std::int64_t>::min(),
+          std::numeric_limits<std::int64_t>::max(),
+          [&entries](std::int64_t k, std::int64_t v) {
+            entries.push_back({k, v});
+            return true;
+          },
+          opts);
+      return std::make_unique<VectorSnapshot>(std::move(entries),
+                                              ScanConsistency::kSnapshot);
+    } else {
+      return IDictionary::snapshot();
+    }
+  }
+
+  DictionaryTraits traits() const override { return traits_; }
 
   core::StructureReport check_structure() const override {
     if constexpr (requires(const Tree& t, std::string* e) {
@@ -88,6 +256,9 @@ class TreeAdapter final : public IDictionary {
       snap.gp_started = s.gp_started;
       snap.gp_shared = s.gp_shared;
       snap.gp_expedited = s.gp_expedited;
+      snap.scans = s.scans;
+      snap.scan_retries = s.scan_retries;
+      snap.scan_keys_visited = s.scan_keys_visited;
     }
     return snap;
   }
@@ -96,6 +267,7 @@ class TreeAdapter final : public IDictionary {
 
  private:
   std::string name_;
+  DictionaryTraits traits_;
   Rcu domain_;       // destroyed after the tree (declaration order)
   Tree tree_;
 };
@@ -118,8 +290,8 @@ class ShardedAdapter final : public IDictionary {
   };
 
  public:
-  ShardedAdapter(std::string name, std::size_t shards)
-      : name_(std::move(name)), dict_(shards) {}
+  ShardedAdapter(std::string name, DictionaryTraits traits, std::size_t shards)
+      : name_(std::move(name)), traits_(traits), dict_(shards) {}
 
   std::unique_ptr<ThreadScope> enter_thread() override {
     return std::make_unique<Scope>(dict_);
@@ -129,13 +301,47 @@ class ShardedAdapter final : public IDictionary {
     return dict_.insert(key, value);
   }
   bool erase(std::int64_t key) override { return dict_.erase(key); }
-  bool contains(std::int64_t key) const override {
-    return dict_.contains(key);
-  }
   std::optional<std::int64_t> find(std::int64_t key) const override {
     return dict_.find(key);
   }
   std::size_t size() const override { return dict_.size(); }
+
+  std::optional<Entry> succ(std::int64_t key) const override {
+    return to_entry(dict_.succ(key));
+  }
+  std::optional<Entry> pred(std::int64_t key) const override {
+    return to_entry(dict_.pred(key));
+  }
+
+  std::size_t range(std::int64_t lo, std::int64_t hi,
+                    const RangeVisitor& visit,
+                    const ScanOptions& opts) const override {
+    if (opts.consistency == ScanConsistency::kWeak) {
+      return IDictionary::range(lo, hi, visit, opts);
+    }
+    // Shards are scanned one after another per merge round, so the merged
+    // view is never atomic across shards: kChunked is this adapter's
+    // ceiling and a kSnapshot request is served at kChunked.
+    const std::size_t chunk =
+        opts.chunk != 0 ? opts.chunk : Sharded::kDefaultScanChunk;
+    return dict_.range(lo, hi, visit, opts.limit, chunk);
+  }
+
+  std::unique_ptr<ISnapshot> snapshot() const override {
+    std::vector<Entry> entries;
+    dict_.range(
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max(),
+        [&entries](Key k, Value v) {
+          entries.push_back({k, v});
+          return true;
+        },
+        /*limit=*/0, /*chunk=*/0);
+    return std::make_unique<VectorSnapshot>(std::move(entries),
+                                            ScanConsistency::kChunked);
+  }
+
+  DictionaryTraits traits() const override { return traits_; }
 
   core::StructureReport check_structure() const override {
     return dict_.check_structure();
@@ -153,6 +359,8 @@ class ShardedAdapter final : public IDictionary {
       out.recycled_nodes = s.recycled_nodes;
       out.gp_started = s.gp_started;
       out.gp_shared = s.gp_shared;
+      out.scans = s.scans;
+      out.scan_retries = s.scan_retries;
       out.size = dict_.shard_size(i);
       snap.grace_periods += out.grace_periods;
       snap.insert_retries += s.insert_retries;
@@ -162,6 +370,9 @@ class ShardedAdapter final : public IDictionary {
       snap.gp_started += s.gp_started;
       snap.gp_shared += s.gp_shared;
       snap.gp_expedited += s.gp_expedited;
+      snap.scans += s.scans;
+      snap.scan_retries += s.scan_retries;
+      snap.scan_keys_visited += s.scan_keys_visited;
       snap.shards.push_back(out);
     }
     return snap;
@@ -171,13 +382,25 @@ class ShardedAdapter final : public IDictionary {
 
  private:
   std::string name_;
+  DictionaryTraits traits_;
   Sharded dict_;
 };
 
+struct RegistryEntry {
+  DictionaryFactory factory;
+  DictionaryTraits traits;  // default-Options traits, for introspection
+  // One representative per algorithm family (see DictionaryInfo).
+  bool comparison = false;
+};
+
+constexpr DictionaryTraits kWeakTraits{false, false, ScanConsistency::kWeak};
+constexpr DictionaryTraits kCitrusTraits{false, false,
+                                         ScanConsistency::kSnapshot};
+
 template <typename Rcu, typename Tree>
-DictionaryFactory factory(const char* name) {
-  return [name](const Options&) {
-    return std::make_unique<TreeAdapter<Rcu, Tree>>(name);
+DictionaryFactory factory(const char* name, DictionaryTraits traits) {
+  return [name, traits](const Options&) {
+    return std::make_unique<TreeAdapter<Rcu, Tree>>(name, traits);
   };
 }
 
@@ -188,12 +411,16 @@ template <typename Rcu>
 DictionaryFactory citrus_factory(const char* name, bool reclaim_default) {
   return [name, reclaim_default](const Options& options) -> std::unique_ptr<IDictionary> {
     const bool reclaim = options.reclaim.value_or(reclaim_default);
+    DictionaryTraits traits = kCitrusTraits;
+    traits.reclaiming = reclaim;
     if (reclaim) {
       return std::make_unique<TreeAdapter<
-          Rcu, core::CitrusTree<Key, Value, Rcu, core::DefaultTraits>>>(name);
+          Rcu, core::CitrusTree<Key, Value, Rcu, core::DefaultTraits>>>(
+          name, traits);
     }
     return std::make_unique<TreeAdapter<
-        Rcu, core::CitrusTree<Key, Value, Rcu, core::BenchTraits>>>(name);
+        Rcu, core::CitrusTree<Key, Value, Rcu, core::BenchTraits>>>(name,
+                                                                    traits);
   };
 }
 
@@ -209,12 +436,16 @@ DictionaryFactory sharded_factory(const char* name,
       throw std::invalid_argument("shard count must be a power of two");
     }
     using rcu::CounterFlagRcu;
-    if (options.reclaim.value_or(false)) {
+    const bool reclaim = options.reclaim.value_or(false);
+    const DictionaryTraits traits{true, reclaim, ScanConsistency::kChunked};
+    if (reclaim) {
       return std::make_unique<
-          ShardedAdapter<CounterFlagRcu, core::DefaultTraits>>(name, shards);
+          ShardedAdapter<CounterFlagRcu, core::DefaultTraits>>(name, traits,
+                                                               shards);
     }
     return std::make_unique<
-        ShardedAdapter<CounterFlagRcu, core::BenchTraits>>(name, shards);
+        ShardedAdapter<CounterFlagRcu, core::BenchTraits>>(name, traits,
+                                                           shards);
   };
 }
 
@@ -223,69 +454,95 @@ struct CitrusMutexTraits : core::BenchTraits {
   using LockTag = sync::UseStdMutex;
 };
 
-const std::map<std::string, DictionaryFactory>& registry() {
+const std::map<std::string, RegistryEntry>& registry() {
   using rcu::CounterFlagRcu;
   using rcu::EpochRcu;
   using rcu::QsbrRcu;
   using rcu::GlobalLockRcu;
-  static const std::map<std::string, DictionaryFactory> map = {
-      {"citrus", citrus_factory<CounterFlagRcu>("citrus", false)},
+  static const auto shard_traits =
+      DictionaryTraits{true, false, ScanConsistency::kChunked};
+  static const auto reclaim_traits =
+      DictionaryTraits{false, true, ScanConsistency::kSnapshot};
+  static const auto bonsai_traits =
+      DictionaryTraits{false, false, ScanConsistency::kSnapshot};
+  static const std::map<std::string, RegistryEntry> map = {
+      {"citrus",
+       {citrus_factory<CounterFlagRcu>("citrus", false), kCitrusTraits,
+        true}},
       // A/B pair for the grace-period engine: "citrus-gpseq" is an
       // explicit alias of the default (shared gp_seq + hierarchical
       // scan), "citrus-flat" is the paper's flat per-call scan.
-      {"citrus-gpseq", citrus_factory<CounterFlagRcu>("citrus-gpseq", false)},
+      {"citrus-gpseq",
+       {citrus_factory<CounterFlagRcu>("citrus-gpseq", false),
+        kCitrusTraits}},
       {"citrus-flat",
-       citrus_factory<rcu::FlatCounterFlagRcu>("citrus-flat", false)},
+       {citrus_factory<rcu::FlatCounterFlagRcu>("citrus-flat", false),
+        kCitrusTraits}},
       {"citrus-std-rcu",
-       citrus_factory<GlobalLockRcu>("citrus-std-rcu", false)},
-      {"citrus-epoch", citrus_factory<EpochRcu>("citrus-epoch", false)},
-      {"citrus-qsbr", citrus_factory<QsbrRcu>("citrus-qsbr", false)},
+       {citrus_factory<GlobalLockRcu>("citrus-std-rcu", false),
+        kCitrusTraits}},
+      {"citrus-epoch",
+       {citrus_factory<EpochRcu>("citrus-epoch", false), kCitrusTraits}},
+      {"citrus-qsbr",
+       {citrus_factory<QsbrRcu>("citrus-qsbr", false), kCitrusTraits}},
       {"citrus-reclaim",
-       citrus_factory<CounterFlagRcu>("citrus-reclaim", true)},
+       {citrus_factory<CounterFlagRcu>("citrus-reclaim", true),
+        reclaim_traits}},
       {"citrus-mutex",
-       factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
-                                                CitrusMutexTraits>>(
-           "citrus-mutex")},
-      {"citrus-shard4", sharded_factory("citrus-shard4", 4)},
-      {"citrus-shard16", sharded_factory("citrus-shard16", 16)},
-      {"citrus-shard64", sharded_factory("citrus-shard64", 64)},
+       {factory<CounterFlagRcu, core::CitrusTree<Key, Value, CounterFlagRcu,
+                                                 CitrusMutexTraits>>(
+            "citrus-mutex", kCitrusTraits),
+        kCitrusTraits}},
+      {"citrus-shard4", {sharded_factory("citrus-shard4", 4), shard_traits}},
+      {"citrus-shard16",
+       {sharded_factory("citrus-shard16", 16), shard_traits, true}},
+      {"citrus-shard64",
+       {sharded_factory("citrus-shard64", 64), shard_traits}},
       {"rbtree",
-       factory<CounterFlagRcu,
-               baselines::RcuRedBlackTree<Key, Value, CounterFlagRcu,
-                                          baselines::RbBenchTraits>>(
-           "rbtree")},
+       {factory<CounterFlagRcu,
+                baselines::RcuRedBlackTree<Key, Value, CounterFlagRcu,
+                                           baselines::RbBenchTraits>>(
+            "rbtree", kWeakTraits),
+        kWeakTraits, true}},
       {"bonsai",
-       factory<CounterFlagRcu,
-               baselines::BonsaiTree<Key, Value, CounterFlagRcu,
-                                     baselines::BonsaiBenchTraits>>("bonsai")},
+       {factory<CounterFlagRcu,
+                baselines::BonsaiTree<Key, Value, CounterFlagRcu,
+                                      baselines::BonsaiBenchTraits>>(
+            "bonsai", bonsai_traits),
+        bonsai_traits, true}},
       {"avl",
-       factory<CounterFlagRcu,
-               baselines::BronsonAvlTree<Key, Value, CounterFlagRcu,
-                                         baselines::AvlBenchTraits>>("avl")},
+       {factory<CounterFlagRcu,
+                baselines::BronsonAvlTree<Key, Value, CounterFlagRcu,
+                                          baselines::AvlBenchTraits>>(
+            "avl", kWeakTraits),
+        kWeakTraits, true}},
       {"lockfree",
-       factory<CounterFlagRcu,
-               baselines::LockFreeBst<Key, Value, CounterFlagRcu,
-                                      baselines::LfBstBenchTraits>>(
-           "lockfree")},
+       {factory<CounterFlagRcu,
+                baselines::LockFreeBst<Key, Value, CounterFlagRcu,
+                                       baselines::LfBstBenchTraits>>(
+            "lockfree", kWeakTraits),
+        kWeakTraits, true}},
       {"rcu-hash",
-       [](const Options& options) -> std::unique_ptr<IDictionary> {
-         using Table =
-             baselines::RelativisticHashTable<Key, Value, CounterFlagRcu,
-                                              baselines::RelHashBenchTraits>;
-         // ~8 expected keys per bucket at the hinted range's half-full
-         // steady state; 0 falls back to the trait default.
-         const std::size_t buckets =
-             options.key_range_hint > 0
-                 ? static_cast<std::size_t>(options.key_range_hint) / 16
-                 : baselines::RelHashBenchTraits::kInitialBuckets;
-         return std::make_unique<TreeAdapter<CounterFlagRcu, Table>>(
-             "rcu-hash", buckets);
-       }},
+       {[](const Options& options) -> std::unique_ptr<IDictionary> {
+          using Table =
+              baselines::RelativisticHashTable<Key, Value, CounterFlagRcu,
+                                               baselines::RelHashBenchTraits>;
+          // ~8 expected keys per bucket at the hinted range's half-full
+          // steady state; 0 falls back to the trait default.
+          const std::size_t buckets =
+              options.key_range_hint > 0
+                  ? static_cast<std::size_t>(options.key_range_hint) / 16
+                  : baselines::RelHashBenchTraits::kInitialBuckets;
+          return std::make_unique<TreeAdapter<CounterFlagRcu, Table>>(
+              "rcu-hash", kWeakTraits, buckets);
+        },
+        kWeakTraits, true}},
       {"skiplist",
-       factory<CounterFlagRcu,
-               baselines::LazySkiplist<Key, Value, CounterFlagRcu,
-                                       baselines::SkiplistBenchTraits>>(
-           "skiplist")},
+       {factory<CounterFlagRcu,
+                baselines::LazySkiplist<Key, Value, CounterFlagRcu,
+                                        baselines::SkiplistBenchTraits>>(
+            "skiplist", kWeakTraits),
+        kWeakTraits, true}},
   };
   return map;
 }
@@ -298,6 +555,14 @@ std::vector<std::string> registered_dictionaries() {
   return names;
 }
 
+std::vector<DictionaryInfo> available_dictionaries() {
+  std::vector<DictionaryInfo> infos;
+  for (const auto& [name, entry] : registry()) {
+    infos.push_back({name, entry.traits, entry.comparison});
+  }
+  return infos;
+}
+
 std::unique_ptr<IDictionary> make_dictionary(const std::string& name,
                                              const Options& options) {
   const auto& map = registry();
@@ -305,7 +570,7 @@ std::unique_ptr<IDictionary> make_dictionary(const std::string& name,
   if (it == map.end()) {
     throw std::invalid_argument("unknown dictionary: " + name);
   }
-  return it->second(options);
+  return it->second.factory(options);
 }
 
 std::unique_ptr<IDictionary> make_dictionary(const std::string& name) {

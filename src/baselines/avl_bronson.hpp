@@ -136,6 +136,25 @@ class BronsonAvlTree {
     }
   }
 
+  // Weak-consistency ordered neighbors (see the registry traits): a
+  // plain descent over a tree that may rotate mid-walk, skipping routing
+  // nodes (null value = logically absent). Each returned pair did map key
+  // to value at some instant, but the "nothing in between" property is
+  // only best-effort under concurrent rebalancing — which is exactly the
+  // documented weak scan level this baseline advertises.
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    return neighbor_rec(
+        root_holder_->child[kRight].load(std::memory_order_acquire), key,
+        true);
+  }
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    return neighbor_rec(
+        root_holder_->child[kRight].load(std::memory_order_acquire), key,
+        false);
+  }
+
   bool insert(const Key& key, const Value& value) {
     MaybeGuard guard(rcu_);
     for (;;) {
@@ -215,6 +234,52 @@ class BronsonAvlTree {
    private:
     Rcu& rcu_;
   };
+
+  // Present-key read: a routing node reports no pair. Value copied while
+  // the caller's guard is open (retired values outlive readers).
+  static std::optional<std::pair<Key, Value>> present_pair(const Node* n) {
+    const Value* v = n->value.load(std::memory_order_acquire);
+    if (v == nullptr) return std::nullopt;
+    return std::make_pair(n->key(), *v);
+  }
+
+  // succ (want_succ) / pred recursion with routing-node fallback: if the
+  // preferred subtree yields nothing, the node itself (when present) and
+  // then the other subtree's closest present node are the answers.
+  static std::optional<std::pair<Key, Value>> neighbor_rec(const Node* n,
+                                                           const Key& key,
+                                                           bool want_succ) {
+    if (n == nullptr) return std::nullopt;
+    const Key& nk = n->key();
+    const bool node_beyond = want_succ ? key < nk : nk < key;
+    if (!node_beyond) {
+      return neighbor_rec(
+          n->child[want_succ ? kRight : kLeft].load(std::memory_order_acquire),
+          key, want_succ);
+    }
+    auto best = neighbor_rec(
+        n->child[want_succ ? kLeft : kRight].load(std::memory_order_acquire),
+        key, want_succ);
+    if (best.has_value()) return best;
+    if (auto self = present_pair(n); self.has_value()) return self;
+    return extreme_present(
+        n->child[want_succ ? kRight : kLeft].load(std::memory_order_acquire),
+        want_succ);
+  }
+
+  // First present pair in in-order (want_min) / reverse order.
+  static std::optional<std::pair<Key, Value>> extreme_present(const Node* n,
+                                                              bool want_min) {
+    if (n == nullptr) return std::nullopt;
+    auto best = extreme_present(
+        n->child[want_min ? kLeft : kRight].load(std::memory_order_acquire),
+        want_min);
+    if (best.has_value()) return best;
+    if (auto self = present_pair(n); self.has_value()) return self;
+    return extreme_present(
+        n->child[want_min ? kRight : kLeft].load(std::memory_order_acquire),
+        want_min);
+  }
 
   static int height_of(const Node* n) {
     return n == nullptr ? 0 : n->height.load(std::memory_order_relaxed);

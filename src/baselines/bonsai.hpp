@@ -27,10 +27,12 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/rcu.hpp"
+#include "util/visit.hpp"
 
 namespace citrus::baselines {
 
@@ -119,6 +121,67 @@ class BonsaiTree {
       n = n->right;
     }
     return out;
+  }
+
+  // ── Ordered operations ────────────────────────────────────────────
+  //
+  // Readers traverse one immutable root, so every multi-key read is
+  // exact: it linearizes at the root load (snapshot consistency for
+  // free — what the single writer lock buys).
+
+  // In-order visit of pairs with lo <= key <= hi; the visitor returns
+  // false to stop early and runs OUTSIDE the read-side critical section
+  // (pairs are buffered), matching the Citrus range contract. `limit` 0 =
+  // unlimited. Returns the number of pairs visited.
+  template <typename F>
+  std::size_t range(const Key& lo, const Key& hi, F&& f,
+                    std::size_t limit = 0) const {
+    if (hi < lo) return 0;
+    std::vector<std::pair<Key, Value>> buf;
+    {
+      rcu::ReadGuard<Rcu> guard(rcu_);
+      collect_range(root_.load(std::memory_order_acquire), lo, hi, limit,
+                    buf);
+    }
+    std::size_t visited = 0;
+    for (const auto& [k, v] : buf) {
+      ++visited;
+      if (!util::visit_entry(f, k, v)) break;
+    }
+    return visited;
+  }
+
+  // Smallest key strictly greater / greatest key strictly smaller than
+  // `key`, with its value. Exact (immutable snapshot descent).
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* cand = nullptr;
+    for (const Node* n = root_.load(std::memory_order_acquire);
+         n != nullptr;) {
+      if (key < n->key) {
+        cand = n;
+        n = n->left;
+      } else {
+        n = n->right;
+      }
+    }
+    if (cand == nullptr) return std::nullopt;
+    return std::make_pair(cand->key, cand->value);
+  }
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* cand = nullptr;
+    for (const Node* n = root_.load(std::memory_order_acquire);
+         n != nullptr;) {
+      if (n->key < key) {
+        cand = n;
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    if (cand == nullptr) return std::nullopt;
+    return std::make_pair(cand->key, cand->value);
   }
 
   // Quiescent audit: BST order, correct subtree weights, and Adams'
@@ -286,6 +349,33 @@ class BonsaiTree {
       for (Node* dead : garbage_) rcu::retire_delete(rcu_, dead);
     }
     garbage_.clear();
+  }
+
+  // Pruned in-order collection over an immutable subtree (reader side;
+  // the caller holds the read guard).
+  static void collect_range(const Node* root, const Key& lo, const Key& hi,
+                            std::size_t limit,
+                            std::vector<std::pair<Key, Value>>& out) {
+    std::vector<const Node*> stack;
+    const auto descend = [&stack, &lo](const Node* n) {
+      while (n != nullptr) {
+        if (n->key < lo) {
+          n = n->right;  // n and its left subtree are below the range
+          continue;
+        }
+        stack.push_back(n);
+        n = lo < n->key ? n->left : nullptr;
+      }
+    };
+    descend(root);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (hi < n->key) break;  // in-order: everything later is larger
+      out.emplace_back(n->key, n->value);
+      if (limit != 0 && out.size() >= limit) break;
+      descend(n->right);
+    }
   }
 
   static void free_subtree(Node* n) {

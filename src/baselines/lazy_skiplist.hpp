@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "baselines/bounded_key.hpp"
 #include "sync/backoff.hpp"
@@ -97,6 +98,53 @@ class LazySkiplist {
       return std::nullopt;
     }
     return succs[found]->value();
+  }
+
+  // Weak-consistency ordered neighbors (see the registry traits): exact
+  // at quiescence (erase unlinks marked nodes before returning), but a
+  // node marked mid-walk may be skipped together with its unmarked
+  // neighborhood — the documented weak scan level of this baseline.
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find_node(key, preds, succs);
+    // Bottom-level walk from the first node >= key to the first valid
+    // strictly greater one.
+    for (Node* n = succs[0]; n != nullptr;
+         n = n->next[0].load(std::memory_order_acquire)) {
+      if (n->bound == Bound::kMax) return std::nullopt;
+      if (n->bound == Bound::kKey && key < n->key() &&
+          n->fully_linked.load(std::memory_order_acquire) &&
+          !n->marked.load(std::memory_order_acquire)) {
+        return std::make_pair(n->key(), n->value());
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    // Standard descent, remembering the last valid node below `key`;
+    // candidates are visited in nondecreasing key order, so the final one
+    // is the predecessor.
+    std::optional<std::pair<Key, Value>> best;
+    Node* pred = head_;
+    for (int l = kMaxLevel - 1; l >= 0; --l) {
+      Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (compare_bounded(key, curr->bound,
+                             curr->bound == Bound::kKey ? curr->key() : key) >
+             0) {
+        if (curr->bound == Bound::kKey &&
+            curr->fully_linked.load(std::memory_order_acquire) &&
+            !curr->marked.load(std::memory_order_acquire)) {
+          best = std::make_pair(curr->key(), curr->value());
+        }
+        pred = curr;
+        curr = pred->next[l].load(std::memory_order_acquire);
+      }
+    }
+    return best;
   }
 
   bool insert(const Key& key, const Value& value) {

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rcu/counter_flag_rcu.hpp"
@@ -101,6 +102,19 @@ class LockFreeBst {
     const Node* leaf = descend(key);
     if (!leaf->is_key(key)) return std::nullopt;
     return leaf->value();
+  }
+
+  // Weak-consistency ordered neighbors (see the registry traits): a
+  // recursive walk over the external tree, skipping sentinel leaves; a
+  // condemned-but-reachable leaf may still be reported, and edges may be
+  // spliced mid-walk — the documented weak scan level of this baseline.
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    return succ_rec(r_, key);
+  }
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    MaybeGuard guard(rcu_);
+    return pred_rec(r_, key);
   }
 
   bool insert(const Key& key, const Value& value) {
@@ -299,6 +313,65 @@ class LockFreeBst {
       if (c == nullptr) return n;
       n = c;
     }
+  }
+
+  // ── Weak ordered-neighbor helpers (keys live in rank-0 leaves) ────
+
+  const Node* load_child(const Node* n, int dir) const {
+    return unpack(n->child[dir].load(std::memory_order_acquire));
+  }
+
+  static std::optional<std::pair<Key, Value>> leaf_pair(const Node* n) {
+    if (n->rank != 0) return std::nullopt;  // sentinel scaffold leaf
+    return std::make_pair(n->key(), n->value());
+  }
+
+  // First real leaf in in-order (want_min) / reverse in-order.
+  std::optional<std::pair<Key, Value>> extreme_leaf(const Node* n,
+                                                    bool want_min) const {
+    if (n == nullptr) return std::nullopt;
+    const Node* first = load_child(n, want_min ? kLeft : kRight);
+    if (first == nullptr) return leaf_pair(n);
+    if (auto best = extreme_leaf(first, want_min); best.has_value()) {
+      return best;
+    }
+    return extreme_leaf(load_child(n, want_min ? kRight : kLeft), want_min);
+  }
+
+  // Routing invariant: keys < router go left, keys >= router go right;
+  // sentinel routers behave as +inf.
+  std::optional<std::pair<Key, Value>> succ_rec(const Node* n,
+                                                const Key& key) const {
+    if (n == nullptr) return std::nullopt;
+    const Node* left = load_child(n, kLeft);
+    if (left == nullptr) {  // leaf
+      if (n->rank == 0 && key < n->key()) return leaf_pair(n);
+      return std::nullopt;
+    }
+    if (n->rank != 0 || key < n->key()) {
+      if (auto best = succ_rec(left, key); best.has_value()) return best;
+      // Right subtree's minimum is >= the router >= anything left of it.
+      return extreme_leaf(load_child(n, kRight), true);
+    }
+    return succ_rec(load_child(n, kRight), key);
+  }
+
+  std::optional<std::pair<Key, Value>> pred_rec(const Node* n,
+                                                const Key& key) const {
+    if (n == nullptr) return std::nullopt;
+    const Node* left = load_child(n, kLeft);
+    if (left == nullptr) {  // leaf
+      if (n->rank == 0 && n->key() < key) return leaf_pair(n);
+      return std::nullopt;
+    }
+    if (n->rank == 0 && n->key() < key) {
+      if (auto best = pred_rec(load_child(n, kRight), key);
+          best.has_value()) {
+        return best;
+      }
+      return extreme_leaf(left, false);
+    }
+    return pred_rec(left, key);
   }
 
   // Algorithm 2 of Natarajan-Mittal: walk to the leaf, remembering the

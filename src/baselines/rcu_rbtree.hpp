@@ -94,6 +94,42 @@ class RcuRedBlackTree {
     return n->value;
   }
 
+  // Weak-consistency ordered neighbors (see the registry traits): a
+  // candidate descent over a tree whose relativistic rotations may run
+  // mid-walk. Every reachable node is present, so the descent needs no
+  // backtracking; a rotation racing the walk can return a stale-but-valid
+  // neighbor — the documented weak scan level of this baseline.
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* cand = nullptr;
+    for (const Node* n = root_.load(std::memory_order_acquire);
+         n != nullptr;) {
+      if (key < n->key) {
+        cand = n;
+        n = n->child[kLeft].load(std::memory_order_acquire);
+      } else {
+        n = n->child[kRight].load(std::memory_order_acquire);
+      }
+    }
+    if (cand == nullptr) return std::nullopt;
+    return std::make_pair(cand->key, cand->value);
+  }
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Node* cand = nullptr;
+    for (const Node* n = root_.load(std::memory_order_acquire);
+         n != nullptr;) {
+      if (n->key < key) {
+        cand = n;
+        n = n->child[kRight].load(std::memory_order_acquire);
+      } else {
+        n = n->child[kLeft].load(std::memory_order_acquire);
+      }
+    }
+    if (cand == nullptr) return std::nullopt;
+    return std::make_pair(cand->key, cand->value);
+  }
+
   bool insert(const Key& key, const Value& value) {
     std::lock_guard<std::mutex> writer(writer_lock_);
     Node* parent = nullptr;

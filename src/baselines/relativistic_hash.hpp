@@ -29,6 +29,7 @@
 #include <new>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rcu/counter_flag_rcu.hpp"
@@ -93,6 +94,17 @@ class RelativisticHashTable {
     const Node* n = locate(key);
     if (n == nullptr) return std::nullopt;
     return n->value;
+  }
+
+  // Weak ordered access: a hash table has no key order, so succ/pred scan
+  // the whole table — every bucket chain — under one read-side critical
+  // section, tracking the best candidate. O(buckets + n) per call; exact
+  // only at quiescence (ScanConsistency::kWeak in adapter terms).
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    return neighbor(key, /*want_succ=*/true);
+  }
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    return neighbor(key, /*want_succ=*/false);
   }
 
   bool insert(const Key& key, const Value& value) {
@@ -216,6 +228,26 @@ class RelativisticHashTable {
     Bucket& bucket_for(std::size_t h) { return buckets[h & mask]; }
     const Bucket& bucket_for(std::size_t h) const { return buckets[h & mask]; }
   };
+
+  std::optional<std::pair<Key, Value>> neighbor(const Key& key,
+                                                bool want_succ) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    const Table* t = table_.load(std::memory_order_acquire);
+    const Node* cand = nullptr;
+    for (std::size_t b = 0; b < t->bucket_count; ++b) {
+      for (const Node* n = t->buckets[b].head.load(std::memory_order_acquire);
+           n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+        const bool beyond = want_succ ? key < n->key : n->key < key;
+        if (!beyond) continue;
+        const bool better =
+            cand == nullptr ||
+            (want_succ ? n->key < cand->key : cand->key < n->key);
+        if (better) cand = n;
+      }
+    }
+    if (cand == nullptr) return std::nullopt;
+    return std::make_pair(cand->key, cand->value);
+  }
 
   const Node* locate(const Key& key) const {
     const Table* t = table_.load(std::memory_order_acquire);

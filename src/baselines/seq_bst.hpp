@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/visit.hpp"
+
 namespace citrus::baselines {
 
 template <typename Key, typename Value>
@@ -81,6 +83,67 @@ class SeqBst {
     }
     root_ = nullptr;
     size_ = 0;
+  }
+
+  // ── Ordered operations (the oracle for the concurrent scans) ──────
+
+  // In-order visit of pairs with lo <= key <= hi; visitor returns false
+  // to stop early. `limit` 0 = unlimited. Returns pairs visited.
+  template <typename F>
+  std::size_t range(const Key& lo, const Key& hi, F&& f,
+                    std::size_t limit = 0) const {
+    if (hi < lo) return 0;
+    std::size_t visited = 0;
+    std::vector<const Node*> stack;
+    const auto descend = [&stack, &lo](const Node* n) {
+      while (n != nullptr) {
+        if (n->key < lo) {
+          n = n->right;
+          continue;
+        }
+        stack.push_back(n);
+        n = lo < n->key ? n->left : nullptr;
+      }
+    };
+    descend(root_);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (hi < n->key) break;
+      ++visited;
+      if (!util::visit_entry(f, n->key, n->value)) break;
+      if (limit != 0 && visited >= limit) break;
+      descend(n->right);
+    }
+    return visited;
+  }
+
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    const Node* cand = nullptr;
+    for (const Node* n = root_; n != nullptr;) {
+      if (key < n->key) {
+        cand = n;
+        n = n->left;
+      } else {
+        n = n->right;
+      }
+    }
+    if (cand == nullptr) return std::nullopt;
+    return std::make_pair(cand->key, cand->value);
+  }
+
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    const Node* cand = nullptr;
+    for (const Node* n = root_; n != nullptr;) {
+      if (n->key < key) {
+        cand = n;
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    if (cand == nullptr) return std::nullopt;
+    return std::make_pair(cand->key, cand->value);
   }
 
   template <typename F>

@@ -52,6 +52,16 @@ struct CitrusNode {
   std::atomic<bool> marked{false};
   std::atomic<std::uint64_t> tag[2] = {0, 0};
   std::atomic<std::uint64_t> generation{0};
+  // Seqlock word for the validated scans of citrus_tree.hpp: a writer
+  // holding this node's lock bumps it to odd immediately before a child
+  // pointer store that changes the published structure, and back to even
+  // immediately after. A scanner that reads the same even value before its
+  // child loads and at its final validation fence knows no structural
+  // change to this node overlapped the scan. Deliberately never reset by
+  // construct_payload/scrub_links: the counter must stay monotonic across
+  // pool recycling so a recorded (node, version) pair can never be
+  // revalidated against a later incarnation of the slot.
+  std::atomic<std::uint64_t> version{0};
   Lock lock;
 
   // ---- pool plumbing ----
@@ -117,6 +127,17 @@ struct CitrusNode {
     std::memset(key_buf, check::kPoisonByte, sizeof(key_buf));
     std::memset(value_buf, check::kPoisonByte, sizeof(value_buf));
 #endif
+  }
+
+  // Seqlock write section around one published child-pointer store; the
+  // caller must hold this node's lock. The acq_rel bump on entry keeps the
+  // protected store from moving above it; the release bump on exit keeps
+  // it from moving below.
+  void scan_write_begin() noexcept {
+    version.fetch_add(1, std::memory_order_acq_rel);  // even -> odd
+  }
+  void scan_write_end() noexcept {
+    version.fetch_add(1, std::memory_order_release);  // odd -> even
   }
 
   // Three-way comparison of a search key against this node, treating the

@@ -49,11 +49,14 @@
 //    so any `operator<`-ordered key type works, with no reserved values.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "check/check.hpp"
@@ -64,6 +67,7 @@
 #include "rcu/rcu.hpp"
 #include "sync/backoff.hpp"
 #include "sync/spinlock.hpp"
+#include "util/visit.hpp"
 
 namespace citrus::core {
 
@@ -108,6 +112,14 @@ struct CitrusStats {
   std::uint64_t lock_timeouts = 0;
   std::uint64_t recycled_nodes = 0;
 
+  // Ordered-operation counters: scans counts completed validated passes
+  // (range chunks and succ/pred descents), scan_retries counts passes
+  // restarted by a version conflict, scan_keys_visited counts pairs
+  // returned by completed passes.
+  std::uint64_t scans = 0;
+  std::uint64_t scan_retries = 0;
+  std::uint64_t scan_keys_visited = 0;
+
   // Grace-period engine counters of this tree's RCU domain (zero on
   // domains without the shared gp_seq). Domain-level: if several trees
   // share one domain, each stats() reports the same domain totals.
@@ -125,6 +137,9 @@ struct CitrusStats {
     two_child_erases += o.two_child_erases;
     lock_timeouts += o.lock_timeouts;
     recycled_nodes += o.recycled_nodes;
+    scans += o.scans;
+    scan_retries += o.scan_retries;
+    scan_keys_visited += o.scan_keys_visited;
     gp_started += o.gp_started;
     gp_shared += o.gp_shared;
     gp_expedited += o.gp_expedited;
@@ -206,6 +221,99 @@ class CitrusTree {
     return search_locked_free(key) != nullptr;
   }
 
+  // ── Ordered read side (validated scans) ───────────────────────────
+  //
+  // Every node carries a seqlock `version` (citrus_node.hpp) bumped by
+  // writers, under the node lock, around each published child-pointer
+  // store. A scan walks the tree in order inside one read-side critical
+  // section, recording (node, even-version) for every node whose children
+  // it reads; at the end it re-checks all recorded versions behind an
+  // acquire fence. If none changed, every pointer the walk followed was
+  // still the published pointer at the instant of the final check, so the
+  // collected pairs are exactly the in-range content of the tree at that
+  // instant — the scan's linearization point. Any conflict restarts the
+  // pass (counted in CitrusStats::scan_retries).
+  //
+  // Long scans CHUNK: a bounded number of pairs is collected per critical
+  // section and the walk re-enters with a *key* cursor — never a pointer —
+  // so a scan neither stalls grace periods nor can carry a node reference
+  // across a reclamation cycle (within one chunk the open read-side
+  // section blocks recycling; across chunks only the key survives). One
+  // corner case is handled by dedup: during a two-child erase the
+  // successor's copy and the not-yet-unlinked original coexist (the
+  // paper's Figure 4 window), so an in-order walk can meet the same key
+  // twice in adjacent positions.
+
+  static constexpr std::size_t kDefaultScanChunk = 256;
+
+  // Atomically collects the first `max` (0 = all) pairs with key in
+  // [lo, hi]; nullptr bounds are unbounded, `lo_inclusive` false makes the
+  // lower bound exclusive (cursor re-entry). Returns true if in-range keys
+  // beyond the collected prefix may remain.
+  bool scan_chunk(const Key* lo, bool lo_inclusive, const Key* hi,
+                  std::size_t max,
+                  std::vector<std::pair<Key, Value>>* out) const {
+    out->clear();
+    sync::Backoff bo;
+    for (;;) {
+      const int r = attempt_scan(lo, lo_inclusive, hi, max, out);
+      if (r >= 0) {
+        bump(&CitrusStats::scans);
+        bump_n(&CitrusStats::scan_keys_visited, out->size());
+        return r > 0;
+      }
+      bump(&CitrusStats::scan_retries);
+      out->clear();
+      bo.pause();
+    }
+  }
+
+  // In-order visit of the pairs with lo <= key <= hi. The visitor returns
+  // false to stop early and is invoked OUTSIDE the read-side critical
+  // section (pairs are buffered per chunk), so it may block or re-enter
+  // the tree. `limit` 0 = unlimited. `chunk` 0 = one atomic pass over the
+  // whole range (snapshot consistency, memory O(result)); otherwise each
+  // chunk of up to `chunk` pairs is internally atomic and chunks advance
+  // monotonically in key (chunked consistency). Returns pairs visited.
+  template <typename F>
+  std::size_t range(const Key& lo, const Key& hi, F&& f,
+                    std::size_t limit = 0,
+                    std::size_t chunk = kDefaultScanChunk) const {
+    if (hi < lo) return 0;
+    std::vector<std::pair<Key, Value>> buf;
+    std::size_t visited = 0;
+    const Key* cursor = &lo;
+    bool cursor_inclusive = true;
+    Key cursor_key{};
+    for (;;) {
+      std::size_t want = chunk;
+      if (limit != 0) {
+        const std::size_t left = limit - visited;
+        want = chunk == 0 ? left : std::min(chunk, left);
+      }
+      const bool more = scan_chunk(cursor, cursor_inclusive, &hi, want, &buf);
+      for (const auto& [k, v] : buf) {
+        ++visited;
+        if (!util::visit_entry(f, k, v)) return visited;
+      }
+      if (!more || buf.empty()) return visited;
+      if (limit != 0 && visited >= limit) return visited;
+      cursor_key = buf.back().first;
+      cursor = &cursor_key;
+      cursor_inclusive = false;
+    }
+  }
+
+  // Smallest key strictly greater than `key` / greatest key strictly
+  // smaller, with its value. A wait-free candidate descent validated like
+  // scan_chunk, so the answer is exact at its linearization point.
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    return neighbor(key, true);
+  }
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    return neighbor(key, false);
+  }
+
   // ── Update side ───────────────────────────────────────────────────
 
   // Adds (key, value); returns false (and changes nothing) if the key is
@@ -224,7 +332,9 @@ class CitrusTree {
       if (validate(g.prev, g.prev_gen, g.tag, nullptr, 0, g.direction)) {
         Node* leaf = pool_.allocate(false, NodeKind::kReal, &key, &value,
                                     nullptr, nullptr);
+        g.prev->scan_write_begin();
         g.prev->child[g.direction].store(leaf, std::memory_order_release);
+        g.prev->scan_write_end();
         locks.release_all();
         size_.fetch_add(1, std::memory_order_relaxed);
         return true;
@@ -267,8 +377,10 @@ class CitrusTree {
                                          &g.curr->key(), &value, left, right);
       // Lemma 1 discipline: only marked nodes may become unreachable.
       g.curr->marked.store(true, std::memory_order_release);
+      g.prev->scan_write_begin();
       g.prev->child[g.direction].store(replacement,
                                        std::memory_order_release);
+      g.prev->scan_write_end();
       locks.release_all();
       retire(g.curr);
       return true;
@@ -336,6 +448,10 @@ class CitrusTree {
           stats_.two_child_erases.load(std::memory_order_relaxed);
       out.lock_timeouts = stats_.lock_timeouts.load(std::memory_order_relaxed);
       out.recycled_nodes = stats_.recycled_nodes.load(std::memory_order_relaxed);
+      out.scans = stats_.scans.load(std::memory_order_relaxed);
+      out.scan_retries = stats_.scan_retries.load(std::memory_order_relaxed);
+      out.scan_keys_visited =
+          stats_.scan_keys_visited.load(std::memory_order_relaxed);
     }
     // Domain-side counters are kept by the grace-period engine itself and
     // cost nothing to read, so they are reported even with kStats off.
@@ -528,6 +644,149 @@ class CitrusTree {
     return nullptr;
   }
 
+  // ── Validated-scan machinery ──────────────────────────────────────
+
+  // A node whose children the scan read, with the even version observed
+  // before the reads.
+  struct VersionSample {
+    const Node* node;
+    std::uint64_t version;
+  };
+
+  // Seqlock read-side validation (Boehm's idiom): an acquire fence, then
+  // relaxed re-loads of every recorded version. Unchanged versions mean no
+  // writer's wrapped store overlapped [sample, fence] on any walked node,
+  // so the walk observed the exact published structure as of the fence.
+  static bool validate_versions(const std::vector<VersionSample>& vset) {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (const VersionSample& s : vset) {
+      if (s.node->version.load(std::memory_order_relaxed) != s.version) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // One atomic scan pass inside a single read-side critical section.
+  // Returns -1 on version conflict (caller retries), 0 when the in-range
+  // key space was exhausted, +1 when `max` pairs were collected and keys
+  // may remain. In-order traversal with subtree pruning on the bounds;
+  // when it truncates, everything not yet visited is greater (in BST
+  // order, as of the validation point) than the emitted prefix, so the
+  // prefix is exactly the first `max` in-range pairs.
+  int attempt_scan(const Key* lo, bool lo_inclusive, const Key* hi,
+                   std::size_t max,
+                   std::vector<std::pair<Key, Value>>* out) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    std::vector<VersionSample> vset;
+    struct Frame {
+      const Node* node;
+      const Node* right;  // pruned right child, pre-loaded under the sample
+      bool in_lo;         // key satisfies the lower bound
+      bool in_hi;         // key satisfies the upper bound
+    };
+    std::vector<Frame> stack;
+    bool conflict = false;
+    // Sample a node, prune against the bounds, and walk down its left
+    // spine; every pointer is loaded after the owning node's version.
+    const auto descend_left = [&](const Node* n) {
+      while (n != nullptr) {
+        const std::uint64_t v = n->version.load(std::memory_order_acquire);
+        if ((v & 1) != 0) {
+          conflict = true;  // a writer is mid-publish on this node
+          return;
+        }
+        check::on_node_access(n);
+        vset.push_back({n, v});
+        const int c_lo = lo != nullptr ? n->compare(*lo) : -1;
+        const int c_hi = hi != nullptr ? n->compare(*hi) : +1;
+        Frame f;
+        f.node = n;
+        f.in_lo = c_lo < 0 || (c_lo == 0 && lo_inclusive);
+        f.in_hi = c_hi >= 0;
+        // Right subtree holds keys > n: relevant unless n >= hi.
+        f.right = c_hi > 0
+                      ? n->child[kRight].load(std::memory_order_acquire)
+                      : nullptr;
+        stack.push_back(f);
+        // Left subtree holds keys < n: relevant unless n <= lo.
+        n = c_lo < 0 ? n->child[kLeft].load(std::memory_order_acquire)
+                     : nullptr;
+      }
+    };
+    bool truncated = false;
+    descend_left(root_);
+    while (!conflict && !stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (f.node->kind == NodeKind::kReal && f.in_lo && f.in_hi) {
+        if (max != 0 && out->size() == max) {
+          truncated = true;
+          break;
+        }
+        // Adjacent-duplicate dedup (two-child erase window, see above).
+        if (out->empty() || out->back().first < f.node->key()) {
+          out->push_back({f.node->key(), f.node->value()});
+        }
+      }
+      descend_left(f.right);
+    }
+    if (conflict || !validate_versions(vset)) return -1;
+    return truncated ? 1 : 0;
+  }
+
+  // Shared succ/pred descent: candidate tracking over the validated path.
+  // Exact because every reachable node carries a present key (marked
+  // nodes pending unlink included — erase linearizes at the unlink for
+  // readers), so no backtracking past the root-to-candidate path is ever
+  // needed.
+  std::optional<std::pair<Key, Value>> neighbor(const Key& key,
+                                                bool want_succ) const {
+    sync::Backoff bo;
+    for (;;) {
+      std::optional<std::pair<Key, Value>> out;
+      if (attempt_neighbor(key, want_succ, &out)) {
+        bump(&CitrusStats::scans);
+        if (out.has_value()) bump_n(&CitrusStats::scan_keys_visited, 1);
+        return out;
+      }
+      bump(&CitrusStats::scan_retries);
+      bo.pause();
+    }
+  }
+
+  bool attempt_neighbor(const Key& key, bool want_succ,
+                        std::optional<std::pair<Key, Value>>* out) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    std::vector<VersionSample> vset;
+    const Node* cand = nullptr;
+    const Node* n = root_;
+    while (n != nullptr) {
+      const std::uint64_t v = n->version.load(std::memory_order_acquire);
+      if ((v & 1) != 0) return false;
+      check::on_node_access(n);
+      vset.push_back({n, v});
+      const int c = n->compare(key);  // <0: key < n, >0: key > n
+      int dir;
+      if (want_succ) {
+        // Nodes greater than `key` are successor candidates; go left to
+        // find a smaller one, right otherwise.
+        if (c < 0 && n->kind == NodeKind::kReal) cand = n;
+        dir = c < 0 ? kLeft : kRight;
+      } else {
+        if (c > 0 && n->kind == NodeKind::kReal) cand = n;
+        dir = c > 0 ? kRight : kLeft;
+      }
+      n = n->child[dir].load(std::memory_order_acquire);
+    }
+    if (cand != nullptr) {
+      out->emplace(cand->key(), cand->value());  // copied inside the guard
+    } else {
+      out->reset();
+    }
+    return validate_versions(vset);
+  }
+
   // Paper `validate` (Lines 33-38) extended with generation checks (always
   // compiled; generations never change when reclamation is off, so the
   // extra comparisons are branch-predicted away in bench mode).
@@ -566,7 +825,9 @@ class CitrusTree {
   void erase_single_child(const GetResult& g, Node* left, Node* right) {
     g.curr->marked.store(true, std::memory_order_release);
     Node* child = left != nullptr ? left : right;
+    g.prev->scan_write_begin();
     g.prev->child[g.direction].store(child, std::memory_order_release);
+    g.prev->scan_write_end();
     increment_tag(g.prev, g.direction);
     size_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -625,8 +886,10 @@ class CitrusTree {
     locks.adopt(replacement);
 
     g.curr->marked.store(true, std::memory_order_release);  // Line 72
+    g.prev->scan_write_begin();
     g.prev->child[g.direction].store(replacement,
                                      std::memory_order_release);  // Line 73
+    g.prev->scan_write_end();
     pause(PausePoint::kAfterReplacementPublish);
 
     {
@@ -643,10 +906,14 @@ class CitrusTree {
     if (prev_succ == g.curr) {
       // Line 76-78: the successor is the victim's right child, which the
       // replacement adopted — bypass it there.
+      replacement->scan_write_begin();
       replacement->child[kRight].store(succ_right, std::memory_order_release);
+      replacement->scan_write_end();
       increment_tag(replacement, kRight);
     } else {
+      prev_succ->scan_write_begin();
       prev_succ->child[kLeft].store(succ_right, std::memory_order_release);
+      prev_succ->scan_write_end();
       increment_tag(prev_succ, kLeft);
     }
     size_.fetch_sub(1, std::memory_order_relaxed);
@@ -762,9 +1029,12 @@ class CitrusTree {
     std::atomic<std::uint64_t> two_child_erases{0};
     std::atomic<std::uint64_t> lock_timeouts{0};
     std::atomic<std::uint64_t> recycled_nodes{0};
+    std::atomic<std::uint64_t> scans{0};
+    std::atomic<std::uint64_t> scan_retries{0};
+    std::atomic<std::uint64_t> scan_keys_visited{0};
   };
 
-  void bump(std::uint64_t CitrusStats::* field) {
+  void bump(std::uint64_t CitrusStats::* field) const {
     if constexpr (Traits::kStats) {
       if (field == &CitrusStats::insert_retries) {
         stats_.insert_retries.fetch_add(1, std::memory_order_relaxed);
@@ -774,9 +1044,25 @@ class CitrusTree {
         stats_.two_child_erases.fetch_add(1, std::memory_order_relaxed);
       } else if (field == &CitrusStats::lock_timeouts) {
         stats_.lock_timeouts.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::scans) {
+        stats_.scans.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::scan_retries) {
+        stats_.scan_retries.fetch_add(1, std::memory_order_relaxed);
       }
     } else {
       (void)field;
+    }
+  }
+
+  // Add-by-n variant for the keys-visited counter.
+  void bump_n(std::uint64_t CitrusStats::* field, std::uint64_t n) const {
+    if constexpr (Traits::kStats) {
+      if (field == &CitrusStats::scan_keys_visited) {
+        stats_.scan_keys_visited.fetch_add(n, std::memory_order_relaxed);
+      }
+    } else {
+      (void)field;
+      (void)n;
     }
   }
 

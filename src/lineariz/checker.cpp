@@ -1,6 +1,7 @@
 #include "lineariz/checker.hpp"
 
 #include <algorithm>
+#include <set>
 #include <unordered_set>
 
 namespace citrus::lineariz {
@@ -8,7 +9,27 @@ namespace citrus::lineariz {
 std::map<std::int64_t, std::vector<Event>> HistoryRecorder::by_key() const {
   std::map<std::int64_t, std::vector<Event>> out;
   for (const auto& events : per_thread_) {
-    for (const Event& e : events) out[e.key].push_back(e);
+    for (const Event& e : events) {
+      if (e.type != OpType::kRange) out[e.key].push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Event> HistoryRecorder::range_events() const {
+  std::vector<Event> out;
+  for (const auto& events : per_thread_) {
+    for (const Event& e : events) {
+      if (e.type == OpType::kRange) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Event> HistoryRecorder::all_events() const {
+  std::vector<Event> out;
+  for (const auto& events : per_thread_) {
+    out.insert(out.end(), events.begin(), events.end());
   }
   return out;
 }
@@ -37,6 +58,8 @@ bool apply(const Event& e, bool present, bool* after) {
       if (e.result != present) return false;
       *after = present;
       return true;
+    case OpType::kRange:
+      return false;  // never reaches the per-key search (projected away)
   }
   return false;
 }
@@ -72,6 +95,65 @@ struct Search {
   }
 };
 
+// Joint-state apply: mutate/verify against the full present-key set.
+// Returns false if the recorded result is infeasible in `present`; on
+// success `present` is the post-state.
+bool apply_joint(const Event& e, std::set<std::int64_t>* present) {
+  const bool was = present->count(e.key) > 0;
+  switch (e.type) {
+    case OpType::kInsert:
+      if (e.result == was) return false;
+      present->insert(e.key);
+      return true;
+    case OpType::kErase:
+      if (e.result != was) return false;
+      present->erase(e.key);
+      return true;
+    case OpType::kContains:
+      return e.result == was;
+    case OpType::kRange: {
+      // Atomic multi-key read: the observed set must equal exactly the
+      // in-bounds slice of the current state.
+      auto it = present->lower_bound(e.lo);
+      std::size_t i = 0;
+      for (; it != present->end() && *it <= e.hi; ++it, ++i) {
+        if (i == e.observed.size() || e.observed[i] != *it) return false;
+      }
+      return i == e.observed.size();
+    }
+  }
+  return false;
+}
+
+struct JointSearch {
+  const std::vector<Event>& events;
+  std::unordered_set<std::uint64_t> visited;
+
+  // Same mask-memoized Wing&Gong DFS as Search, but the simulated state is
+  // the whole key set. The state is still a function of the done mask
+  // (each linearized insert/erase has a deterministic recorded effect), so
+  // the mask memo stays valid; the state travels by value down the stack.
+  bool dfs(std::uint64_t done, const std::set<std::int64_t>& present) {
+    const std::uint64_t n = events.size();
+    if (done == (n == 64 ? ~0ull : (1ull << n) - 1)) return true;
+    if (!visited.insert(done).second) return false;
+
+    std::uint64_t min_response = ~0ull;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if ((done >> i) & 1) continue;
+      min_response = std::min(min_response, events[i].responded);
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if ((done >> i) & 1) continue;
+      if (events[i].invoked > min_response) continue;  // not minimal
+      std::set<std::int64_t> after = present;
+      if (!apply_joint(events[i], &after)) continue;
+      if (dfs(done | (1ull << i), after)) return true;
+    }
+    return false;
+  }
+};
+
 }  // namespace
 
 bool check_key_history(std::vector<Event> events, bool initially_present,
@@ -99,8 +181,34 @@ CheckResult check_history(const HistoryRecorder& recorder,
                           const std::vector<std::int64_t>& initial_keys) {
   std::unordered_set<std::int64_t> initial(initial_keys.begin(),
                                            initial_keys.end());
+  auto per_key = recorder.by_key();
+  const std::vector<Event> ranges = recorder.range_events();
+
+  // Project each range scan onto every key of interest inside its bounds:
+  // a synthetic contains(k) = (k observed) spanning the scan's window.
+  // Keys of interest = keys with point ops, initial keys, observed keys —
+  // a key outside all three is absent throughout and projects trivially.
+  if (!ranges.empty()) {
+    std::set<std::int64_t> keys;
+    for (const auto& [key, events] : per_key) keys.insert(key);
+    for (const std::int64_t key : initial_keys) keys.insert(key);
+    for (const Event& r : ranges) {
+      for (const std::int64_t key : r.observed) keys.insert(key);
+    }
+    for (const Event& r : ranges) {
+      for (auto it = keys.lower_bound(r.lo); it != keys.end() && *it <= r.hi;
+           ++it) {
+        const bool seen =
+            std::binary_search(r.observed.begin(), r.observed.end(), *it);
+        per_key[*it].push_back(
+            Event{*it, OpType::kContains, seen, r.invoked, r.responded, 0, 0,
+                  {}});
+      }
+    }
+  }
+
   CheckResult result;
-  for (auto& [key, events] : recorder.by_key()) {
+  for (auto& [key, events] : per_key) {
     result.events_checked += events.size();
     ++result.keys_checked;
     std::string detail;
@@ -110,6 +218,32 @@ CheckResult check_history(const HistoryRecorder& recorder,
       result.detail = detail;
       return result;
     }
+  }
+  return result;
+}
+
+CheckResult check_multikey_history(
+    const HistoryRecorder& recorder,
+    const std::vector<std::int64_t>& initial_keys) {
+  CheckResult result;
+  std::vector<Event> events = recorder.all_events();
+  result.events_checked = events.size();
+  result.keys_checked = 0;
+  if (events.size() > 64) {
+    result.linearizable = false;
+    result.detail = "history too long for the joint checker (>64 events)";
+    return result;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.invoked < b.invoked; });
+  const std::set<std::int64_t> initial(initial_keys.begin(),
+                                       initial_keys.end());
+  result.keys_checked = initial.size();
+  JointSearch search{events, {}};
+  if (!search.dfs(0, initial)) {
+    result.linearizable = false;
+    result.detail = "no valid joint linearization for " +
+                    std::to_string(events.size()) + " events";
   }
   return result;
 }

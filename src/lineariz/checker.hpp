@@ -1,4 +1,21 @@
-// Per-key linearizability checking for set histories.
+// Linearizability checking for set histories, point and ranged.
+//
+// Two modes:
+//
+//   check_history — per-key decomposition. Point operations split by key
+//   as before; each range scan is *projected* onto every key of interest
+//   inside its bounds as a synthetic contains(k) = (k observed) event
+//   spanning the scan's full window. The projection is sound for every
+//   scan consistency level this repo implements (each key's observation
+//   happened at some instant inside the window: the validated chunk that
+//   covered it, the point read of the weak succ chain), so any violation
+//   it reports is real. It does not check atomicity *across* keys, so a
+//   merely-chunked scan passes even where a true snapshot is claimed.
+//
+//   check_multikey_history — exact joint Wing&Gong search over the full
+//   key-set state, range operations linearized as atomic multi-key reads.
+//   This is the one that rejects a non-atomic scan result; exponential in
+//   history length, capped at 64 events total.
 #pragma once
 
 #include <string>
@@ -27,9 +44,16 @@ struct CheckResult {
 bool check_key_history(std::vector<Event> events, bool initially_present,
                        std::string* detail);
 
-// Full-history check, decomposed per key. `initial_keys` lists keys present
+// Full-history check, decomposed per key; range scans enter as per-key
+// projections (see file comment). `initial_keys` lists keys present
 // before the recorded window (sorted or not; duplicates ignored).
 CheckResult check_history(const HistoryRecorder& recorder,
                           const std::vector<std::int64_t>& initial_keys);
+
+// Exact joint check: every operation (including each range scan, as one
+// atomic multi-key read) must linearize against the full key-set state.
+// Limited to 64 events total across all threads and keys.
+CheckResult check_multikey_history(const HistoryRecorder& recorder,
+                                   const std::vector<std::int64_t>& initial_keys);
 
 }  // namespace citrus::lineariz

@@ -7,6 +7,10 @@
 // keys commute, so the history decomposes into one independent history per
 // key (each over a single present/absent bit), checked separately.
 //
+// Range scans are multi-key operations and do not decompose — see
+// checker.hpp for the two checking modes (sound per-key projection and
+// exact joint search).
+//
 // Timestamps come from one global atomic counter, which yields a total
 // order consistent with real time — strictly stronger than a clock and
 // immune to timer granularity ties. The fetch_add traffic slightly
@@ -17,18 +21,27 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace citrus::lineariz {
 
-enum class OpType : std::uint8_t { kInsert, kErase, kContains };
+enum class OpType : std::uint8_t { kInsert, kErase, kContains, kRange };
 
 struct Event {
-  std::int64_t key;
+  std::int64_t key;         // point ops; for kRange this mirrors `lo`
   OpType type;
-  bool result;
+  bool result;              // point ops; unused (true) for kRange
   std::uint64_t invoked;    // global order stamp before the call
   std::uint64_t responded;  // stamp after the call
+  // kRange only: the queried interval [lo, hi] and the keys the scan
+  // emitted, in ascending order. A scan that stopped early (visitor abort
+  // or limit) must be recorded with hi = the last key it actually covered
+  // (observed.back(), or lo-1 conceptually if it covered nothing) — the
+  // checker treats [lo, hi] as fully scanned.
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::vector<std::int64_t> observed;
 };
 
 class HistoryRecorder {
@@ -44,11 +57,30 @@ class HistoryRecorder {
     const std::uint64_t responded =
         clock_.fetch_add(1, std::memory_order_acq_rel);
     per_thread_[static_cast<std::size_t>(tid)].push_back(
-        Event{key, type, result, invoked, responded});
+        Event{key, type, result, invoked, responded, 0, 0, {}});
   }
 
-  // Per-key histories, merged across threads. Call at quiescence.
+  // Record a completed range scan over [lo, hi] that emitted `observed`
+  // (ascending). See the Event comment for truncated scans.
+  void record_range(int tid, std::int64_t lo, std::int64_t hi,
+                    std::vector<std::int64_t> observed,
+                    std::uint64_t invoked) {
+    const std::uint64_t responded =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    per_thread_[static_cast<std::size_t>(tid)].push_back(
+        Event{lo, OpType::kRange, true, invoked, responded, lo, hi,
+              std::move(observed)});
+  }
+
+  // Per-key histories of point operations, merged across threads (range
+  // events excluded — fetch those with range_events). Call at quiescence.
   std::map<std::int64_t, std::vector<Event>> by_key() const;
+
+  // All recorded range scans, merged across threads.
+  std::vector<Event> range_events() const;
+
+  // Every event from every thread (point and range), for the joint check.
+  std::vector<Event> all_events() const;
 
   std::size_t total_events() const;
 

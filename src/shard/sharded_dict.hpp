@@ -46,6 +46,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/check.hpp"
@@ -55,6 +56,7 @@
 #include "rcu/rcu.hpp"
 #include "shard/shard_router.hpp"
 #include "sync/cache.hpp"
+#include "util/visit.hpp"
 
 namespace citrus::shard {
 
@@ -127,6 +129,110 @@ class ShardedCitrus {
   bool contains(const Key& key) const { return shard_for(key).contains(key); }
   std::optional<Value> find(const Key& key) const {
     return shard_for(key).find(key);
+  }
+
+  // ── Ordered operations (k-way cross-shard merge) ──────────────────
+  //
+  // Shards partition keys by *hash*, but each shard tree is ordered over
+  // the full key space, so a global in-order scan is a k-way merge of
+  // per-shard validated scans. Each per-shard chunk is internally atomic
+  // (one validated pass in that shard); the merged stream is therefore
+  // *chunked*-consistent — monotone in key, atomic per shard per window —
+  // but has no single global linearization point (shards have independent
+  // RCU domains by design, so a cross-shard atomic scan would need a
+  // global barrier this structure exists to avoid).
+
+  static constexpr std::size_t kDefaultScanChunk = Tree::kDefaultScanChunk;
+
+  // Windowed merge: fetch one chunk per shard, then emit only the merged
+  // prefix every shard is known to have fully covered (up to the smallest
+  // truncation frontier). Signature mirrors CitrusTree::scan_chunk.
+  bool scan_chunk(const Key* lo, bool lo_inclusive, const Key* hi,
+                  std::size_t max,
+                  std::vector<std::pair<Key, Value>>* out) const {
+    out->clear();
+    std::vector<std::pair<Key, Value>> merged, chunk;
+    bool any_truncated = false;
+    bool have_frontier = false;
+    Key frontier{};
+    for (const auto& s : shards_) {
+      const bool more =
+          s->tree.scan_chunk(lo, lo_inclusive, hi, max, &chunk);
+      if (more) {
+        any_truncated = true;
+        // This shard may hold unseen keys just past its chunk's last key;
+        // nothing beyond the smallest such frontier can be emitted yet.
+        if (!have_frontier || chunk.back().first < frontier) {
+          frontier = chunk.back().first;
+          have_frontier = true;
+        }
+      }
+      merged.insert(merged.end(), chunk.begin(), chunk.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& p : merged) {
+      if (have_frontier && frontier < p.first) break;
+      out->push_back(p);
+      if (max != 0 && out->size() == max) break;
+    }
+    return any_truncated || out->size() < merged.size();
+  }
+
+  // In-order visit of pairs with lo <= key <= hi; same contract as
+  // CitrusTree::range (visitor outside critical sections, false stops,
+  // limit 0 = unlimited, chunk 0 = one pass per shard).
+  template <typename F>
+  std::size_t range(const Key& lo, const Key& hi, F&& f,
+                    std::size_t limit = 0,
+                    std::size_t chunk = kDefaultScanChunk) const {
+    if (hi < lo) return 0;
+    std::vector<std::pair<Key, Value>> buf;
+    std::size_t visited = 0;
+    const Key* cursor = &lo;
+    bool cursor_inclusive = true;
+    Key cursor_key{};
+    for (;;) {
+      std::size_t want = chunk;
+      if (limit != 0) {
+        const std::size_t left = limit - visited;
+        want = chunk == 0 ? left : std::min(chunk, left);
+      }
+      const bool more = scan_chunk(cursor, cursor_inclusive, &hi, want, &buf);
+      for (const auto& [k, v] : buf) {
+        ++visited;
+        if (!util::visit_entry(f, k, v)) return visited;
+      }
+      if (!more || buf.empty()) return visited;
+      if (limit != 0 && visited >= limit) return visited;
+      cursor_key = buf.back().first;
+      cursor = &cursor_key;
+      cursor_inclusive = false;
+    }
+  }
+
+  // Global succ/pred: best candidate over the per-shard exact answers.
+  std::optional<std::pair<Key, Value>> succ(const Key& key) const {
+    std::optional<std::pair<Key, Value>> best;
+    for (const auto& s : shards_) {
+      auto cand = s->tree.succ(key);
+      if (cand.has_value() &&
+          (!best.has_value() || cand->first < best->first)) {
+        best = cand;
+      }
+    }
+    return best;
+  }
+  std::optional<std::pair<Key, Value>> pred(const Key& key) const {
+    std::optional<std::pair<Key, Value>> best;
+    for (const auto& s : shards_) {
+      auto cand = s->tree.pred(key);
+      if (cand.has_value() &&
+          (!best.has_value() || best->first < cand->first)) {
+        best = cand;
+      }
+    }
+    return best;
   }
 
   // ── Aggregates (exact at quiescence; see header comment) ──────────

@@ -1,0 +1,22 @@
+// Visitor-invocation shim for range scans. A range() visitor may either
+// return void ("visit everything I hand you") or something convertible to
+// bool (false = stop the scan early). Normalizing here keeps every
+// implementation's scan loop a plain `if (!visit_entry(f, k, v)) break;`.
+#pragma once
+
+#include <type_traits>
+
+namespace citrus::util {
+
+template <typename F, typename Key, typename Value>
+bool visit_entry(F& f, const Key& k, const Value& v) {
+  if constexpr (std::is_void_v<
+                    std::invoke_result_t<F&, const Key&, const Value&>>) {
+    f(k, v);
+    return true;
+  } else {
+    return static_cast<bool>(f(k, v));
+  }
+}
+
+}  // namespace citrus::util

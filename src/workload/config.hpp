@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "adapters/idictionary.hpp"
+
 namespace citrus::workload {
 
 struct WorkloadConfig {
@@ -16,6 +18,19 @@ struct WorkloadConfig {
   // Fraction of operations that are contains; the remainder splits evenly
   // between insert and delete (paper: "50% insert and 50% delete").
   double contains_fraction = 0.5;
+  // Fraction of operations that are range scans (harness extension; the
+  // paper's mixes are point-ops only). Carved out of the update share:
+  // contains keeps contains_fraction, scans take scan_fraction, the rest
+  // splits evenly between insert and delete.
+  double scan_fraction = 0.0;
+  // Width of each scan interval: [lo, lo + scan_width] for uniform lo.
+  std::int64_t scan_width = 100;
+  // Consistency requested from IDictionary::range; implementations serve
+  // the strongest level at or below their ceiling.
+  adapters::ScanConsistency scan_consistency =
+      adapters::ScanConsistency::kChunked;
+  // Chunk size for kChunked scans (0 = implementation default).
+  std::size_t scan_chunk = 0;
   int threads = 4;
   double seconds = 1.0;
   // Figure 9 mode: thread 0 runs 50% insert / 50% delete, all other
@@ -32,7 +47,13 @@ struct WorkloadConfig {
   std::string mix_label() const {
     if (single_writer) return "single-writer";
     const int pct = static_cast<int>(contains_fraction * 100.0 + 0.5);
-    return std::to_string(pct) + "% contains";
+    std::string label = std::to_string(pct) + "% contains";
+    if (scan_fraction > 0.0) {
+      const int spct = static_cast<int>(scan_fraction * 100.0 + 0.5);
+      label += " / " + std::to_string(spct) + "% scans(w=" +
+               std::to_string(scan_width) + ")";
+    }
+    return label;
   }
 };
 
@@ -45,6 +66,9 @@ struct RunResult {
   std::uint64_t erase_ops = 0;
   std::uint64_t insert_hits = 0;  // successful inserts
   std::uint64_t erase_hits = 0;
+  std::uint64_t scan_ops = 0;        // range() calls issued
+  std::uint64_t scan_keys = 0;       // keys visited across all scans
+  std::uint64_t scan_retries = 0;    // validation retries (stats builds only)
   std::uint64_t grace_periods = 0;  // synchronize_rcu calls during the run
   std::size_t final_size = 0;
   // Populated only when WorkloadConfig::measure_latency is set: bucket

@@ -20,6 +20,8 @@ struct alignas(sync::kDestructiveInterference) ThreadCounters {
   std::uint64_t erase_ops = 0;
   std::uint64_t insert_hits = 0;
   std::uint64_t erase_hits = 0;
+  std::uint64_t scan_ops = 0;
+  std::uint64_t scan_keys = 0;
   util::LogHistogram read_latency;
   util::LogHistogram update_latency;
 };
@@ -71,18 +73,26 @@ RunResult run_workload(adapters::IDictionary& dict,
                        const WorkloadConfig& config) {
   if (config.prefill) prefill(dict, config);
 
-  const std::uint64_t grace_before = dict.stats().grace_periods;
+  const auto stats_before = dict.stats();
   const int n = config.threads > 0 ? config.threads : 1;
   std::vector<ThreadCounters> counters(n);
   sync::SpinBarrier barrier(static_cast<std::uint32_t>(n) + 1);
   std::atomic<bool> stop{false};
 
-  // Operation mix as integer thresholds out of 2^20 (cheap to test).
+  // Operation mix as integer thresholds out of 2^20 (cheap to test):
+  // [0, contains_cut) contains, [contains_cut, scan_cut) range scans,
+  // the rest split evenly between insert and delete.
   constexpr std::uint64_t kMixDenominator = 1 << 20;
   const auto contains_cut = static_cast<std::uint64_t>(
       config.contains_fraction * static_cast<double>(kMixDenominator));
-  const auto insert_cut =
-      contains_cut + (kMixDenominator - contains_cut) / 2;
+  const auto scan_cut =
+      contains_cut + static_cast<std::uint64_t>(
+                         config.scan_fraction *
+                         static_cast<double>(kMixDenominator));
+  const auto insert_cut = scan_cut + (kMixDenominator - scan_cut) / 2;
+  adapters::ScanOptions scan_opts;
+  scan_opts.consistency = config.scan_consistency;
+  scan_opts.chunk = config.scan_chunk;
 
   std::vector<std::thread> threads;
   threads.reserve(n);
@@ -106,6 +116,8 @@ RunResult run_workload(adapters::IDictionary& dict,
       const std::uint64_t my_contains_cut =
           config.single_writer ? (update_thread ? 0 : kMixDenominator)
                                : contains_cut;
+      const std::uint64_t my_scan_cut =
+          config.single_writer ? my_contains_cut : scan_cut;
       const std::uint64_t my_insert_cut =
           config.single_writer
               ? (update_thread ? kMixDenominator / 2 : kMixDenominator)
@@ -126,6 +138,27 @@ RunResult run_workload(adapters::IDictionary& dict,
           if (dice < my_contains_cut) {
             ++c.contains_ops;
             dict.contains(key);
+            if (config.measure_latency) {
+              c.read_latency.add(static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      util::Clock::now() - started)
+                      .count()));
+            }
+          } else if (dice < my_scan_cut) {
+            ++c.scan_ops;
+            const std::int64_t hi =
+                key <= config.key_range - config.scan_width
+                    ? key + config.scan_width
+                    : config.key_range;
+            std::uint64_t visited = 0;
+            dict.range(
+                key, hi,
+                [&visited](std::int64_t, std::int64_t) {
+                  ++visited;
+                  return true;
+                },
+                scan_opts);
+            c.scan_keys += visited;
             if (config.measure_latency) {
               c.read_latency.add(static_cast<std::uint64_t>(
                   std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -170,8 +203,10 @@ RunResult run_workload(adapters::IDictionary& dict,
     r.erase_ops += c.erase_ops;
     r.insert_hits += c.insert_hits;
     r.erase_hits += c.erase_hits;
+    r.scan_ops += c.scan_ops;
+    r.scan_keys += c.scan_keys;
   }
-  r.total_ops = r.contains_ops + r.insert_ops + r.erase_ops;
+  r.total_ops = r.contains_ops + r.insert_ops + r.erase_ops + r.scan_ops;
   if (config.measure_latency) {
     util::LogHistogram reads, updates;
     for (const ThreadCounters& c : counters) {
@@ -183,7 +218,9 @@ RunResult run_workload(adapters::IDictionary& dict,
   }
   r.throughput = elapsed > 0.0 ? static_cast<double>(r.total_ops) / elapsed
                                : 0.0;
-  r.grace_periods = dict.stats().grace_periods - grace_before;
+  const auto stats_after = dict.stats();
+  r.grace_periods = stats_after.grace_periods - stats_before.grace_periods;
+  r.scan_retries = stats_after.scan_retries - stats_before.scan_retries;
   {
     const auto scope = dict.enter_thread();
     r.final_size = dict.size();

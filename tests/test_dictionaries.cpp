@@ -2,14 +2,20 @@
 // (Citrus plus the five comparators of the paper's evaluation): identical
 // semantic checks against a reference oracle, concurrent stripe-exactness,
 // and structural audits. Each behaviour is written once and must hold for
-// all six implementations.
+// all six implementations. A second, registry-driven suite runs the same
+// basic contract through the type-erased layer for every name
+// available_dictionaries() reports, so additions to the registry are
+// covered without editing this file.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "adapters/dictionary.hpp"
+#include "adapters/idictionary.hpp"
+#include "shard/sharded_dict.hpp"
 #include "baselines/avl_bronson.hpp"
 #include "baselines/bonsai.hpp"
 #include "baselines/lazy_skiplist.hpp"
@@ -55,14 +61,19 @@ using RbTree = citrus::baselines::RcuRedBlackTree<long, long>;
 using Bonsai = citrus::baselines::BonsaiTree<long, long>;
 using RelHash = citrus::baselines::RelativisticHashTable<long, long>;
 
-// All satisfy the compile-time dictionary concept.
-static_assert(citrus::adapters::dictionary<CitrusTree>);
-static_assert(citrus::adapters::dictionary<Avl>);
-static_assert(citrus::adapters::dictionary<Skiplist>);
-static_assert(citrus::adapters::dictionary<LockFree>);
-static_assert(citrus::adapters::dictionary<RbTree>);
-static_assert(citrus::adapters::dictionary<Bonsai>);
-static_assert(citrus::adapters::dictionary<RelHash>);
+// All satisfy the compile-time ordered_dictionary concept (point ops plus
+// strict succ/pred), including the sequential oracle and the sharded dict.
+static_assert(citrus::adapters::ordered_dictionary<CitrusTree>);
+static_assert(citrus::adapters::ordered_dictionary<Avl>);
+static_assert(citrus::adapters::ordered_dictionary<Skiplist>);
+static_assert(citrus::adapters::ordered_dictionary<LockFree>);
+static_assert(citrus::adapters::ordered_dictionary<RbTree>);
+static_assert(citrus::adapters::ordered_dictionary<Bonsai>);
+static_assert(citrus::adapters::ordered_dictionary<RelHash>);
+static_assert(
+    citrus::adapters::ordered_dictionary<citrus::baselines::SeqBst<long, long>>);
+static_assert(
+    citrus::adapters::ordered_dictionary<citrus::shard::ShardedCitrus<long, long>>);
 
 template <typename Tree>
 class DictionaryTest : public ::testing::Test {
@@ -231,6 +242,59 @@ TYPED_TEST(DictionaryTest, ReadersSeeStampedValues) {
   for (auto& th : threads) th.join();
   EXPECT_FALSE(bad.load());
 }
+
+// Registry-driven contract: every name the registry reports must uphold
+// the dictionary semantics through the type-erased interface.
+class RegistryDictionaryTest
+    : public ::testing::TestWithParam<citrus::adapters::DictionaryInfo> {};
+
+TEST_P(RegistryDictionaryTest, BasicContract) {
+  const auto dict = citrus::adapters::make_dictionary(GetParam().name);
+  const auto scope = dict->enter_thread();
+  EXPECT_FALSE(dict->contains(1));
+  EXPECT_TRUE(dict->insert(1, 10));
+  EXPECT_FALSE(dict->insert(1, 20));
+  EXPECT_EQ(dict->find(1), 10);
+  EXPECT_EQ(dict->size(), 1u);
+  EXPECT_TRUE(dict->erase(1));
+  EXPECT_FALSE(dict->erase(1));
+  EXPECT_FALSE(dict->find(1).has_value());
+}
+
+TEST_P(RegistryDictionaryTest, SequentialOracle) {
+  const auto dict = citrus::adapters::make_dictionary(GetParam().name);
+  const auto scope = dict->enter_thread();
+  citrus::util::Xoshiro256 rng(2025);
+  std::set<long> oracle;
+  for (int i = 0; i < 4000; ++i) {
+    const long k = static_cast<long>(rng.bounded(200));
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(dict->insert(k, k * 2), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(dict->erase(k), oracle.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(dict->contains(k), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(dict->size(), oracle.size());
+  const auto rep = dict->check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistered, RegistryDictionaryTest,
+    ::testing::ValuesIn(citrus::adapters::available_dictionaries()),
+    [](const ::testing::TestParamInfo<citrus::adapters::DictionaryInfo>&
+           param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 // The sequential oracle itself deserves a check against std::set.
 TEST(SeqBst, MatchesStdSet) {

@@ -11,7 +11,7 @@ using citrus::lineariz::Event;
 using citrus::lineariz::OpType;
 
 Event ev(OpType t, bool result, std::uint64_t inv, std::uint64_t res) {
-  return Event{0, t, result, inv, res};
+  return Event{0, t, result, inv, res, 0, 0, {}};
 }
 
 TEST(Checker, EmptyHistory) {
@@ -142,6 +142,145 @@ TEST(Checker, RejectsOversizedHistories) {
   std::string detail;
   EXPECT_FALSE(check_key_history(h, false, &detail));
   EXPECT_NE(detail.find("too long"), std::string::npos);
+}
+
+// --- Range operations: per-key projection (check_history) ---
+
+using citrus::lineariz::check_history;
+using citrus::lineariz::check_multikey_history;
+using citrus::lineariz::HistoryRecorder;
+
+TEST(Checker, RangeProjectionSequentialValid) {
+  HistoryRecorder rec(1);
+  // Initial {2, 4}; insert 6; scan [1, 10] sees {2, 4, 6}.
+  auto t0 = rec.invoke();
+  rec.record(0, 6, OpType::kInsert, true, t0);
+  auto t1 = rec.invoke();
+  rec.record_range(0, 1, 10, {2, 4, 6}, t1);
+  const auto r = check_history(rec, {2, 4});
+  EXPECT_TRUE(r.linearizable) << r.detail;
+}
+
+TEST(Checker, RangeProjectionMissedStableKey) {
+  HistoryRecorder rec(1);
+  // Key 4 is present throughout (initial, never erased) but the scan over
+  // [1, 10] failed to report it: a real violation at every consistency
+  // level this repo implements.
+  auto t0 = rec.invoke();
+  rec.record_range(0, 1, 10, {2}, t0);
+  const auto r = check_history(rec, {2, 4});
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_EQ(r.failing_key, 4);
+}
+
+TEST(Checker, RangeProjectionPhantomKey) {
+  HistoryRecorder rec(1);
+  // The scan reports key 5, but 5 was never inserted and is not initial.
+  auto t0 = rec.invoke();
+  rec.record_range(0, 1, 10, {2, 5}, t0);
+  const auto r = check_history(rec, {2});
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_EQ(r.failing_key, 5);
+}
+
+TEST(Checker, RangeProjectionConcurrentInsertEitherWay) {
+  // A scan overlapping insert(7) may or may not include 7.
+  for (const bool sees : {false, true}) {
+    HistoryRecorder rec(2);
+    auto ti = rec.invoke();
+    auto ts = rec.invoke();
+    rec.record_range(1, 1, 10, sees ? std::vector<std::int64_t>{7}
+                                    : std::vector<std::int64_t>{},
+                     ts);
+    rec.record(0, 7, OpType::kInsert, true, ti);
+    const auto r = check_history(rec, {});
+    EXPECT_TRUE(r.linearizable) << "sees=" << sees << ": " << r.detail;
+  }
+}
+
+TEST(Checker, RangeProjectionRespectsBounds) {
+  HistoryRecorder rec(1);
+  // Key 20 is present but out of bounds: the scan rightly omits it.
+  auto t0 = rec.invoke();
+  rec.record_range(0, 1, 10, {2}, t0);
+  const auto r = check_history(rec, {2, 20});
+  EXPECT_TRUE(r.linearizable) << r.detail;
+}
+
+// --- Range operations: exact joint check (check_multikey_history) ---
+
+TEST(Checker, JointAcceptsAtomicScan) {
+  HistoryRecorder rec(1);
+  auto t0 = rec.invoke();
+  rec.record(0, 3, OpType::kInsert, true, t0);
+  auto t1 = rec.invoke();
+  rec.record_range(0, 0, 100, {1, 3}, t1);
+  auto t2 = rec.invoke();
+  rec.record(0, 1, OpType::kErase, true, t2);
+  const auto r = check_multikey_history(rec, {1});
+  EXPECT_TRUE(r.linearizable) << r.detail;
+}
+
+TEST(Checker, JointRejectsTornScan) {
+  // Sequential: insert(3), erase(1), then a scan reporting {1}. No point
+  // in time after both updates contains that set (the state is {3}), so
+  // the scan's observation is torn and the joint check must reject it.
+  HistoryRecorder rec(1);
+  auto t0 = rec.invoke();
+  rec.record(0, 3, OpType::kInsert, true, t0);
+  auto t1 = rec.invoke();
+  rec.record(0, 1, OpType::kErase, true, t1);
+  auto t2 = rec.invoke();
+  rec.record_range(0, 0, 100, {1}, t2);
+  const auto r = check_multikey_history(rec, {1});
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(Checker, JointAcceptsOverlappingScan) {
+  // Scan overlaps both updates: any prefix of the update sequence is an
+  // acceptable observation.
+  for (const auto& observed : std::vector<std::vector<std::int64_t>>{
+           {1}, {1, 3}, {3}}) {
+    HistoryRecorder rec(2);
+    auto ts = rec.invoke();
+    auto t0 = rec.invoke();
+    rec.record(0, 3, OpType::kInsert, true, t0);
+    auto t1 = rec.invoke();
+    rec.record(0, 1, OpType::kErase, true, t1);
+    rec.record_range(1, 0, 100, observed, ts);
+    const auto r = check_multikey_history(rec, {1});
+    EXPECT_TRUE(r.linearizable) << r.detail;
+  }
+}
+
+TEST(Checker, JointRejectsWhatProjectionCannot) {
+  // Two concurrent inserts and two concurrent scans that disagree on the
+  // insertion order: scan A observes {1} (so 1 before 2), scan B observes
+  // {2} (so 2 before 1). Every per-key bit is individually justifiable —
+  // the projection accepts — but no single total order satisfies both
+  // scans, which only the joint multi-key search can see.
+  HistoryRecorder rec(4);
+  auto ti1 = rec.invoke();
+  auto ti2 = rec.invoke();
+  auto tsa = rec.invoke();
+  auto tsb = rec.invoke();
+  rec.record_range(2, 0, 10, {1}, tsa);
+  rec.record_range(3, 0, 10, {2}, tsb);
+  rec.record(0, 1, OpType::kInsert, true, ti1);
+  rec.record(1, 2, OpType::kInsert, true, ti2);
+  EXPECT_TRUE(check_history(rec, {}).linearizable);
+  EXPECT_FALSE(check_multikey_history(rec, {}).linearizable);
+}
+
+TEST(Checker, JointRejectsOversizedHistories) {
+  HistoryRecorder rec(1);
+  for (int i = 0; i < 65; ++i) {
+    auto t = rec.invoke();
+    rec.record(0, i, OpType::kInsert, true, t);
+  }
+  const auto r = check_multikey_history(rec, {});
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.detail.find("too long"), std::string::npos);
 }
 
 TEST(Checker, DeepInterleavingSearch) {

@@ -1,0 +1,320 @@
+// Ordered operations — succ/pred/range/snapshot — checked against a
+// std::map oracle for every registered dictionary, at every scan
+// consistency level, with randomized and adversarial boundary keys.
+// Sequential here (the oracle must stay exact); concurrency is
+// test_scan_torture's job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adapters/dictionary.hpp"
+#include "adapters/idictionary.hpp"
+#include "baselines/seq_bst.hpp"
+#include "citrus/citrus_tree.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::adapters::available_dictionaries;
+using citrus::adapters::DictionaryInfo;
+using citrus::adapters::Entry;
+using citrus::adapters::IDictionary;
+using citrus::adapters::make_dictionary;
+using citrus::adapters::ScanConsistency;
+using citrus::adapters::ScanOptions;
+
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+
+using Oracle = std::map<std::int64_t, std::int64_t>;
+
+std::vector<std::int64_t> oracle_range(const Oracle& oracle, std::int64_t lo,
+                                       std::int64_t hi, std::size_t limit) {
+  std::vector<std::int64_t> keys;
+  if (hi < lo) return keys;
+  for (auto it = oracle.lower_bound(lo); it != oracle.end() && it->first <= hi;
+       ++it) {
+    if (limit != 0 && keys.size() == limit) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+// Probe keys worth testing: every present key, the gaps next to them, the
+// extremes of the int64 domain, and a spread of random keys.
+std::vector<std::int64_t> probe_keys(const Oracle& oracle,
+                                     citrus::util::Xoshiro256& rng) {
+  std::vector<std::int64_t> probes = {kInt64Min, kInt64Min + 1, -1, 0, 1,
+                                      kInt64Max - 1, kInt64Max};
+  for (const auto& [k, v] : oracle) {
+    probes.push_back(k);
+    if (k > kInt64Min) probes.push_back(k - 1);
+    if (k < kInt64Max) probes.push_back(k + 1);
+  }
+  for (int i = 0; i < 32; ++i) {
+    probes.push_back(static_cast<std::int64_t>(rng() % 4096) - 1024);
+  }
+  return probes;
+}
+
+void check_succ_pred(IDictionary& dict, const Oracle& oracle,
+                     const std::vector<std::int64_t>& probes) {
+  for (const std::int64_t k : probes) {
+    const auto s = dict.succ(k);
+    const auto os = oracle.upper_bound(k);
+    if (os == oracle.end()) {
+      EXPECT_FALSE(s.has_value()) << dict.name() << " succ(" << k << ")";
+    } else {
+      ASSERT_TRUE(s.has_value()) << dict.name() << " succ(" << k << ")";
+      EXPECT_EQ(s->key, os->first) << dict.name() << " succ(" << k << ")";
+      EXPECT_EQ(s->value, os->second) << dict.name() << " succ(" << k << ")";
+    }
+    const auto p = dict.pred(k);
+    auto op = oracle.lower_bound(k);
+    if (op == oracle.begin()) {
+      EXPECT_FALSE(p.has_value()) << dict.name() << " pred(" << k << ")";
+    } else {
+      --op;
+      ASSERT_TRUE(p.has_value()) << dict.name() << " pred(" << k << ")";
+      EXPECT_EQ(p->key, op->first) << dict.name() << " pred(" << k << ")";
+      EXPECT_EQ(p->value, op->second) << dict.name() << " pred(" << k << ")";
+    }
+  }
+}
+
+void check_ranges(IDictionary& dict, const Oracle& oracle,
+                  citrus::util::Xoshiro256& rng) {
+  struct Case {
+    std::int64_t lo, hi;
+    std::size_t limit;
+  };
+  std::vector<Case> cases = {
+      {kInt64Min, kInt64Max, 0},  // everything
+      {0, 0, 0},                  // single key
+      {10, 5, 0},                 // inverted -> empty
+      {kInt64Min, -1, 0},
+      {0, kInt64Max, 7},          // limited
+  };
+  for (int i = 0; i < 16; ++i) {
+    const auto a = static_cast<std::int64_t>(rng() % 2048) - 512;
+    const auto b = static_cast<std::int64_t>(rng() % 2048) - 512;
+    cases.push_back({std::min(a, b), std::max(a, b), i % 3 == 0 ? 3u : 0u});
+  }
+  if (!oracle.empty()) {
+    // Bounds exactly on present keys (inclusive both ends).
+    cases.push_back({oracle.begin()->first, oracle.rbegin()->first, 0});
+    cases.push_back({oracle.begin()->first, oracle.begin()->first, 0});
+  }
+  for (const ScanConsistency level :
+       {ScanConsistency::kWeak, ScanConsistency::kChunked,
+        ScanConsistency::kSnapshot}) {
+    for (const Case& c : cases) {
+      const auto want = oracle_range(oracle, c.lo, c.hi, c.limit);
+      std::vector<std::int64_t> got;
+      ScanOptions opts;
+      opts.consistency = level;
+      opts.limit = c.limit;
+      opts.chunk = 3;  // force chunk re-entry on chunked scans
+      const std::size_t n = dict.range(
+          c.lo, c.hi,
+          [&](std::int64_t k, std::int64_t v) {
+            got.push_back(k);
+            EXPECT_EQ(v, oracle.at(k)) << dict.name();
+            return true;
+          },
+          opts);
+      EXPECT_EQ(n, want.size())
+          << dict.name() << " range[" << c.lo << "," << c.hi << "] limit "
+          << c.limit << " level " << static_cast<int>(level);
+      EXPECT_EQ(got, want)
+          << dict.name() << " range[" << c.lo << "," << c.hi << "] limit "
+          << c.limit << " level " << static_cast<int>(level);
+    }
+  }
+}
+
+void check_snapshot(IDictionary& dict, const Oracle& oracle) {
+  const auto snap = dict.snapshot();
+  auto it = oracle.begin();
+  while (true) {
+    const auto e = snap->next();
+    if (it == oracle.end()) {
+      EXPECT_FALSE(e.has_value()) << dict.name();
+      break;
+    }
+    ASSERT_TRUE(e.has_value()) << dict.name();
+    EXPECT_EQ(e->key, it->first) << dict.name();
+    EXPECT_EQ(e->value, it->second) << dict.name();
+    ++it;
+  }
+  // The snapshot serves at least weak and no more than the advertised
+  // ceiling.
+  EXPECT_LE(static_cast<int>(snap->consistency()),
+            static_cast<int>(dict.traits().scan_consistency))
+      << dict.name();
+}
+
+class OrderedOpsTest : public ::testing::TestWithParam<DictionaryInfo> {};
+
+TEST_P(OrderedOpsTest, MatchesMapOracle) {
+  const auto& info = GetParam();
+  const auto dict = make_dictionary(info.name);
+  const auto scope = dict->enter_thread();
+  citrus::util::Xoshiro256 rng(0xC17256 + info.name.size());
+
+  Oracle oracle;
+  // Empty-dictionary boundary behavior first.
+  EXPECT_FALSE(dict->succ(0).has_value());
+  EXPECT_FALSE(dict->pred(0).has_value());
+  EXPECT_FALSE(dict->snapshot()->next().has_value());
+
+  // Grow/shrink in phases; re-verify the ordered API after each phase.
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int i = 0; i < 120; ++i) {
+      const auto k = static_cast<std::int64_t>(rng() % 1024) - 256;
+      if (rng() % 4 == 0) {
+        dict->erase(k);
+        oracle.erase(k);
+      } else {
+        const auto v = static_cast<std::int64_t>(rng() % 1000);
+        if (dict->insert(k, v)) oracle.emplace(k, v);
+      }
+    }
+    // A few adversarial extremes in the mix.
+    for (const std::int64_t k : {kInt64Min, kInt64Min + 1, kInt64Max}) {
+      if (dict->insert(k, k < 0 ? -7 : 7)) {
+        oracle.emplace(k, k < 0 ? -7 : 7);
+      }
+    }
+    const auto probes = probe_keys(oracle, rng);
+    check_succ_pred(*dict, oracle, probes);
+    check_ranges(*dict, oracle, rng);
+    check_snapshot(*dict, oracle);
+    // Remove the extremes again so later phases also test without them.
+    for (const std::int64_t k : {kInt64Min, kInt64Min + 1, kInt64Max}) {
+      dict->erase(k);
+      oracle.erase(k);
+    }
+  }
+}
+
+TEST_P(OrderedOpsTest, TraitsAreConsistent) {
+  const auto& info = GetParam();
+  const auto dict = make_dictionary(info.name);
+  const auto traits = dict->traits();
+  EXPECT_EQ(traits.sharded, info.traits.sharded) << info.name;
+  EXPECT_EQ(static_cast<int>(traits.scan_consistency),
+            static_cast<int>(info.traits.scan_consistency))
+      << info.name;
+}
+
+TEST_P(OrderedOpsTest, EarlyStopVisitor) {
+  const auto& info = GetParam();
+  const auto dict = make_dictionary(info.name);
+  const auto scope = dict->enter_thread();
+  for (std::int64_t k = 0; k < 50; ++k) dict->insert(k, k);
+  std::size_t seen = 0;
+  const std::size_t n = dict->range(0, 49, [&](std::int64_t, std::int64_t) {
+    ++seen;
+    return seen < 5;
+  });
+  EXPECT_EQ(seen, 5u) << info.name;
+  EXPECT_EQ(n, 5u) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDictionaries, OrderedOpsTest,
+    ::testing::ValuesIn(available_dictionaries()),
+    [](const ::testing::TestParamInfo<DictionaryInfo>& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- Typed-layer spot checks the type-erased suite cannot express ---
+
+TEST(OrderedOpsTyped, SeqBstOracleAgreesWithStdMap) {
+  // The typed property-test oracle must itself be correct.
+  citrus::baselines::SeqBst<long, long> bst;
+  Oracle oracle;
+  citrus::util::Xoshiro256 rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const long k = static_cast<long>(rng() % 256);
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(bst.erase(k), oracle.erase(k) > 0);
+    } else if (bst.insert(k, i)) {
+      oracle.emplace(k, i);
+    }
+  }
+  for (long k = -2; k < 258; ++k) {
+    const auto s = bst.succ(k);
+    const auto os = oracle.upper_bound(k);
+    EXPECT_EQ(s.has_value(), os != oracle.end());
+    if (s && os != oracle.end()) {
+      EXPECT_EQ(s->first, os->first);
+    }
+  }
+}
+
+TEST(OrderedOpsTyped, CitrusChunkBoundariesExact) {
+  // Every chunk size must yield identical results — the cursor re-entry
+  // logic (exclusive lower bound after the first chunk) must not skip or
+  // duplicate keys, including around adjacent keys.
+  citrus::rcu::CounterFlagRcu domain;
+  citrus::core::CitrusTree<long, long> tree(domain);
+  citrus::rcu::CounterFlagRcu::Registration reg(domain);
+  std::vector<long> want;
+  for (long k = 0; k < 100; ++k) {
+    tree.insert(k, k);  // dense: adjacent keys stress chunk edges
+    want.push_back(k);
+  }
+  for (const std::size_t chunk : {1u, 2u, 3u, 7u, 99u, 100u, 1000u}) {
+    std::vector<long> got;
+    tree.range(
+        0, 99, [&](const long& k, const long&) { got.push_back(k); },
+        /*limit=*/0, chunk);
+    EXPECT_EQ(got, want) << "chunk=" << chunk;
+  }
+  const auto stats = tree.stats();
+  EXPECT_GT(stats.scans, 0u);
+  EXPECT_GT(stats.scan_keys_visited, 0u);
+}
+
+TEST(OrderedOpsTyped, ScanStatsFlowThroughAdapter) {
+  // "citrus" is paper-faithful BenchTraits (stats compiled out); the
+  // reclaim variant runs DefaultTraits, which tracks the scan counters.
+  const auto dict = make_dictionary("citrus-reclaim");
+  const auto scope = dict->enter_thread();
+  for (std::int64_t k = 0; k < 64; ++k) dict->insert(k, k);
+  ScanOptions opts;
+  opts.chunk = 8;
+  dict->range(0, 63, [](std::int64_t, std::int64_t) { return true; }, opts);
+  const auto snap = dict->stats();
+  EXPECT_GE(snap.scans, 8u);  // 64 keys / chunk 8
+  EXPECT_EQ(snap.scan_keys_visited, 64u);
+}
+
+TEST(OrderedOpsTyped, ShardedScanStatsAggregate) {
+  citrus::adapters::Options options;
+  options.reclaim = true;  // DefaultTraits: scan counters compiled in
+  const auto dict = make_dictionary("citrus-shard4", options);
+  const auto scope = dict->enter_thread();
+  for (std::int64_t k = 0; k < 64; ++k) dict->insert(k, k);
+  dict->range(0, 63, [](std::int64_t, std::int64_t) { return true; });
+  const auto snap = dict->stats();
+  EXPECT_GT(snap.scans, 0u);
+  EXPECT_EQ(snap.shards.size(), 4u);
+  std::uint64_t per_shard = 0;
+  for (const auto& s : snap.shards) per_shard += s.scans;
+  EXPECT_EQ(per_shard, snap.scans);
+}
+
+}  // namespace

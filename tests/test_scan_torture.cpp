@@ -1,0 +1,230 @@
+// Concurrent scans vs. updates. Scanners sweep ranges while updaters
+// churn keys; every emitted sequence must be strictly ascending, inside
+// bounds, contain every key that is present throughout the run, and never
+// contain a key that is absent throughout. On rcucheck builds the node
+// canaries additionally verify no scan touches recycled memory (the
+// chunked-cursor reclaim-safety argument: within a chunk the open
+// read-side section blocks recycling, across chunks only the key
+// survives).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapters/idictionary.hpp"
+#include "lineariz/checker.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::adapters::make_dictionary;
+using citrus::adapters::Options;
+using citrus::adapters::ScanConsistency;
+using citrus::adapters::ScanOptions;
+using citrus::lineariz::check_multikey_history;
+using citrus::lineariz::HistoryRecorder;
+using citrus::lineariz::OpType;
+
+// Key layout: keys ≡ 0 (mod 3) are stable (inserted up front, never
+// touched), keys ≡ 1 are churned by updaters, keys ≡ 2 never exist.
+constexpr std::int64_t kKeySpan = 3000;
+bool is_stable(std::int64_t k) { return k % 3 == 0; }
+
+struct TortureParams {
+  std::string name;
+  ScanConsistency level;
+  std::size_t chunk;
+  bool expect_scan_stats = false;  // implementation tracks scan counters
+  bool reclaim = false;            // force DefaultTraits (stats + reclaim)
+};
+
+void run_torture(const TortureParams& p, int updaters, int scanners,
+                 int scan_rounds) {
+  Options options;
+  options.key_range_hint = kKeySpan;
+  if (p.reclaim) options.reclaim = true;
+  const auto dict = make_dictionary(p.name, options);
+  {
+    const auto scope = dict->enter_thread();
+    for (std::int64_t k = 0; k < kKeySpan; k += 3) {
+      ASSERT_TRUE(dict->insert(k, k));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  for (int u = 0; u < updaters; ++u) {
+    threads.emplace_back([&, u] {
+      const auto scope = dict->enter_thread();
+      citrus::util::Xoshiro256 rng(0xBEEF + u);
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::int64_t k =
+            static_cast<std::int64_t>(rng() % (kKeySpan / 3)) * 3 + 1;
+        if (rng() & 1) {
+          dict->insert(k, k);
+        } else {
+          dict->erase(k);
+        }
+      }
+    });
+  }
+
+  for (int s = 0; s < scanners; ++s) {
+    threads.emplace_back([&, s] {
+      const auto scope = dict->enter_thread();
+      citrus::util::Xoshiro256 rng(0xFEED + s);
+      ScanOptions opts;
+      opts.consistency = p.level;
+      opts.chunk = p.chunk;
+      for (int round = 0; round < scan_rounds; ++round) {
+        const auto lo = static_cast<std::int64_t>(rng() % kKeySpan);
+        const auto hi =
+            std::min<std::int64_t>(kKeySpan, lo + 50 + (rng() % 500));
+        std::vector<std::int64_t> got;
+        dict->range(
+            lo, hi,
+            [&](std::int64_t k, std::int64_t v) {
+              got.push_back(k);
+              // Every resident key was inserted with value == key.
+              if (v != k) failures.fetch_add(1);
+              return true;
+            },
+            opts);
+        // Strictly ascending, in bounds.
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          if (got[i] < lo || got[i] > hi) failures.fetch_add(1);
+          if (i > 0 && got[i - 1] >= got[i]) failures.fetch_add(1);
+          if (got[i] % 3 == 2) failures.fetch_add(1);  // never inserted
+        }
+        // Every stable key in [lo, hi] must appear (present throughout:
+        // a validated chunk covering it must see it, and a weak succ
+        // chain cannot step over a continuously-present key).
+        std::size_t gi = 0;
+        for (std::int64_t k = lo; k <= hi; ++k) {
+          if (!is_stable(k) || k >= kKeySpan) continue;
+          while (gi < got.size() && got[gi] < k) ++gi;
+          if (gi == got.size() || got[gi] != k) failures.fetch_add(1);
+        }
+        // succ/pred under churn: results respect strictness and layout.
+        const auto probe = static_cast<std::int64_t>(rng() % kKeySpan);
+        if (const auto nx = dict->succ(probe)) {
+          if (nx->key <= probe || nx->key % 3 == 2) failures.fetch_add(1);
+        }
+        if (const auto pv = dict->pred(probe)) {
+          if (pv->key >= probe || pv->key % 3 == 2) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Updaters stop when the scanners are done.
+  for (std::size_t i = threads.size() - 1;
+       i + 1 > static_cast<std::size_t>(updaters); --i) {
+    threads[i].join();
+    threads.pop_back();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << p.name;
+
+  // Post-quiescence: the structure is intact and stable keys survive.
+  const auto rep = dict->check_structure();
+  EXPECT_TRUE(rep.ok) << p.name << ": " << rep.error;
+  const auto scope = dict->enter_thread();
+  for (std::int64_t k = 0; k < kKeySpan; k += 3) {
+    ASSERT_TRUE(dict->contains(k)) << p.name << " lost stable key " << k;
+  }
+  if (p.expect_scan_stats) {
+    const auto snap = dict->stats();
+    EXPECT_GT(snap.scans, 0u) << p.name;
+  }
+}
+
+TEST(ScanTorture, CitrusChunked) {
+  run_torture({"citrus", ScanConsistency::kChunked, 64}, 3, 3, 150);
+}
+
+TEST(ScanTorture, CitrusSnapshotPasses) {
+  run_torture({"citrus", ScanConsistency::kSnapshot, 0}, 2, 2, 60);
+}
+
+TEST(ScanTorture, CitrusReclaimChunked) {
+  // Reclamation on: chunked scans ride over a tree whose nodes are being
+  // recycled through the pool. The key-cursor re-entry must never chase a
+  // recycled node (rcucheck canaries catch it if it does).
+  run_torture({"citrus-reclaim", ScanConsistency::kChunked, 32, true, true}, 3, 3,
+              150);
+}
+
+TEST(ScanTorture, ShardedMerge) {
+  run_torture({"citrus-shard4", ScanConsistency::kChunked, 48, true, true}, 3, 3,
+              100);
+}
+
+TEST(ScanTorture, BonsaiSnapshot) {
+  run_torture({"bonsai", ScanConsistency::kSnapshot, 0}, 2, 2, 80);
+}
+
+TEST(ScanTorture, WeakFallbackOnCitrus) {
+  // The weak succ-chain path must uphold the stable-key invariants too.
+  run_torture({"citrus", ScanConsistency::kWeak, 0}, 2, 2, 30);
+}
+
+TEST(ScanTorture, WeakBaselineSkiplist) {
+  run_torture({"skiplist", ScanConsistency::kWeak, 0}, 2, 2, 30);
+}
+
+TEST(ScanTorture, CitrusScanHistoriesLinearize) {
+  // Small checked rounds: full (updates + snapshot scans) histories must
+  // admit a joint linearization — the Figure-1 regression, in-tree.
+  const auto dict = make_dictionary("citrus");
+  constexpr std::int64_t kA = 10, kB = 20;
+  for (int round = 0; round < 40; ++round) {
+    HistoryRecorder rec(3);
+    std::vector<std::thread> threads;
+    for (int s = 1; s <= 2; ++s) {
+      threads.emplace_back([&, s] {
+        const auto scope = dict->enter_thread();
+        ScanOptions opts;
+        opts.consistency = ScanConsistency::kSnapshot;
+        for (int i = 0; i < 8; ++i) {
+          const auto t = rec.invoke();
+          std::vector<std::int64_t> observed;
+          dict->range(
+              kA, kB,
+              [&](std::int64_t k, std::int64_t) {
+                observed.push_back(k);
+                return true;
+              },
+              opts);
+          rec.record_range(s, kA, kB, std::move(observed), t);
+        }
+      });
+    }
+    {
+      const auto scope = dict->enter_thread();
+      for (int lap = 0; lap < 3; ++lap) {
+        for (const std::int64_t k : {kA, kB}) {
+          auto t = rec.invoke();
+          rec.record(0, k, OpType::kInsert, dict->insert(k, k), t);
+        }
+        for (const std::int64_t k : {kA, kB}) {
+          auto t = rec.invoke();
+          rec.record(0, k, OpType::kErase, dict->erase(k), t);
+        }
+      }
+    }
+    for (auto& t : threads) t.join();
+    const auto r = check_multikey_history(rec, {});
+    ASSERT_TRUE(r.linearizable) << "round " << round << ": " << r.detail;
+  }
+}
+
+}  // namespace

@@ -46,6 +46,14 @@ DEREF_RE = re.compile(
 # or synchronize(cookie) is a reclamation path — anything it dereferences
 # afterwards is already unreachable and has had a full grace period
 # elapse, which is exactly the protection the deref rule asks for.
+#
+# The ordered-operation API (DESIGN.md, "Ordered operations & snapshot
+# semantics") counts too: range()/scan_chunk()/attempt_scan() run their
+# visitor inside the read-side section they open themselves, and a
+# snapshot() handle hands out entries materialized under such a section —
+# a function that only walks one of those never needs its own guard. The
+# tokens are the method-call forms; bare words like "Snapshot" would also
+# match StatsSnapshot and are deliberately not used.
 GUARD_RE = re.compile(
     r"\b(?:"
     r"ReadGuard|MaybeReadGuard|read_lock\s*\(|rcu_read_lock"
@@ -53,6 +61,8 @@ GUARD_RE = re.compile(
     r"|lock_guard|scoped_lock|unique_lock|shared_lock"
     r"|ScopedQuiescent|for_each_quiescent"
     r"|start_grace_period\s*\(|(?<=[.>])poll\s*\("
+    r"|scan_chunk\s*\(|attempt_scan\s*\("
+    r"|(?<=[.>])range\s*\(|(?<=[.>])snapshot\s*\("
     r")"
 )
 
