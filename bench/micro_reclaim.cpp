@@ -51,6 +51,28 @@ void BM_AsyncReclaimer(benchmark::State& state) {
   }
 }
 
+// Bounded-backlog backpressure: same enqueue loop, but with a high
+// watermark. When the producer outruns the worker, enqueues over the mark
+// switch to synchronous reclaim — the reclaim_backpressure counter says
+// how often, i.e. how much of the async win the bound gives back. Arg is
+// the watermark (0 = unbounded, the BM_AsyncReclaimer baseline).
+void BM_AsyncReclaimerBackpressure(benchmark::State& state) {
+  static CounterFlagRcu domain;
+  CounterFlagRcu::Registration reg(domain);
+  citrus::rcu::Reclaimer<CounterFlagRcu> reclaimer(domain);
+  reclaimer.set_backpressure(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto* p = new Payload();
+    benchmark::DoNotOptimize(p);
+    reclaimer.enqueue_delete(p);
+  }
+  state.counters["reclaim_backpressure"] =
+      static_cast<double>(reclaimer.backpressure());
+  state.counters["pending_at_stop"] =
+      static_cast<double>(reclaimer.pending());
+  state.SetLabel("watermark=" + std::to_string(state.range(0)));
+}
+
 // Grace-period amortization: how many synchronize calls a fixed number of
 // retires costs at each batch size.
 void BM_GracePeriodsPerThousandRetires(benchmark::State& state) {
@@ -72,6 +94,7 @@ void BM_GracePeriodsPerThousandRetires(benchmark::State& state) {
 BENCHMARK(BM_ImmediateDelete);
 BENCHMARK(BM_SyncRetire)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
 BENCHMARK(BM_AsyncReclaimer);
+BENCHMARK(BM_AsyncReclaimerBackpressure)->Arg(256)->Arg(4096);
 BENCHMARK(BM_GracePeriodsPerThousandRetires)
     ->Arg(1)
     ->Arg(16)

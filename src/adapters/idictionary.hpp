@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "citrus/structure_report.hpp"
+#include "citrus/update_status.hpp"
 
 namespace citrus::adapters {
 
@@ -143,6 +144,10 @@ struct StatsSnapshot {
   std::uint64_t scans = 0;
   std::uint64_t scan_retries = 0;
   std::uint64_t scan_keys_visited = 0;
+  // Deferred-reclaim backpressure events: enqueue calls that found the
+  // backlog over the high watermark and reclaimed synchronously
+  // (rcu/reclaimer.hpp). Zero when no Reclaimer/watermark is configured.
+  std::uint64_t reclaim_backpressure = 0;
   std::vector<ShardStats> shards;   // per-shard breakdown; empty if unsharded
 };
 
@@ -176,6 +181,21 @@ class IDictionary {
   virtual bool erase(std::int64_t key) = 0;
   virtual std::optional<std::int64_t> find(std::int64_t key) const = 0;
   virtual std::size_t size() const = 0;
+
+  // Status-returning updates (core::UpdateStatus — update_status.hpp).
+  // The defaults map the bool channel, which can never express kNoMemory:
+  // implementations whose allocation can fail (Citrus with a pool cap or
+  // fault injection) override these to surface it. Contract for
+  // kNoMemory: the structure is unchanged and the operation did not
+  // retry; the caller decides whether to back off, shed load, or fail.
+  virtual core::UpdateStatus try_insert(std::int64_t key, std::int64_t value) {
+    return insert(key, value) ? core::UpdateStatus::kSuccess
+                              : core::UpdateStatus::kNoOp;
+  }
+  virtual core::UpdateStatus try_erase(std::int64_t key) {
+    return erase(key) ? core::UpdateStatus::kSuccess
+                      : core::UpdateStatus::kNoOp;
+  }
 
   // Membership is by definition find(k).has_value(); non-virtual so no
   // adapter can drift from that definition.

@@ -174,6 +174,29 @@ class TreeAdapter final : public IDictionary {
   }
   std::size_t size() const override { return tree_.size(); }
 
+  // Surface the tree's status channel when it has one (Citrus); baselines
+  // without allocation-failure handling keep the bool-mapping default.
+  core::UpdateStatus try_insert(std::int64_t key, std::int64_t value) override {
+    if constexpr (requires(Tree& t) {
+                    { t.try_insert(key, value) }
+                        -> std::convertible_to<core::UpdateStatus>;
+                  }) {
+      return tree_.try_insert(key, value);
+    } else {
+      return IDictionary::try_insert(key, value);
+    }
+  }
+  core::UpdateStatus try_erase(std::int64_t key) override {
+    if constexpr (requires(Tree& t) {
+                    { t.try_erase(key) }
+                        -> std::convertible_to<core::UpdateStatus>;
+                  }) {
+      return tree_.try_erase(key);
+    } else {
+      return IDictionary::try_erase(key);
+    }
+  }
+
   std::optional<Entry> succ(std::int64_t key) const override {
     return to_entry(tree_.succ(key));
   }
@@ -305,6 +328,13 @@ class ShardedAdapter final : public IDictionary {
     return dict_.find(key);
   }
   std::size_t size() const override { return dict_.size(); }
+
+  core::UpdateStatus try_insert(std::int64_t key, std::int64_t value) override {
+    return dict_.try_insert(key, value);
+  }
+  core::UpdateStatus try_erase(std::int64_t key) override {
+    return dict_.try_erase(key);
+  }
 
   std::optional<Entry> succ(std::int64_t key) const override {
     return to_entry(dict_.succ(key));

@@ -53,6 +53,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <new>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -63,6 +64,7 @@
 #include "citrus/citrus_node.hpp"
 #include "citrus/node_pool.hpp"
 #include "citrus/structure_report.hpp"
+#include "citrus/update_status.hpp"
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/rcu.hpp"
 #include "sync/backoff.hpp"
@@ -173,6 +175,14 @@ class CitrusTree {
                            nullptr, nullptr);
     Node* inf = pool_.allocate(false, NodeKind::kPlusInf, nullptr, nullptr,
                                nullptr, nullptr);
+    // A constructor has no status channel: if the pool cannot even produce
+    // the two sentinels (injected OOM or a genuinely exhausted allocator),
+    // there is no tree to degrade gracefully — report it the C++ way.
+    if (root_ == nullptr || inf == nullptr) {
+      if (inf != nullptr) pool_.destroy_with_pool(inf);
+      if (root_ != nullptr) pool_.destroy_with_pool(root_);
+      throw std::bad_alloc();
+    }
     root_->child[kRight].store(inf, std::memory_order_release);
   }
 
@@ -317,11 +327,22 @@ class CitrusTree {
   // ── Update side ───────────────────────────────────────────────────
 
   // Adds (key, value); returns false (and changes nothing) if the key is
-  // already present.
+  // already present. Callers that set a pool cap or run fault builds
+  // should prefer try_insert — this wrapper folds kNoMemory into false.
   bool insert(const Key& key, const Value& value) {
+    return try_insert(key, value) == UpdateStatus::kSuccess;
+  }
+
+  // Status-returning insert (see update_status.hpp). kNoMemory means the
+  // node pool could not produce a leaf: the operation changed nothing,
+  // released every lock, and did NOT retry — retrying a permanent OOM
+  // would livelock, so the decision belongs to the caller. The failure
+  // happens strictly before any node is marked or any pointer published,
+  // so the unwind is trivially clean.
+  UpdateStatus try_insert(const Key& key, const Value& value) {
     for (;;) {
       GetResult g = get(key);
-      if (g.curr != nullptr) return false;  // the key was found
+      if (g.curr != nullptr) return UpdateStatus::kNoOp;  // key found
       pause(PausePoint::kInsertAfterGet);
 
       LockSet locks;
@@ -332,12 +353,13 @@ class CitrusTree {
       if (validate(g.prev, g.prev_gen, g.tag, nullptr, 0, g.direction)) {
         Node* leaf = pool_.allocate(false, NodeKind::kReal, &key, &value,
                                     nullptr, nullptr);
+        if (leaf == nullptr) return UpdateStatus::kNoMemory;  // locks unwind
         g.prev->scan_write_begin();
         g.prev->child[g.direction].store(leaf, std::memory_order_release);
         g.prev->scan_write_end();
         locks.release_all();
         size_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        return UpdateStatus::kSuccess;
       }
       bump(&CitrusStats::insert_retries);  // LockSet releases on scope exit
     }
@@ -357,9 +379,16 @@ class CitrusTree {
   // either way the correct key, with one of the two values this operation
   // linearizes between.
   bool assign(const Key& key, const Value& value) {
+    return try_assign(key, value) == UpdateStatus::kSuccess;
+  }
+
+  // Status-returning assign; kNoMemory as in try_insert (the replacement
+  // copy is allocated before the original is marked, so a failed
+  // allocation unwinds with the tree untouched).
+  UpdateStatus try_assign(const Key& key, const Value& value) {
     for (;;) {
       GetResult g = get(key);
-      if (g.curr == nullptr) return false;  // the key was not found
+      if (g.curr == nullptr) return UpdateStatus::kNoOp;  // key not found
 
       LockSet locks;
       if (!locks.acquire_timed(g.prev) || !locks.acquire_timed(g.curr)) {
@@ -375,6 +404,7 @@ class CitrusTree {
       Node* right = g.curr->child[kRight].load(std::memory_order_acquire);
       Node* replacement = pool_.allocate(false, NodeKind::kReal,
                                          &g.curr->key(), &value, left, right);
+      if (replacement == nullptr) return UpdateStatus::kNoMemory;
       // Lemma 1 discipline: only marked nodes may become unreachable.
       g.curr->marked.store(true, std::memory_order_release);
       g.prev->scan_write_begin();
@@ -383,25 +413,47 @@ class CitrusTree {
       g.prev->scan_write_end();
       locks.release_all();
       retire(g.curr);
-      return true;
+      return UpdateStatus::kSuccess;
     }
   }
 
   // insert-or-assign composite: returns true if the key was inserted,
-  // false if an existing mapping was overwritten.
+  // false if an existing mapping was overwritten — or if memory ran out
+  // (the bool channel cannot distinguish the two; use the try_* forms
+  // where that matters).
   bool insert_or_assign(const Key& key, const Value& value) {
     for (;;) {
-      if (insert(key, value)) return true;
-      if (assign(key, value)) return false;
-      // The key vanished between the two calls; start over.
+      switch (try_insert(key, value)) {
+        case UpdateStatus::kSuccess:
+          return true;
+        case UpdateStatus::kNoMemory:
+          return false;
+        case UpdateStatus::kNoOp:
+          break;
+      }
+      switch (try_assign(key, value)) {
+        case UpdateStatus::kSuccess:
+        case UpdateStatus::kNoMemory:
+          return false;
+        case UpdateStatus::kNoOp:
+          break;  // the key vanished between the two calls; start over
+      }
     }
   }
 
   // Removes `key`; returns false if it is not present.
   bool erase(const Key& key) {
+    return try_erase(key) == UpdateStatus::kSuccess;
+  }
+
+  // Status-returning erase. Only the two-children case allocates (the
+  // successor's copy, paper Line 70); a failed allocation there unwinds
+  // before the victim is marked and returns kNoMemory — the key is still
+  // in the tree, untouched.
+  UpdateStatus try_erase(const Key& key) {
     for (;;) {
       GetResult g = get(key);
-      if (g.curr == nullptr) return false;  // the key was not found
+      if (g.curr == nullptr) return UpdateStatus::kNoOp;  // key not found
       pause(PausePoint::kEraseAfterGet);
 
       LockSet locks;
@@ -423,9 +475,16 @@ class CitrusTree {
         erase_single_child(g, left, right);
         locks.release_all();
         retire(g.curr);
-        return true;
+        return UpdateStatus::kSuccess;
       }
-      if (erase_two_children(g, left, right, locks)) return true;
+      switch (erase_two_children(g, left, right, locks)) {
+        case TwoChild::kDone:
+          return UpdateStatus::kSuccess;
+        case TwoChild::kNoMemory:
+          return UpdateStatus::kNoMemory;  // locks unwind via LockSet
+        case TwoChild::kRetry:
+          break;
+      }
       bump(&CitrusStats::erase_retries);
     }
   }
@@ -438,6 +497,13 @@ class CitrusTree {
     return s < 0 ? 0 : static_cast<std::size_t>(s);
   }
   bool empty() const noexcept { return size() == 0; }
+
+  // Pool capacity cap (NodePool::set_max_live): with n > 0 an update that
+  // would grow past n live nodes fails with kNoMemory instead of carving
+  // a new slot — real exhaustion, no fault injection required. Includes
+  // the two sentinels and nodes retired but not yet recycled.
+  void set_max_live_nodes(std::int64_t n) noexcept { pool_.set_max_live(n); }
+  std::int64_t live_nodes() const noexcept { return pool_.live(); }
 
   CitrusStats stats() const {
     CitrusStats out;
@@ -834,10 +900,13 @@ class CitrusTree {
 
   // Paper Lines 57-83: replace the victim with a copy of its successor,
   // wait for pre-existing readers, then unlink the original successor.
-  // Returns false if a validation failed and the caller must retry
-  // (releasing `locks` happens via its destructor/continue path).
-  bool erase_two_children(const GetResult& g, Node* left, Node* right,
-                          LockSet& locks) {
+  // kRetry if a validation failed and the caller must retry; kNoMemory if
+  // the successor's copy could not be allocated (nothing was marked or
+  // published — the operation unwinds cleanly). Releasing `locks` happens
+  // via its destructor/continue path in the caller.
+  enum class TwoChild { kDone, kRetry, kNoMemory };
+  TwoChild erase_two_children(const GetResult& g, Node* left, Node* right,
+                              LockSet& locks) {
     // Find the successor along the leftmost branch of the right subtree.
     // With reclamation on, the traversal runs inside a read-side critical
     // section: unlike the paper's no-reclamation setting, the nodes on the
@@ -866,23 +935,24 @@ class CitrusTree {
     if (prev_succ != g.curr) {  // do not lock twice (paper Line 66)
       if (!locks.acquire_timed(prev_succ)) {
         bump(&CitrusStats::lock_timeouts);
-        return false;
+        return TwoChild::kRetry;
       }
     }
     if (!locks.acquire_timed(succ)) {
       bump(&CitrusStats::lock_timeouts);
-      return false;
+      return TwoChild::kRetry;
     }
     if (!validate(prev_succ, prev_succ_gen, 0, succ, succ_gen,
                   succ_direction) ||
         !validate(succ, succ_gen, succ_left_tag, nullptr, 0, kLeft)) {
-      return false;
+      return TwoChild::kRetry;
     }
 
     // Line 70-71: the successor's copy, born locked, adopting the victim's
     // children. Its key/value are read under succ's lock, post-validation.
     Node* replacement = pool_.allocate(true, NodeKind::kReal, &succ->key(),
                                        &succ->value(), left, right);
+    if (replacement == nullptr) return TwoChild::kNoMemory;
     locks.adopt(replacement);
 
     g.curr->marked.store(true, std::memory_order_release);  // Line 72
@@ -921,7 +991,7 @@ class CitrusTree {
     locks.release_all();
     retire(g.curr);
     retire(succ);
-    return true;
+    return TwoChild::kDone;
   }
 
   // ── Reclamation ───────────────────────────────────────────────────

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "sync/cache.hpp"
 #include "sync/spinlock.hpp"
 
@@ -79,12 +80,25 @@ class NodePool {
   // Returns a node whose header (lock/generation/marked) is live and whose
   // payload has been constructed with `args`. If `keep_locked`, the node's
   // lock is held by the caller on return.
+  //
+  // Failure channel: returns nullptr — with no lock held and no state
+  // changed — when the pool cannot produce a node: injected OOM
+  // (fault::Site::kAllocFailure), the configured capacity cap (set_max_live)
+  // with an empty free list, or the underlying ::operator new throwing.
+  // Callers (citrus_tree.hpp update paths) must treat nullptr as a clean
+  // kNoMemory failure of the operation, never as fatal.
   template <typename... Args>
   Node* allocate(bool keep_locked, Args&&... args) {
+    if (fault::inject_fail(fault::Site::kAllocFailure)) return nullptr;
     Node* n = pop_free();
     const bool from_free_list = n != nullptr;
     if (n == nullptr) {
+      const std::int64_t cap = max_live_.load(std::memory_order_relaxed);
+      if (cap > 0 && live_.load(std::memory_order_relaxed) >= cap) {
+        return nullptr;  // exhausted: at capacity and nothing recyclable
+      }
       n = carve();
+      if (n == nullptr) return nullptr;  // the allocator itself failed
       new (n) Node();  // header constructed exactly once per slot
     }
     // rcucheck: verify the free-list canary survived and stamp the slot
@@ -150,6 +164,19 @@ class NodePool {
     return slabs_.size();
   }
 
+  // Capacity cap: with n > 0, allocate() fails (returns nullptr) instead
+  // of carving a new slot once `live() >= n` and the free lists are empty.
+  // 0 (the default) = unbounded, the historic behavior. The cap bounds
+  // *payload-live* nodes, not slab memory: recycled slots are always
+  // reusable, so a tree under the cap keeps churning — only net growth
+  // fails. Used to exercise real pool exhaustion without injection.
+  void set_max_live(std::int64_t n) noexcept {
+    max_live_.store(n, std::memory_order_relaxed);
+  }
+  std::int64_t max_live() const noexcept {
+    return max_live_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(sync::kDestructiveInterference) Shard {
     sync::SpinLock lock;
@@ -178,11 +205,16 @@ class NodePool {
     return nullptr;
   }
 
+  // Returns nullptr (instead of propagating bad_alloc) when the system
+  // allocator fails: the tree degrades to a clean per-operation failure
+  // rather than unwinding through noexcept update paths.
   Node* carve() {
     std::lock_guard<sync::SpinLock> g(slab_lock_);
     if (bump_ == 0 || bump_ == kSlabNodes) {
       void* slab = ::operator new(sizeof(Node) * kSlabNodes,
-                                  std::align_val_t{alignof(Node)});
+                                  std::align_val_t{alignof(Node)},
+                                  std::nothrow);
+      if (slab == nullptr) return nullptr;
       slabs_.push_back(slab);
       bump_ = 0;
     }
@@ -195,6 +227,7 @@ class NodePool {
   std::vector<void*> slabs_;
   std::size_t bump_ = 0;
   std::atomic<std::int64_t> live_{0};
+  std::atomic<std::int64_t> max_live_{0};  // 0 = unbounded (set_max_live)
 };
 
 }  // namespace citrus::core

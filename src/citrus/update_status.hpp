@@ -1,0 +1,42 @@
+// Structured result of a dictionary update — the `expected`-style channel
+// that distinguishes "the operation was a semantic no-op" (insert of a
+// present key, erase of an absent one) from "the operation could not run
+// because the node pool failed to produce a node" (injected OOM, capacity
+// cap, or allocator failure; see node_pool.hpp).
+//
+// The distinction matters for correctness tooling: a kNoOp insert that
+// returns false *asserts the key was present* and the linearizability
+// checker will hold the history to that; a kNoMemory failure asserts
+// nothing — it is a legal no-op at any point in time (the checker's
+// `noop` events, lineariz/history.hpp). Collapsing both onto `false`
+// would make an OOM failure indistinguishable from a membership claim.
+//
+// The legacy bool APIs (insert/erase returning "did it change the set")
+// remain and map kSuccess -> true, kNoOp/kNoMemory -> false; callers that
+// can encounter memory failure (fault builds, capped pools) should use
+// the try_* forms and branch on the status.
+#pragma once
+
+#include <cstdint>
+
+namespace citrus::core {
+
+enum class UpdateStatus : std::uint8_t {
+  kSuccess = 0,   // the operation ran and changed the set
+  kNoOp = 1,      // semantic no-op: insert(present) / erase(absent)
+  kNoMemory = 2,  // node pool exhausted or allocation failed; no change
+};
+
+inline const char* to_string(UpdateStatus s) noexcept {
+  switch (s) {
+    case UpdateStatus::kSuccess:
+      return "success";
+    case UpdateStatus::kNoOp:
+      return "no-op";
+    case UpdateStatus::kNoMemory:
+      return "no-memory";
+  }
+  return "unknown";
+}
+
+}  // namespace citrus::core

@@ -1,0 +1,165 @@
+// Injector — process-wide fault-plan registry and stall gates.
+//
+// Compiled unconditionally (mirrors check/check.cpp): with
+// CITRUS_FAULT_INJECT=0 no hook ever calls into it, but tests that arm
+// plans still link in every build mode and skip themselves at runtime.
+
+#include "fault/fault.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "sync/backoff.hpp"
+
+namespace citrus::fault {
+
+const char* to_string(Site s) noexcept {
+  switch (s) {
+    case Site::kReaderStall:
+      return "reader-stall";
+    case Site::kLeaderStall:
+      return "leader-stall";
+    case Site::kAllocFailure:
+      return "alloc-failure";
+    case Site::kReclaimDelay:
+      return "reclaim-delay";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// SplitMix64 of the occurrence index: the per-occurrence coin flip for
+// Plan::probability. A pure function of (seed, index), so the set of
+// firing occurrences is identical on every run.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct Injector::Impl {
+  struct SiteState {
+    std::atomic<bool> armed{false};
+    Plan plan;  // written by arm() while the site is quiescent
+    std::atomic<std::uint64_t> occurrences{0};
+    std::atomic<std::uint64_t> fires{0};
+    std::atomic<std::uint64_t> stalled{0};
+    // Bumped by release(); a stalled thread waits for a bump observed
+    // after it entered the gate (release is an edge, not a state).
+    std::atomic<std::uint64_t> release_gen{0};
+  };
+  SiteState sites[kSiteCount];
+  std::mutex arm_mu;  // serializes arm/disarm against each other
+
+  SiteState& at(Site s) noexcept {
+    return sites[static_cast<std::size_t>(s)];
+  }
+  const SiteState& at(Site s) const noexcept {
+    return sites[static_cast<std::size_t>(s)];
+  }
+};
+
+Injector::Impl& Injector::impl() const noexcept {
+  static Impl instance;
+  return instance;
+}
+
+Injector& Injector::instance() noexcept {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(const Plan& p) noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> g(im.arm_mu);
+  Impl::SiteState& st = im.at(p.site);
+  st.armed.store(false, std::memory_order_release);
+  st.plan = p;
+  st.occurrences.store(0, std::memory_order_relaxed);
+  st.fires.store(0, std::memory_order_relaxed);
+  // Publish the plan before the armed flag: a hook that sees armed==true
+  // (acquire) sees the plan fields it was armed with.
+  st.armed.store(true, std::memory_order_release);
+}
+
+void Injector::disarm(Site s) noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> g(im.arm_mu);
+  im.at(s).armed.store(false, std::memory_order_release);
+}
+
+void Injector::disarm_all() noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    disarm(static_cast<Site>(i));
+  }
+}
+
+void Injector::release(Site s) noexcept {
+  impl().at(s).release_gen.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t Injector::occurrences(Site s) const noexcept {
+  return impl().at(s).occurrences.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::fires(Site s) const noexcept {
+  return impl().at(s).fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::stalled_now(Site s) const noexcept {
+  return impl().at(s).stalled.load(std::memory_order_acquire);
+}
+
+bool Injector::fire(Site s) noexcept {
+  Impl::SiteState& st = impl().at(s);
+  if (!st.armed.load(std::memory_order_acquire)) return false;
+  const Plan& p = st.plan;
+  if (p.thread_filter >= 0 && detail::t_role != p.thread_filter) {
+    return false;  // filtered threads do not consume occurrence indices
+  }
+  const std::uint64_t n =
+      st.occurrences.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < p.first) return false;
+  if (p.every > 0) {
+    if ((n - p.first) % p.every != 0) return false;
+  } else if (p.probability >= 1.0 && n != p.first) {
+    // Deterministic one-shot plan. A probability plan (< 1.0) with
+    // every == 0 instead treats every occurrence >= first as a
+    // candidate — the coin *is* the thinning.
+    return false;
+  }
+  if (st.fires.load(std::memory_order_relaxed) >= p.max_fires) return false;
+  if (p.probability < 1.0) {
+    const double coin =
+        static_cast<double>(mix(p.seed ^ n) >> 11) * 0x1.0p-53;
+    if (coin >= p.probability) return false;
+  }
+  st.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Injector::stall(Site s) noexcept {
+  Impl::SiteState& st = impl().at(s);
+  if (!st.armed.load(std::memory_order_acquire)) return;
+  // Snapshot the gate before deciding to fire so a release() issued after
+  // this thread committed to stalling is never missed.
+  const std::uint64_t gen = st.release_gen.load(std::memory_order_acquire);
+  if (!fire(s)) return;
+  const Plan& p = st.plan;
+  const bool timed = p.stall.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + p.stall;
+  st.stalled.fetch_add(1, std::memory_order_acq_rel);
+  sync::Backoff bo;
+  while (st.armed.load(std::memory_order_acquire) &&
+         st.release_gen.load(std::memory_order_acquire) == gen &&
+         (!timed || std::chrono::steady_clock::now() < deadline)) {
+    bo.pause();
+  }
+  st.stalled.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace citrus::fault

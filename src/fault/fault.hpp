@@ -1,0 +1,164 @@
+// Deterministic fault injection (compile-time opt-in).
+//
+// rcucheck (src/check/) *verifies* the RCU and locking discipline; this
+// framework *stresses* the failure paths those proofs depend on: stalled
+// readers, a grace-period leader descheduled mid-drive, an exhausted node
+// pool, a reclaim worker that falls behind. Production RCU pairs its
+// verifier with exactly this kind of torture seeding (Linux: rcutorture +
+// CPU-stall warnings); here the consumers are tests/test_fault_torture.cpp
+// and the stall watchdog (rcu/stall.hpp).
+//
+// Build model — identical to rcucheck:
+//   * `-DCITRUS_FAULT_INJECT=ON` (CMake) defines CITRUS_FAULT_INJECT=1 for
+//     the whole build; hooks then consult the process-wide Injector.
+//   * OFF (the default): every hook is an empty inline function and the
+//     instrumented code is byte-identical to the uninstrumented build.
+//   * The Injector itself is compiled unconditionally (it is a few hundred
+//     bytes) so tests that arm plans compile in every mode and skip at
+//     runtime when kEnabled is false.
+//
+// Determinism: a Plan selects occurrences of a site by 1-based index
+// (`first`, then optionally `every` n-th after), optionally thinned by a
+// seeded hash of the occurrence index (`probability`), optionally
+// restricted to threads holding a matching ScopedThreadRole. Given the
+// same per-thread occurrence interleaving, the same occurrence indices
+// fire on every run — there is no wall-clock or global-RNG dependence.
+//
+// Concurrency contract: hook-side state (occurrence/fire counters, stall
+// gates) is atomic and hooks may race freely with release()/disarm().
+// arm() itself must not race hooks for the *same site* (arm while that
+// site's workload is quiescent — the normal test pattern).
+#pragma once
+
+#if !defined(CITRUS_FAULT_INJECT)
+#define CITRUS_FAULT_INJECT 0
+#endif
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace citrus::fault {
+
+inline constexpr bool kEnabled = CITRUS_FAULT_INJECT != 0;
+
+// Injection sites. Each names one place in the runtime where a seeded
+// fault can be interposed (see DESIGN.md "Failure model & fault
+// injection" for the site map).
+enum class Site : std::uint8_t {
+  // Inside a read-side critical section, immediately after the outermost
+  // read_lock() publishes the reader to its domain. A stall here models a
+  // reader descheduled (or SIGSTOPped) mid-section: grace periods cannot
+  // complete until it is released. Threaded through all four domains.
+  kReaderStall = 0,
+  // In GpSeq::drive(), after the leader wins the even->odd CAS and before
+  // it scans: a leader abandoned between grace-period states. Followers
+  // (and the watchdog) observe a sequence stuck in-progress.
+  kLeaderStall = 1,
+  // NodePool::allocate(): the allocation reports failure (returns no
+  // node) instead of carving a slab — injected OOM.
+  kAllocFailure = 2,
+  // Reclaimer worker, after a batch's grace period has elapsed and before
+  // its callbacks run: a reclaim backlog that drains late.
+  kReclaimDelay = 3,
+};
+inline constexpr std::size_t kSiteCount = 4;
+
+const char* to_string(Site s) noexcept;
+
+// A deterministic trigger description for one site. Occurrence indices
+// are 1-based and counted per site, only over hook executions that pass
+// the thread filter.
+struct Plan {
+  Site site = Site::kReaderStall;
+  // Fire at occurrence `first`; with every > 0, also at first + k*every.
+  // With every == 0 a deterministic plan (probability == 1) fires once,
+  // at `first` only; a probability plan (< 1.0) treats every occurrence
+  // >= first as a candidate and lets the coin do the thinning.
+  std::uint64_t first = 1;
+  std::uint64_t every = 0;
+  // Stop firing after this many fires (the plan stays armed for counting).
+  std::uint64_t max_fires = ~0ull;
+  // After the occurrence match, fire only if a seeded hash of the
+  // occurrence index lands under this probability.
+  double probability = 1.0;
+  std::uint64_t seed = 0x5EED;
+  // -1 = any thread; otherwise only threads holding ScopedThreadRole(n).
+  int thread_filter = -1;
+  // Stall/delay sites: how long a firing hook blocks. Zero means "until
+  // release(site) or disarm" — the fully deterministic gate mode tests
+  // should prefer over timed stalls.
+  std::chrono::milliseconds stall{0};
+};
+
+namespace detail {
+// Role tag consulted by Plan::thread_filter; see ScopedThreadRole.
+inline thread_local int t_role = -1;
+}  // namespace detail
+
+// Tags the current thread with a role index for thread-filtered plans
+// (e.g. "stall only the designated victim reader"). RAII; nestable.
+class ScopedThreadRole {
+ public:
+  explicit ScopedThreadRole(int role) noexcept : prev_(detail::t_role) {
+    detail::t_role = role;
+  }
+  ~ScopedThreadRole() { detail::t_role = prev_; }
+  ScopedThreadRole(const ScopedThreadRole&) = delete;
+  ScopedThreadRole& operator=(const ScopedThreadRole&) = delete;
+
+ private:
+  int prev_;
+};
+
+// Process-wide injector: at most one armed Plan per site. Compiled
+// unconditionally; consulted by hooks only when CITRUS_FAULT_INJECT=1.
+class Injector {
+ public:
+  static Injector& instance() noexcept;
+
+  // Install `p` for p.site (replacing any previous plan) and reset that
+  // site's occurrence/fire counters. Must not race hooks for this site.
+  void arm(const Plan& p) noexcept;
+  void disarm(Site s) noexcept;  // also unblocks threads stalled at s
+  void disarm_all() noexcept;
+
+  // Unblock every thread currently stalled at `s` (and let stall-mode
+  // fires after this call pass straight through? No — release is an
+  // edge: it wakes current waiters; later fires stall again until the
+  // next release or disarm).
+  void release(Site s) noexcept;
+
+  // Counters, reset by arm(). occurrences = filter-passing hook
+  // executions; fires = occurrences on which the fault actually fired.
+  std::uint64_t occurrences(Site s) const noexcept;
+  std::uint64_t fires(Site s) const noexcept;
+  // Threads blocked in a stall at `s` right now.
+  std::uint64_t stalled_now(Site s) const noexcept;
+
+  // Hook backends (no-ops / false when the site is unarmed).
+  bool fire(Site s) noexcept;   // decide + count; used by failure sites
+  void stall(Site s) noexcept;  // fire(), then block per the plan
+
+ private:
+  Injector() = default;
+  struct Impl;
+  Impl& impl() const noexcept;
+};
+
+// ---- Hooks ----------------------------------------------------------------
+// These are the only functions instrumented code calls. With the gate off
+// they compile to nothing.
+#if CITRUS_FAULT_INJECT
+inline void inject_stall(Site s) noexcept { Injector::instance().stall(s); }
+[[nodiscard]] inline bool inject_fail(Site s) noexcept {
+  return Injector::instance().fire(s);
+}
+#else
+inline void inject_stall(Site) noexcept {}
+[[nodiscard]] inline constexpr bool inject_fail(Site) noexcept {
+  return false;
+}
+#endif
+
+}  // namespace citrus::fault

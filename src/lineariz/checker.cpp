@@ -45,6 +45,12 @@ namespace {
 // Would applying `e` in state `present` produce the recorded result, and
 // what is the state afterwards?
 bool apply(const Event& e, bool present, bool* after) {
+  if (e.noop) {
+    // A no-effect, no-assertion failure (kNoMemory): feasible at any
+    // point in its window, state unchanged.
+    *after = present;
+    return true;
+  }
   switch (e.type) {
     case OpType::kInsert:
       if (e.result == present) return false;  // true iff was absent
@@ -99,6 +105,7 @@ struct Search {
 // Returns false if the recorded result is infeasible in `present`; on
 // success `present` is the post-state.
 bool apply_joint(const Event& e, std::set<std::int64_t>* present) {
+  if (e.noop) return true;  // kNoMemory failure: legal no-op anywhere
   const bool was = present->count(e.key) > 0;
   switch (e.type) {
     case OpType::kInsert:

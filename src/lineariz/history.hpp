@@ -42,6 +42,13 @@ struct Event {
   std::int64_t lo = 0;
   std::int64_t hi = 0;
   std::vector<std::int64_t> observed;
+  // True for an operation that failed without taking effect and WITHOUT
+  // asserting anything about the state — a kNoMemory update
+  // (update_status.hpp), not a semantic no-op: insert(present)=false is a
+  // membership claim and must stay noop=false. The checker linearizes a
+  // noop event anywhere in its window with the state unchanged. Appended
+  // last so existing aggregate initializations stay valid.
+  bool noop = false;
 };
 
 class HistoryRecorder {
@@ -58,6 +65,16 @@ class HistoryRecorder {
         clock_.fetch_add(1, std::memory_order_acq_rel);
     per_thread_[static_cast<std::size_t>(tid)].push_back(
         Event{key, type, result, invoked, responded, 0, 0, {}});
+  }
+
+  // Record an update that failed without effect or assertion (kNoMemory):
+  // a legal no-op at any point in its window. `result` is recorded false.
+  void record_noop(int tid, std::int64_t key, OpType type,
+                   std::uint64_t invoked) {
+    const std::uint64_t responded =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    per_thread_[static_cast<std::size_t>(tid)].push_back(
+        Event{key, type, false, invoked, responded, 0, 0, {}, true});
   }
 
   // Record a completed range scan over [lo, hi] that emitted `observed`

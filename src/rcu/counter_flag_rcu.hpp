@@ -47,8 +47,10 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "rcu/gp_seq.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
@@ -110,6 +112,11 @@ class CounterFlagRcu
         // fetch_or above — see the adoption argument in DESIGN.md §5.2.
         std::atomic_thread_fence(std::memory_order_seq_cst);
       }
+      // Fault site: the reader is now published (flag set) — a stall here
+      // models a reader descheduled inside its critical section, the case
+      // every synchronize_rcu waits out. rcu-lint: allow (annotated
+      // injection hook, not a node access).
+      fault::inject_stall(fault::Site::kReaderStall);
     }
   }
 
@@ -201,6 +208,21 @@ class CounterFlagRcu
   }
   std::uint64_t gp_sequence() const noexcept { return gp_.current(); }
 
+  // Diagnostic snapshot for the stall watchdog (rcu/stall.hpp): every
+  // occupied record currently flagged inside a read-side critical
+  // section, with its raw {counter, flag} word. Purely observational —
+  // one acquire load per occupied slot, never blocks readers or scans.
+  std::vector<ReaderSlot> snapshot_active_readers() const {
+    std::vector<ReaderSlot> out;
+    std::size_t index = 0;
+    registry_.for_each_occupied([&out, &index](Record& r) {
+      const std::uint64_t w = r.word->load(std::memory_order_acquire);
+      if ((w & Record::kFlag) != 0) out.push_back(ReaderSlot{index, w});
+      ++index;
+    });
+    return out;
+  }
+
  private:
   using Registry = GroupedRegistry<Record>;
 
@@ -281,6 +303,8 @@ class FlatCounterFlagRcu
       ++r.shadow_counter;
       r.word->store((r.shadow_counter << 1) | Record::kFlag,
                     std::memory_order_seq_cst);
+      // rcu-lint: allow (annotated injection hook, not a node access).
+      fault::inject_stall(fault::Site::kReaderStall);
     }
   }
 

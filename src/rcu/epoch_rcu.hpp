@@ -21,8 +21,10 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "rcu/gp_seq.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
@@ -51,6 +53,8 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
     if (r.nest++ == 0) {
       r.word->store(epoch_.load(std::memory_order_relaxed),
                     std::memory_order_seq_cst);
+      // rcu-lint: allow (annotated injection hook, not a node access).
+      fault::inject_stall(fault::Site::kReaderStall);
     }
   }
 
@@ -100,6 +104,21 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
 
   std::uint64_t current_epoch() const noexcept {
     return epoch_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t gp_sequence() const noexcept { return gp_.current(); }
+
+  // Diagnostic snapshot for the stall watchdog (rcu/stall.hpp): every
+  // occupied record pinning an epoch (word != 0), with the pinned value.
+  std::vector<ReaderSlot> snapshot_active_readers() const {
+    std::vector<ReaderSlot> out;
+    std::size_t index = 0;
+    registry_.for_each_occupied([&out, &index](Record& r) {
+      const std::uint64_t w = r.word->load(std::memory_order_acquire);
+      if (w != 0) out.push_back(ReaderSlot{index, w});
+      ++index;
+    });
+    return out;
   }
 
  private:

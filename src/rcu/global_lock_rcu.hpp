@@ -29,6 +29,7 @@
 #include <mutex>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -61,6 +62,8 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
     if (r.nest++ == 0) {
       r.word->store(gp_ctr_.load(std::memory_order_relaxed),
                     std::memory_order_seq_cst);
+      // rcu-lint: allow (annotated injection hook, not a node access).
+      fault::inject_stall(fault::Site::kReaderStall);
     }
   }
 

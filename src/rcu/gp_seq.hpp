@@ -51,6 +51,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
 
@@ -100,6 +101,11 @@ class GpSeq {
         if (seq_.compare_exchange_strong(s, s + kInProgress,
                                          std::memory_order_seq_cst,
                                          std::memory_order_seq_cst)) {
+          // Fault site: a leader descheduled between winning the election
+          // and completing the scan — the sequence is stuck odd and every
+          // follower of this grace period waits (the stall the watchdog
+          // in rcu/stall.hpp exists to report).
+          fault::inject_stall(fault::Site::kLeaderStall);
           // Sampling fence: every reader word store that precedes a
           // follower's snap of `s` (or earlier) is ordered before this
           // fence via seq_'s single modification order, so the scan

@@ -34,6 +34,7 @@
 #include <cstdint>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -72,6 +73,10 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
         r.word->store((r.shadow << 1) | Record::kOnline,
                       std::memory_order_seq_cst);
       }
+      // Fault site: an online thread that stops checkpointing — QSBR's
+      // characteristic stall (the contract in the header comment).
+      // rcu-lint: allow (annotated injection hook, not a node access).
+      fault::inject_stall(fault::Site::kReaderStall);
     }
   }
 

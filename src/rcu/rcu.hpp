@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -67,6 +68,17 @@ struct RecordCommon {
 // Opaque grace-period cookie; defined with the engine in rcu/gp_seq.hpp
 // and re-declared here so the concept below does not pull in the engine.
 using GpCookie = std::uint64_t;
+
+// One in-flight reader as seen by a diagnostic snapshot (stall watchdog,
+// rcu/stall.hpp). `index` is the slot's position in the domain registry's
+// enumeration order, `word` the raw per-thread reader word at sampling
+// time — for the counter-flag domain that is (counter << 1) | flag, for
+// the epoch domain the pinned epoch. Purely observational: taking a
+// snapshot never blocks readers or grace periods.
+struct ReaderSlot {
+  std::size_t index = 0;
+  std::uint64_t word = 0;
+};
 
 // Static interface required of an RCU domain. The data structures are
 // templated on this concept, so swapping the synchronization substrate is a

@@ -25,12 +25,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "rcu/rcu.hpp"
+#include "sync/backoff.hpp"
 
 namespace citrus::rcu {
 
@@ -53,10 +56,36 @@ class Reclaimer {
 
   // Defer fn(ptr, ctx) to after a future grace period. Callable from any
   // thread, including inside a read-side critical section (nothing blocks;
-  // the push is a single CAS).
+  // the push is a single CAS) — except when a backpressure watermark is
+  // set and exceeded, in which case a caller *outside* any read section
+  // may block on a grace period and reclaim synchronously (see
+  // set_backpressure below; in-section callers always defer).
   void enqueue(void* ptr, void (*fn)(void*, void*), void* ctx) {
+    const std::size_t wm = watermark_.load(std::memory_order_relaxed);
+    if (wm != 0 && pending_.load(std::memory_order_acquire) >= wm &&
+        !in_reader_section()) {
+      // Over the high watermark. Give the worker one bounded chance to
+      // drain below the mark (cheap when it is merely busy, not stuck) —
+      // then stop deferring and make this producer pay the grace period
+      // itself. Under a stalled reader the producer blocks right here,
+      // which is the point: no new garbage accumulates while grace
+      // periods cannot complete, so the backlog stays bounded.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::nanoseconds(grace_ns_.load(std::memory_order_relaxed));
+      if (!sync::spin_until(deadline, [this, wm] {
+            return pending_.load(std::memory_order_acquire) < wm;
+          })) {
+        backpressure_.fetch_add(1, std::memory_order_relaxed);
+        // The object was unlinked before this call; one full grace
+        // period from here covers it, exactly as in DomainBase::retire.
+        domain_.synchronize();
+        fn(ptr, ctx);
+        return;
+      }
+    }
     auto* node = new Node{Retired{ptr, fn, ctx}, nullptr};
-    pending_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_add(1, std::memory_order_release);
     Node* old_head = head_.load(std::memory_order_relaxed);
     do {
       node->next = old_head;
@@ -73,7 +102,19 @@ class Reclaimer {
         ptr, [](void* p, void*) { delete static_cast<T*>(p); }, nullptr);
   }
 
-  // Objects enqueued but not yet reclaimed (racy snapshot, lock-free).
+  // Objects enqueued but not yet reclaimed (lock-free snapshot).
+  //
+  // Contract: pending() never under-counts unreclaimed objects. Each
+  // object is counted from just before its push is published until just
+  // after its callback has returned — the worker decrements per object at
+  // the drain boundary, not per batch — so at quiescence the value is
+  // exactly 0 and mid-drain it tracks the true backlog to within the one
+  // object whose callback is in flight. Orderings are symmetric: the
+  // producer increment and the worker decrement are release RMWs against
+  // this acquire load, so an observer of a count transition also observes
+  // the memory effects it accounts for (for a decrement, the callback's
+  // writes). This is the counter the backpressure watermark and the stall
+  // watchdog's backlog probe read.
   std::size_t pending() const noexcept {
     return pending_.load(std::memory_order_acquire);
   }
@@ -81,6 +122,37 @@ class Reclaimer {
   // Completed reclamation batches (each awaited one grace period).
   std::uint64_t batches() const noexcept {
     return batches_.load(std::memory_order_relaxed);
+  }
+
+  // Bounded-backlog backpressure. 0 (the default) = unbounded deferral,
+  // the historic behavior. With high_watermark > 0, an enqueue that finds
+  // pending() >= high_watermark — and is not inside a read-side critical
+  // section of `domain` — first waits up to `grace` for the worker to
+  // drain below the mark, then switches from deferred to *synchronous*
+  // reclaim: the producer pays one synchronize() and runs the callback
+  // itself, bumping the reclaim_backpressure stat. Memory stays bounded
+  // under reader stalls (producers block instead of queueing garbage) at
+  // the cost of producer latency. In-section callers always defer —
+  // synchronous reclaim there would deadlock on the caller's own section.
+  // A producer that goes synchronous inherits synchronize()'s discipline
+  // (no data-structure locks held).
+  void set_backpressure(std::size_t high_watermark,
+                        std::chrono::microseconds grace =
+                            std::chrono::microseconds(500)) noexcept {
+    grace_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(grace).count(),
+        std::memory_order_relaxed);
+    watermark_.store(high_watermark, std::memory_order_relaxed);
+  }
+
+  std::size_t high_watermark() const noexcept {
+    return watermark_.load(std::memory_order_relaxed);
+  }
+
+  // Enqueue calls that switched to synchronous reclaim (the
+  // `reclaim_backpressure` stat surfaced in bench JSON output).
+  std::uint64_t backpressure() const noexcept {
+    return backpressure_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -108,8 +180,15 @@ class Reclaimer {
       // batch's callbacks, so it ages while the destructors execute.
       collect(aging);
       if (!aging.empty()) cookie = begin_grace_period();
-      for (const Retired& r : ready) r.fn(r.ptr, r.ctx);
-      pending_.fetch_sub(ready.size(), std::memory_order_release);
+      // Fault site: a reclaim worker delayed after the grace period has
+      // elapsed but before the callbacks run — the backlog the
+      // backpressure watermark exists to bound.
+      fault::inject_stall(fault::Site::kReclaimDelay);
+      for (const Retired& r : ready) {
+        r.fn(r.ptr, r.ctx);
+        // Per-object decrement at the drain boundary — see pending().
+        pending_.fetch_sub(1, std::memory_order_release);
+      }
       batches_.fetch_add(1, std::memory_order_relaxed);
       ready.clear();
     }
@@ -141,6 +220,21 @@ class Reclaimer {
     }
   }
 
+  // Is the calling thread inside a read-side critical section of the
+  // domain? Detected via the DomainBase introspection when available; a
+  // domain without it conservatively reports "yes", which keeps every
+  // enqueue on the always-safe deferred path (backpressure then degrades
+  // to unbounded deferral rather than risking a self-deadlock).
+  bool in_reader_section() const noexcept {
+    if constexpr (requires(const Domain& d) {
+                    { d.in_reader_section() } -> std::convertible_to<bool>;
+                  }) {
+      return domain_.in_reader_section();
+    } else {
+      return true;
+    }
+  }
+
   GpCookie begin_grace_period() {
     if constexpr (gp_poll_domain<Domain>) {
       return domain_.start_grace_period();
@@ -163,6 +257,10 @@ class Reclaimer {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<bool> stopping_{false};
+  // Backpressure state (set_backpressure / high_watermark / backpressure).
+  std::atomic<std::size_t> watermark_{0};
+  std::atomic<std::int64_t> grace_ns_{500 * 1000};
+  std::atomic<std::uint64_t> backpressure_{0};
   std::thread worker_;
 };
 

@@ -357,6 +357,17 @@ class DomainBase {
 
   bool thread_is_registered() const noexcept { return find_record() != nullptr; }
 
+  // True when the calling thread is inside a read-side critical section
+  // of this domain (registered with nest > 0). Consulted by callers that
+  // must not block on a grace period from the current context — e.g. the
+  // reclaimer's backpressure path falls back to deferred enqueue when the
+  // producer is inside a section, where synchronous reclaim would
+  // deadlock on the producer's own section.
+  bool in_reader_section() const noexcept {
+    const Record* r = find_record();
+    return r != nullptr && r->nest != 0;
+  }
+
  protected:
   // Hot path: record of the calling thread. Scans the (tiny) thread-local
   // slot vector; asserts the thread registered.

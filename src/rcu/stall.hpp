@@ -1,0 +1,205 @@
+// Grace-period stall watchdog — the user-space analogue of the Linux
+// kernel's RCU CPU stall warnings (PAPERS.md: "Verification of the
+// Tree-Based Hierarchical RCU" describes the production pairing of a
+// verified grace-period engine with stall detection).
+//
+// Failure mode being defended against: a reader descheduled (or wedged)
+// inside its critical section, or a grace-period leader abandoned between
+// gp_seq states, leaves the shared sequence stuck in-progress. Every
+// synchronize_rcu caller — and transitively every two-child delete in the
+// Citrus tree — then blocks *silently*: the spin loops in gp_seq.hpp and
+// the domain scans are correct but uninformative. The watchdog turns that
+// silence into a diagnostic.
+//
+// Mechanism — purely observational, Linux-style. A background thread
+// samples the domain's shared grace-period sequence (gp_seq.hpp: bit 0 =
+// a leader is scanning) every `poll`. A sequence stuck at the same *odd*
+// value for longer than `deadline` means one grace period has exceeded
+// its budget; the watchdog then cuts a StallReport — the stuck sequence
+// word, the earliest cookie blocked on it, the slots of every reader
+// still pinned in a section (the scan's suspects), and an optional
+// reclaim-backlog probe — and hands it to a sink instead of hanging or
+// aborting. While the same grace period stays stuck, the report is
+// re-emitted once per deadline; when the sequence finally moves, the
+// recovery is counted. The watchdog itself never drives a grace period,
+// never registers with the domain, and never blocks readers: it cannot
+// turn a stall into a deadlock, and an idle domain (sequence parked on an
+// even value) never produces a phantom report.
+//
+// Validation: tests/test_fault_torture.cpp seeds real stalls (reader and
+// leader, src/fault/) and asserts the watchdog fires exactly when seeded
+// and stays quiet otherwise.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rcu/rcu.hpp"
+#include "sync/backoff.hpp"
+
+namespace citrus::rcu {
+
+// What a domain must expose to be watchable: the shared sequence word and
+// a non-blocking snapshot of in-section readers. Satisfied by the gp_seq
+// domains (CounterFlagRcu, EpochRcu).
+template <typename D>
+concept stall_monitorable_domain = requires(const D d) {
+  { d.gp_sequence() } noexcept -> std::convertible_to<std::uint64_t>;
+  {
+    d.snapshot_active_readers()
+  } -> std::convertible_to<std::vector<ReaderSlot>>;
+};
+
+struct StallConfig {
+  // A grace period older than this is reported (and re-reported once per
+  // deadline while it stays stuck).
+  std::chrono::milliseconds deadline{100};
+  // Sampling period of the sequence word.
+  std::chrono::milliseconds poll{1};
+};
+
+// One diagnostic cut of a stalled grace period.
+struct StallReport {
+  // The stuck sequence word (bit 0 set: a leader was mid-scan).
+  std::uint64_t gp_seq = 0;
+  // The earliest unsatisfied cookie: the value the stuck grace period
+  // completes to, which every follower of it is spinning on. Cookies
+  // snapped *during* the stuck grace period extend to gp_seq + 3.
+  GpCookie pending_cookie = 0;
+  // Age of the grace period when this report was cut.
+  std::chrono::milliseconds waited{0};
+  // Readers still pinned inside a section at report time — the set the
+  // stuck scan may be waiting out. Slot indices follow the domain
+  // registry's enumeration order.
+  std::vector<ReaderSlot> stuck;
+  // Deferred-reclaim backlog, if a probe was supplied (e.g. bound to
+  // Reclaimer::pending); 0 otherwise.
+  std::uint64_t pending_reclaim = 0;
+};
+
+template <stall_monitorable_domain Domain>
+class StallWatchdog {
+ public:
+  using Sink = std::function<void(const StallReport&)>;
+  using BacklogProbe = std::function<std::uint64_t()>;
+
+  // The default sink writes the diagnostic to stderr (one line per stuck
+  // reader), mirroring the kernel's "rcu_sched self-detected stall".
+  explicit StallWatchdog(Domain& domain, StallConfig config = {},
+                         Sink sink = {}, BacklogProbe backlog = {})
+      : domain_(domain),
+        config_(config),
+        sink_(sink ? std::move(sink) : Sink(&StallWatchdog::print_report)),
+        backlog_(std::move(backlog)),
+        thread_([this] { run(); }) {}
+
+  ~StallWatchdog() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  // Distinct grace periods that exceeded the deadline.
+  std::uint64_t stalls_detected() const noexcept {
+    return stalls_.load(std::memory_order_acquire);
+  }
+  // Sink invocations (>= stalls_detected: re-reports count).
+  std::uint64_t reports_emitted() const noexcept {
+    return reports_.load(std::memory_order_acquire);
+  }
+  // Stalled grace periods that later completed.
+  std::uint64_t recoveries() const noexcept {
+    return recoveries_.load(std::memory_order_acquire);
+  }
+
+  StallReport last_report() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return last_report_;
+  }
+
+ private:
+  void run() {
+    std::uint64_t last_seq = domain_.gp_sequence();
+    auto last_change = std::chrono::steady_clock::now();
+    bool reported = false;  // current stuck GP already reported once
+    auto next_report = last_change;
+    while (!stop_.load(std::memory_order_acquire)) {
+      // Deadline-bounded nap (sync::spin_until) so destruction is prompt.
+      (void)sync::spin_until(
+          std::chrono::steady_clock::now() + config_.poll,
+          [this] { return stop_.load(std::memory_order_acquire); });
+      const std::uint64_t s = domain_.gp_sequence();
+      const auto now = std::chrono::steady_clock::now();
+      if (s != last_seq) {
+        // Progress. If the previous value had been reported stuck, the
+        // stall resolved — count the recovery.
+        if (reported) recoveries_.fetch_add(1, std::memory_order_acq_rel);
+        reported = false;
+        last_seq = s;
+        last_change = now;
+        continue;
+      }
+      if ((s & 1) == 0) continue;  // no grace period in flight: idle
+      const auto age = now - last_change;
+      if (age < config_.deadline) continue;
+      if (reported && now < next_report) continue;  // throttle re-reports
+      StallReport r;
+      r.gp_seq = s;
+      r.pending_cookie = s + 1;
+      r.waited =
+          std::chrono::duration_cast<std::chrono::milliseconds>(age);
+      r.stuck = domain_.snapshot_active_readers();
+      r.pending_reclaim = backlog_ ? backlog_() : 0;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        last_report_ = r;
+      }
+      if (!reported) stalls_.fetch_add(1, std::memory_order_acq_rel);
+      reported = true;
+      next_report = now + config_.deadline;
+      reports_.fetch_add(1, std::memory_order_acq_rel);
+      sink_(r);
+    }
+  }
+
+  static void print_report(const StallReport& r) {
+    std::fprintf(stderr,
+                 "[rcu-stall] grace period stuck for %lldms: gp_seq=%llu "
+                 "(in progress), pending cookie %llu, %zu reader(s) "
+                 "pinned, reclaim backlog %llu\n",
+                 static_cast<long long>(r.waited.count()),
+                 static_cast<unsigned long long>(r.gp_seq),
+                 static_cast<unsigned long long>(r.pending_cookie),
+                 r.stuck.size(),
+                 static_cast<unsigned long long>(r.pending_reclaim));
+    for (const ReaderSlot& slot : r.stuck) {
+      std::fprintf(stderr, "[rcu-stall]   slot %zu word=%#llx\n", slot.index,
+                   static_cast<unsigned long long>(slot.word));
+    }
+    std::fflush(stderr);
+  }
+
+  Domain& domain_;
+  const StallConfig config_;
+  const Sink sink_;
+  const BacklogProbe backlog_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> reports_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  mutable std::mutex mu_;
+  StallReport last_report_;
+  std::thread thread_;  // last member: starts after everything is ready
+};
+
+}  // namespace citrus::rcu

@@ -123,6 +123,26 @@ class ShardedCitrus {
   bool assign(const Key& key, const Value& value) {
     return shard_for(key).assign(key, value);
   }
+
+  // Status-returning forms (update_status.hpp): a point operation touches
+  // exactly one shard, so the status is simply the shard tree's status —
+  // kNoMemory means *that shard's* pool failed, the other shards are
+  // unaffected.
+  core::UpdateStatus try_insert(const Key& key, const Value& value) {
+    return shard_for(key).try_insert(key, value);
+  }
+  core::UpdateStatus try_assign(const Key& key, const Value& value) {
+    return shard_for(key).try_assign(key, value);
+  }
+  core::UpdateStatus try_erase(const Key& key) {
+    return shard_for(key).try_erase(key);
+  }
+
+  // Per-shard pool caps (CitrusTree::set_max_live_nodes), applied to every
+  // shard: total live nodes are bounded by shard_count * n.
+  void set_max_live_nodes_per_shard(std::int64_t n) noexcept {
+    for (auto& s : shards_) s->tree.set_max_live_nodes(n);
+  }
   bool insert_or_assign(const Key& key, const Value& value) {
     return shard_for(key).insert_or_assign(key, value);
   }

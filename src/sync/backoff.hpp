@@ -70,6 +70,20 @@ class Backoff {
 
   void reset() noexcept { rounds_ = 0; }
 
+  // pause(), then report whether the deadline has not yet passed. For
+  // loops of the shape "wait for X, but never past T":
+  //
+  //   Backoff bo;
+  //   while (!condition() && bo.pause_until(deadline)) {}
+  //
+  // The clock is read after the pause, so a false return guarantees the
+  // deadline has really elapsed (the wait never under-runs it).
+  [[nodiscard]] bool pause_until(
+      std::chrono::steady_clock::time_point deadline) noexcept {
+    pause();
+    return std::chrono::steady_clock::now() < deadline;
+  }
+
   // Number of times pause() was called since construction/reset. Useful for
   // statistics (e.g. how long synchronize_rcu waited).
   std::uint64_t total() const noexcept { return total_; }
@@ -80,5 +94,24 @@ class Backoff {
   std::uint32_t rounds_ = 0;
   std::uint64_t total_ = 0;
 };
+
+// Deadline-bounded wait: spin (with the standard backoff schedule) until
+// `pred()` returns true or `deadline` passes. Returns the final pred()
+// value — true means the condition was met in time, false means the
+// deadline elapsed with the condition still false. Used by the stall
+// watchdog and the reclaimer's backpressure wait, where a wait that can
+// hang forever is exactly the failure mode being defended against.
+//
+// `pred` is evaluated at least once even if the deadline is already in
+// the past, so an already-true condition never reports a timeout.
+template <typename Pred>
+[[nodiscard]] bool spin_until(std::chrono::steady_clock::time_point deadline,
+                              Pred&& pred) {
+  Backoff bo;
+  while (!pred()) {
+    if (!bo.pause_until(deadline)) return pred();
+  }
+  return true;
+}
 
 }  // namespace citrus::sync

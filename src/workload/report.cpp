@@ -30,6 +30,9 @@ std::string format_stats(const adapters::StatsSnapshot& stats) {
                     std::to_string(stats.insert_retries + stats.erase_retries) +
                     " timeouts=" + std::to_string(stats.lock_timeouts) +
                     " recycled=" + std::to_string(stats.recycled_nodes);
+  if (stats.reclaim_backpressure != 0) {
+    out += " backpressure=" + std::to_string(stats.reclaim_backpressure);
+  }
   if (!stats.shards.empty()) {
     std::size_t total = 0, biggest = 0;
     for (const auto& s : stats.shards) {

@@ -53,6 +53,39 @@ TEST(Checker, SequentialInvalidDoubleInsert) {
       false, nullptr));
 }
 
+// A kNoMemory update is recorded with noop=true: no effect, no membership
+// claim. The same failed-insert shape WITHOUT the flag is a claim the key
+// was present, which this history contradicts.
+TEST(Checker, NoopEventIsAlwaysFeasible) {
+  Event failed_insert = ev(OpType::kInsert, false, 2, 3);
+  // Strictly between erase(true) and contains(false): the key is provably
+  // absent, so insert(false) as a membership claim cannot linearize...
+  std::vector<Event> h = {
+      ev(OpType::kErase, true, 0, 1),
+      failed_insert,
+      ev(OpType::kContains, false, 4, 5),
+  };
+  EXPECT_FALSE(check_key_history(h, true, nullptr));
+  // ...but the identical window as a no-assertion kNoMemory no-op does.
+  h[1].noop = true;
+  EXPECT_TRUE(check_key_history(h, true, nullptr));
+}
+
+// A noop event never changes the state: surrounding operations must still
+// linearize against the unmodified set.
+TEST(Checker, NoopEventLeavesStateUntouched) {
+  Event noop_erase = ev(OpType::kErase, false, 2, 3);
+  noop_erase.noop = true;
+  EXPECT_TRUE(check_key_history(
+      {
+          ev(OpType::kInsert, true, 0, 1),
+          noop_erase,  // kNoMemory: the key stays present
+          ev(OpType::kContains, true, 4, 5),
+          ev(OpType::kErase, true, 6, 7),
+      },
+      false, nullptr));
+}
+
 TEST(Checker, InitiallyPresentMatters) {
   const std::vector<Event> h = {ev(OpType::kErase, true, 0, 1)};
   EXPECT_TRUE(check_key_history(h, true, nullptr));

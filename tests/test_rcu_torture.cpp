@@ -6,13 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/epoch_rcu.hpp"
 #include "rcu/global_lock_rcu.hpp"
 #include "rcu/qsbr_rcu.hpp"
+#include "sync/backoff.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -130,5 +133,58 @@ INSTANTIATE_TEST_SUITE_P(
       return std::to_string(tpi.param.readers) + "r" +
              std::to_string(tpi.param.updaters) + "u";
     });
+
+// Reader starvation via the injection API (src/fault/): one designated
+// victim reader is stalled inside its critical section, and the test
+// asserts the contrapositive of the grace-period guarantee — synchronize
+// must NOT complete while a pre-existing reader is still in its section —
+// then releases the victim and sees the grace period finish promptly.
+template <typename Rcu>
+void reader_starvation() {
+  namespace fault = citrus::fault;
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "build with -DCITRUS_FAULT_INJECT=ON";
+  }
+  auto& inj = fault::Injector::instance();
+  fault::Plan p;
+  p.site = fault::Site::kReaderStall;
+  p.thread_filter = 5;
+  inj.arm(p);
+
+  Rcu domain;
+  std::thread victim([&] {
+    fault::ScopedThreadRole role(5);
+    typename Rcu::Registration reg(domain);
+    domain.read_lock();  // stalls inside the hook, section held open
+    domain.read_unlock();
+  });
+  ASSERT_TRUE(citrus::sync::spin_until(
+      std::chrono::steady_clock::now() + std::chrono::seconds(10),
+      [&] { return inj.stalled_now(fault::Site::kReaderStall) == 1; }));
+
+  std::atomic<bool> done{false};
+  std::thread updater([&] {
+    typename Rcu::Registration reg(domain);
+    domain.synchronize();
+    done.store(true, std::memory_order_release);
+  });
+  // The synchronize must still be blocked after a generous window...
+  EXPECT_FALSE(citrus::sync::spin_until(
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200),
+      [&] { return done.load(std::memory_order_acquire); }))
+      << "synchronize completed while a reader was pinned in its section";
+  // ...and must complete promptly once the starved reader is released.
+  inj.release(fault::Site::kReaderStall);
+  EXPECT_TRUE(citrus::sync::spin_until(
+      std::chrono::steady_clock::now() + std::chrono::seconds(10),
+      [&] { return done.load(std::memory_order_acquire); }));
+  updater.join();
+  victim.join();
+  inj.disarm_all();
+}
+
+TEST(ReaderStarvation, CounterFlag) { reader_starvation<CounterFlagRcu>(); }
+TEST(ReaderStarvation, GlobalLock) { reader_starvation<GlobalLockRcu>(); }
+TEST(ReaderStarvation, Epoch) { reader_starvation<EpochRcu>(); }
 
 }  // namespace

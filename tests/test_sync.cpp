@@ -91,6 +91,50 @@ TEST(BackoffTest, EscalatesToYieldWithoutHanging) {
   EXPECT_EQ(bo.total(), 1000u);
 }
 
+TEST(BackoffTest, PauseUntilReportsDeadline) {
+  Backoff bo;
+  // A generous future deadline: the wait may continue.
+  EXPECT_TRUE(bo.pause_until(std::chrono::steady_clock::now() +
+                             std::chrono::seconds(60)));
+  // A past deadline: false, and the clock really has moved past it.
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_FALSE(bo.pause_until(past));
+  EXPECT_GE(std::chrono::steady_clock::now(), past);
+}
+
+TEST(SpinUntilTest, ImmediateTrueNeverWaits) {
+  // Even with an already-expired deadline, a true predicate wins.
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  int calls = 0;
+  EXPECT_TRUE(citrus::sync::spin_until(past, [&] {
+    ++calls;
+    return true;
+  }));
+  EXPECT_EQ(calls, 1);  // evaluated at least once, exactly once here
+}
+
+TEST(SpinUntilTest, TimesOutAndElapsesDeadline) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(20);
+  EXPECT_FALSE(citrus::sync::spin_until(deadline, [] { return false; }));
+  // A false return guarantees the deadline truly elapsed (no under-run).
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(SpinUntilTest, ObservesConditionFlippedByAnotherThread) {
+  std::atomic<bool> flag{false};
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    flag.store(true, std::memory_order_release);
+  });
+  EXPECT_TRUE(citrus::sync::spin_until(
+      std::chrono::steady_clock::now() + std::chrono::seconds(30),
+      [&] { return flag.load(std::memory_order_acquire); }));
+  flipper.join();
+}
+
 TEST(SpinBarrierTest, ReleasesAllParties) {
   constexpr int kThreads = 4;
   SpinBarrier barrier(kThreads);

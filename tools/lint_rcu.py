@@ -18,6 +18,12 @@ The last form exempts a whole file and exists for the comparison baselines
 (lock-free CAS protocols, optimistic version validation), whose safety
 arguments the RCU discipline does not describe.
 
+Fault-injection hooks (src/fault/: `fault::inject_stall(...)` /
+`fault::inject_fail(...)`) are recognized annotated sites: they live by
+design inside read-side sections and grace-period drivers, dereference
+nothing, and are stripped from the text before scanning so a hook can
+never satisfy — or trip — the deref rule on its own.
+
 The scanner is a deliberately simple per-function brace tracker, not a
 parser; the annotations keep it zero-false-positive on this codebase, and
 the runtime layer backstops anything it cannot see.
@@ -39,6 +45,10 @@ import sys
 DEREF_RE = re.compile(
     r"->\s*(?:child\s*\[|key\s*\(|value\s*\(|next\s*\[)"
 )
+
+# Fault-injection hook calls (src/fault/fault.hpp) — annotated injection
+# sites, not node accesses; blanked out before scanning.
+FAULT_HOOK_RE = re.compile(r"\bfault\s*::\s*inject_\w+\s*\([^()]*\)")
 
 # Tokens that establish a protection context inside the function body.
 # The deferred grace-period API (rcu/gp_seq.hpp) counts: a function that
@@ -165,6 +175,7 @@ def function_name(header: str) -> str:
 
 def scan_file(path: pathlib.Path) -> list[Finding]:
     text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+    text = FAULT_HOOK_RE.sub("", text)
     if EXEMPT_FILE_RE.search(text):
         return []
     lines = text.split("\n")
