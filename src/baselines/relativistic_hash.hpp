@@ -124,6 +124,8 @@ class RelativisticHashTable {
         if (!(n->key < key) && !(key < n->key)) return false;
       }
       Node* node = new Node(key, value);
+      // rcu-analyze: allow (pre-publication init: `node` is unreachable
+      // until the release store of head on the next line, which orders it)
       node->next.store(bucket.head.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
       bucket.head.store(node, std::memory_order_release);  // publish at head
@@ -277,6 +279,8 @@ class RelativisticHashTable {
         // Copy, don't move: readers may be anywhere in the old chains.
         Bucket& target = fresh->bucket_for(hash_(n->key));
         Node* copy = new Node(n->key, n->value);
+        // rcu-analyze: allow (pre-publication init: `copy` is unreachable
+        // until the release stores of target.head and table_ below)
         copy->next.store(target.head.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
         target.head.store(copy, std::memory_order_release);

@@ -28,6 +28,7 @@
 #include <utility>
 
 #include "check/check.hpp"
+#include "rcu/guarded_ptr.hpp"
 
 namespace citrus::core {
 
@@ -45,7 +46,12 @@ struct CitrusNode {
   using ValueType = Value;
 
   // ---- search-hot ----
-  std::atomic<CitrusNode*> child[2] = {nullptr, nullptr};
+  // RCU-guarded child links: the only mutable pointer state readers
+  // traverse without locks, so the only deref-able access is through the
+  // typed wrapper API (rcu/guarded_ptr.hpp) — load_protected() inside a
+  // read-side critical section, load_locked() under this node's lock,
+  // publish() for the release-ordered pointer swings of the update side.
+  rcu::guarded_ptr<CitrusNode> child[2];
   NodeKind kind = NodeKind::kReal;
 
   // ---- update-side ----
@@ -91,6 +97,9 @@ struct CitrusNode {
   }
 
   // Pool hook: (re)build this slot as a live node.
+  // rcu-analyze: quiescent (slot held under its own lock, pre-publication:
+  // no reader can reach these links until the allocating updater's later
+  // release-ordered publish, which also orders these relaxed stores)
   void construct_payload(NodeKind k, const Key* key, const Value* value,
                          CitrusNode* left, CitrusNode* right) {
     kind = k;
@@ -98,8 +107,8 @@ struct CitrusNode {
       new (key_buf) Key(*key);
       new (value_buf) Value(*value);
     }
-    child[kLeft].store(left, std::memory_order_relaxed);
-    child[kRight].store(right, std::memory_order_relaxed);
+    child[kLeft].unguarded_store(left);
+    child[kRight].unguarded_store(right);
     tag[kLeft].store(0, std::memory_order_relaxed);
     tag[kRight].store(0, std::memory_order_relaxed);
   }
@@ -118,9 +127,12 @@ struct CitrusNode {
   // builds and the rcucheck poison pattern in checked ones (where the
   // payload bytes are additionally poisoned to trip the canary/ASan on any
   // read of reclaimed data).
+  // rcu-analyze: quiescent (called only after a grace period made the slot
+  // unreachable; the relaxed stores are ordered before any reuse by the
+  // free-list publication in NodePool::recycle)
   void scrub_links(CitrusNode* poison) {
-    child[kLeft].store(poison, std::memory_order_relaxed);
-    child[kRight].store(poison, std::memory_order_relaxed);
+    child[kLeft].unguarded_store(poison);
+    child[kRight].unguarded_store(poison);
     tag[kLeft].store(0, std::memory_order_relaxed);
     tag[kRight].store(0, std::memory_order_relaxed);
 #if CITRUS_RCU_CHECK

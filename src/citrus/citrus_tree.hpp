@@ -66,6 +66,7 @@
 #include "citrus/structure_report.hpp"
 #include "citrus/update_status.hpp"
 #include "rcu/counter_flag_rcu.hpp"
+#include "rcu/guarded_ptr.hpp"
 #include "rcu/rcu.hpp"
 #include "sync/backoff.hpp"
 #include "sync/spinlock.hpp"
@@ -171,19 +172,22 @@ class CitrusTree {
     // Dummy layout from the paper: "The root of the tree always points to
     // a node with key −1, this node has a right child with key ∞; all
     // other nodes are in the left sub-tree of ∞."
-    root_ = pool_.allocate(false, NodeKind::kMinusInf, nullptr, nullptr,
-                           nullptr, nullptr);
+    Node* root = pool_.allocate(false, NodeKind::kMinusInf, nullptr, nullptr,
+                                nullptr, nullptr);
     Node* inf = pool_.allocate(false, NodeKind::kPlusInf, nullptr, nullptr,
                                nullptr, nullptr);
     // A constructor has no status channel: if the pool cannot even produce
     // the two sentinels (injected OOM or a genuinely exhausted allocator),
     // there is no tree to degrade gracefully — report it the C++ way.
-    if (root_ == nullptr || inf == nullptr) {
+    if (root == nullptr || inf == nullptr) {
       if (inf != nullptr) pool_.destroy_with_pool(inf);
-      if (root_ != nullptr) pool_.destroy_with_pool(root_);
+      if (root != nullptr) pool_.destroy_with_pool(root);
       throw std::bad_alloc();
     }
-    root_->child[kRight].store(inf, std::memory_order_release);
+    root->child[kRight].unguarded_store(inf);
+    // The root slot is published exactly once; every later reader load
+    // acquires against this release.
+    root_.publish(root);
   }
 
   CitrusTree(const CitrusTree&) = delete;
@@ -195,14 +199,14 @@ class CitrusTree {
   // rcu-lint: quiescent (single-owner teardown, no concurrent operations)
   ~CitrusTree() {
     check::ScopedQuiescent quiescent;
-    std::vector<Node*> stack{root_};
+    std::vector<Node*> stack{root_.unguarded_load()};
     while (!stack.empty()) {
       Node* n = stack.back();
       stack.pop_back();
-      if (Node* l = n->child[kLeft].load(std::memory_order_relaxed)) {
+      if (Node* l = n->child[kLeft].unguarded_load()) {
         stack.push_back(l);
       }
-      if (Node* r = n->child[kRight].load(std::memory_order_relaxed)) {
+      if (Node* r = n->child[kRight].unguarded_load()) {
         stack.push_back(r);
       }
       pool_.destroy_with_pool(n);
@@ -219,9 +223,9 @@ class CitrusTree {
   // even when reclamation is on.
   std::optional<Value> find(const Key& key) const {
     rcu::ReadGuard<Rcu> guard(rcu_);
-    const Node* curr = search_locked_free(key);
+    const rcu::protected_ptr<const Node> curr = search_locked_free(key);
     if (curr == nullptr) return std::nullopt;
-    check::on_node_access(curr);
+    check::on_node_access(curr.get());
     return curr->value();
   }
 
@@ -355,7 +359,7 @@ class CitrusTree {
                                     nullptr, nullptr);
         if (leaf == nullptr) return UpdateStatus::kNoMemory;  // locks unwind
         g.prev->scan_write_begin();
-        g.prev->child[g.direction].store(leaf, std::memory_order_release);
+        g.prev->child[g.direction].publish(leaf);
         g.prev->scan_write_end();
         locks.release_all();
         size_.fetch_add(1, std::memory_order_relaxed);
@@ -400,16 +404,15 @@ class CitrusTree {
         continue;
       }
       check::on_node_access(g.curr);  // locked + validated: live
-      Node* left = g.curr->child[kLeft].load(std::memory_order_acquire);
-      Node* right = g.curr->child[kRight].load(std::memory_order_acquire);
+      Node* left = g.curr->child[kLeft].load_locked();
+      Node* right = g.curr->child[kRight].load_locked();
       Node* replacement = pool_.allocate(false, NodeKind::kReal,
                                          &g.curr->key(), &value, left, right);
       if (replacement == nullptr) return UpdateStatus::kNoMemory;
       // Lemma 1 discipline: only marked nodes may become unreachable.
       g.curr->marked.store(true, std::memory_order_release);
       g.prev->scan_write_begin();
-      g.prev->child[g.direction].store(replacement,
-                                       std::memory_order_release);
+      g.prev->child[g.direction].publish(replacement);
       g.prev->scan_write_end();
       locks.release_all();
       retire(g.curr);
@@ -468,8 +471,8 @@ class CitrusTree {
 
       // Child pointers of a locked node are stable (all writers lock).
       check::on_node_access(g.curr);  // locked + validated: live
-      Node* left = g.curr->child[kLeft].load(std::memory_order_acquire);
-      Node* right = g.curr->child[kRight].load(std::memory_order_acquire);
+      Node* left = g.curr->child[kLeft].load_locked();
+      Node* right = g.curr->child[kRight].load_locked();
 
       if (left == nullptr || right == nullptr) {
         erase_single_child(g, left, right);
@@ -567,7 +570,7 @@ class CitrusTree {
       std::size_t depth;
     };
     std::vector<Frame> stack;
-    stack.push_back({root_, nullptr, nullptr, 0});
+    stack.push_back({root_.unguarded_load(), nullptr, nullptr, 0});
     while (!stack.empty()) {
       Frame f = stack.back();
       stack.pop_back();
@@ -587,26 +590,25 @@ class CitrusTree {
         if ((lo != nullptr && !(*lo < k)) || (hi != nullptr && !(k < *hi))) {
           return fail(rep, "BST order violated");
         }
-        stack.push_back(
-            {f.n->child[kLeft].load(std::memory_order_relaxed), lo, &f.n->key(),
-             f.depth + 1});
-        stack.push_back({f.n->child[kRight].load(std::memory_order_relaxed),
-                         &f.n->key(), hi, f.depth + 1});
+        stack.push_back({f.n->child[kLeft].unguarded_load(), lo,
+                         &f.n->key(), f.depth + 1});
+        stack.push_back({f.n->child[kRight].unguarded_load(), &f.n->key(), hi,
+                         f.depth + 1});
       } else {
         // Sentinels: −∞ bounds nothing on the left; +∞ keeps all real keys
         // in its left subtree.
         if (f.n->kind == NodeKind::kMinusInf &&
-            f.n->child[kLeft].load(std::memory_order_relaxed) != nullptr) {
+            f.n->child[kLeft].unguarded_load() != nullptr) {
           return fail(rep, "-inf sentinel grew a left child");
         }
         if (f.n->kind == NodeKind::kPlusInf &&
-            f.n->child[kRight].load(std::memory_order_relaxed) != nullptr) {
+            f.n->child[kRight].unguarded_load() != nullptr) {
           return fail(rep, "+inf sentinel grew a right child");
         }
-        stack.push_back({f.n->child[kLeft].load(std::memory_order_relaxed), lo,
-                         hi, f.depth + 1});
-        stack.push_back({f.n->child[kRight].load(std::memory_order_relaxed), lo,
-                         hi, f.depth + 1});
+        stack.push_back({f.n->child[kLeft].unguarded_load(), lo, hi,
+                         f.depth + 1});
+        stack.push_back({f.n->child[kRight].unguarded_load(), lo, hi,
+                         f.depth + 1});
       }
     }
     if (rep.node_count != size()) {
@@ -671,22 +673,28 @@ class CitrusTree {
   GetResult get(const Key& key) const {
     GetResult r;
     rcu::ReadGuard<Rcu> guard(rcu_);
-    Node* prev = root_;
+    rcu::protected_ptr<Node> prev = root_.load();
     int direction = kRight;
-    Node* curr = prev->child[kRight].load(std::memory_order_acquire);
-    check::on_node_access(curr);
+    rcu::protected_ptr<Node> curr = prev->child[kRight].load_protected();
+    check::on_node_access(curr.get());
     int c = curr->compare(key);  // root's right child is never null
     while (curr != nullptr && c != 0) {
       prev = curr;
       direction = c < 0 ? kLeft : kRight;
-      curr = prev->child[direction].load(std::memory_order_acquire);
+      curr = prev->child[direction].load_protected();
       if (curr != nullptr) {
-        check::on_node_access(curr);
+        check::on_node_access(curr.get());
         c = curr->compare(key);
       }
     }
-    r.prev = prev;
-    r.curr = curr;
+    // Deliberate escape beyond the read section (the paper's central
+    // subtlety): the locking phase re-protects these pointers through the
+    // generation snapshots below — validate() fails on any node the
+    // reclaimer recycled after this section closed, forcing a restart.
+    // rcu-analyze: allow (generation-validated handoff to the locking
+    // phase; stale escapees always fail validate, DESIGN.md §7)
+    r.prev = prev.escape();
+    r.curr = curr.escape();
     r.direction = direction;
     r.tag = prev->tag[direction].load(std::memory_order_acquire);
     r.prev_gen = prev->generation.load(std::memory_order_acquire);
@@ -696,16 +704,18 @@ class CitrusTree {
     return r;
   }
 
-  // Lock-free search used by find/contains; caller holds the read guard.
+  // Lock-free search used by find/contains; caller holds the read guard,
+  // and the returned handle stays inside that same region (protected_ptr
+  // in, protected_ptr out — not an escape).
   // rcu-lint: allow (caller holds the read guard — see find/contains)
-  const Node* search_locked_free(const Key& key) const {
-    const Node* curr = root_->child[kRight].load(std::memory_order_acquire);
+  rcu::protected_ptr<const Node> search_locked_free(const Key& key) const {
+    rcu::protected_ptr<const Node> curr =
+        root_.load()->child[kRight].load_protected();
     while (curr != nullptr) {
-      check::on_node_access(curr);
+      check::on_node_access(curr.get());
       const int c = curr->compare(key);
       if (c == 0) return curr;
-      curr = curr->child[c < 0 ? kLeft : kRight].load(
-          std::memory_order_acquire);
+      curr = curr->child[c < 0 ? kLeft : kRight].load_protected();
     }
     return nullptr;
   }
@@ -771,17 +781,15 @@ class CitrusTree {
         f.in_lo = c_lo < 0 || (c_lo == 0 && lo_inclusive);
         f.in_hi = c_hi >= 0;
         // Right subtree holds keys > n: relevant unless n >= hi.
-        f.right = c_hi > 0
-                      ? n->child[kRight].load(std::memory_order_acquire)
-                      : nullptr;
+        f.right = c_hi > 0 ? n->child[kRight].load_protected().get()
+                           : nullptr;
         stack.push_back(f);
         // Left subtree holds keys < n: relevant unless n <= lo.
-        n = c_lo < 0 ? n->child[kLeft].load(std::memory_order_acquire)
-                     : nullptr;
+        n = c_lo < 0 ? n->child[kLeft].load_protected().get() : nullptr;
       }
     };
     bool truncated = false;
-    descend_left(root_);
+    descend_left(root_.load().get());
     while (!conflict && !stack.empty()) {
       const Frame f = stack.back();
       stack.pop_back();
@@ -826,7 +834,7 @@ class CitrusTree {
     rcu::ReadGuard<Rcu> guard(rcu_);
     std::vector<VersionSample> vset;
     const Node* cand = nullptr;
-    const Node* n = root_;
+    const Node* n = root_.load().get();
     while (n != nullptr) {
       const std::uint64_t v = n->version.load(std::memory_order_acquire);
       if ((v & 1) != 0) return false;
@@ -843,7 +851,7 @@ class CitrusTree {
         if (c > 0 && n->kind == NodeKind::kReal) cand = n;
         dir = c > 0 ? kRight : kLeft;
       }
-      n = n->child[dir].load(std::memory_order_acquire);
+      n = n->child[dir].load_protected().get();
     }
     if (cand != nullptr) {
       out->emplace(cand->key(), cand->value());  // copied inside the guard
@@ -868,7 +876,7 @@ class CitrusTree {
       return false;
     }
     if (prev->marked.load(std::memory_order_acquire)) return false;
-    if (prev->child[direction].load(std::memory_order_acquire) != curr) {
+    if (prev->child[direction].load_locked() != curr) {
       return false;
     }
     if (curr != nullptr) {
@@ -881,7 +889,8 @@ class CitrusTree {
   // Paper `incrementTag` (Lines 39-41); caller holds node's lock.
   // rcu-lint: allow (caller holds the node's lock)
   void increment_tag(Node* node, int direction) {
-    if (node->child[direction].load(std::memory_order_relaxed) == nullptr) {
+    if (node->child[direction].load_locked(std::memory_order_relaxed) ==
+        nullptr) {
       node->tag[direction].fetch_add(1, std::memory_order_release);
     }
   }
@@ -892,7 +901,7 @@ class CitrusTree {
     g.curr->marked.store(true, std::memory_order_release);
     Node* child = left != nullptr ? left : right;
     g.prev->scan_write_begin();
-    g.prev->child[g.direction].store(child, std::memory_order_release);
+    g.prev->child[g.direction].publish(child);
     g.prev->scan_write_end();
     increment_tag(g.prev, g.direction);
     size_.fetch_sub(1, std::memory_order_relaxed);
@@ -913,22 +922,32 @@ class CitrusTree {
     // path can be recycled mid-walk and only a grace period protects them.
     // (This nested section cannot deadlock with our own later
     // synchronize_rcu — we end it before taking more locks.)
-    Node* prev_succ = g.curr;
-    Node* succ = right;
+    Node* prev_succ;
+    Node* succ;
     std::uint64_t succ_gen, prev_succ_gen, succ_left_tag;
     {
       MaybeReadGuard guard(rcu_);
-      check::on_node_access(succ);
-      Node* next = succ->child[kLeft].load(std::memory_order_acquire);
+      // `g.curr` and `right` are protected by the held locks on
+      // g.prev/g.curr, not by this section; the handles claim that.
+      rcu::protected_ptr<Node> ps(g.curr);
+      rcu::protected_ptr<Node> s(right);
+      check::on_node_access(s.get());
+      rcu::protected_ptr<Node> next = s->child[kLeft].load_protected();
       while (next != nullptr) {
-        prev_succ = succ;
-        succ = next;
-        check::on_node_access(succ);
-        next = next->child[kLeft].load(std::memory_order_acquire);
+        ps = s;
+        s = next;
+        check::on_node_access(s.get());
+        next = next->child[kLeft].load_protected();
       }
-      succ_gen = succ->generation.load(std::memory_order_acquire);
-      prev_succ_gen = prev_succ->generation.load(std::memory_order_acquire);
-      succ_left_tag = succ->tag[kLeft].load(std::memory_order_acquire);
+      succ_gen = s->generation.load(std::memory_order_acquire);
+      prev_succ_gen = ps->generation.load(std::memory_order_acquire);
+      succ_left_tag = s->tag[kLeft].load(std::memory_order_acquire);
+      // Escape beyond the nested section, re-protected by the generation
+      // snapshots just taken: the lock+validate phase below restarts this
+      // erase if either node was recycled after the section closed.
+      // rcu-analyze: allow (generation-validated handoff, as in get())
+      prev_succ = ps.escape();
+      succ = s.escape();
     }
 
     const int succ_direction = prev_succ == g.curr ? kRight : kLeft;
@@ -957,8 +976,7 @@ class CitrusTree {
 
     g.curr->marked.store(true, std::memory_order_release);  // Line 72
     g.prev->scan_write_begin();
-    g.prev->child[g.direction].store(replacement,
-                                     std::memory_order_release);  // Line 73
+    g.prev->child[g.direction].publish(replacement);  // Line 73
     g.prev->scan_write_end();
     pause(PausePoint::kAfterReplacementPublish);
 
@@ -972,17 +990,17 @@ class CitrusTree {
     pause(PausePoint::kBeforeSuccessorUnlink);
 
     succ->marked.store(true, std::memory_order_release);  // Line 75
-    Node* succ_right = succ->child[kRight].load(std::memory_order_acquire);
+    Node* succ_right = succ->child[kRight].load_locked();
     if (prev_succ == g.curr) {
       // Line 76-78: the successor is the victim's right child, which the
       // replacement adopted — bypass it there.
       replacement->scan_write_begin();
-      replacement->child[kRight].store(succ_right, std::memory_order_release);
+      replacement->child[kRight].publish(succ_right);
       replacement->scan_write_end();
       increment_tag(replacement, kRight);
     } else {
       prev_succ->scan_write_begin();
-      prev_succ->child[kLeft].store(succ_right, std::memory_order_release);
+      prev_succ->child[kLeft].publish(succ_right);
       prev_succ->scan_write_end();
       increment_tag(prev_succ, kLeft);
     }
@@ -1040,10 +1058,10 @@ class CitrusTree {
   class MaybeReadGuard {
    public:
     static constexpr bool kGuard = Traits::kReclaim || check::kEnabled;
-    explicit MaybeReadGuard(Rcu& rcu) : rcu_(rcu) {
+    CITRUS_RCU_READ_LOCK_FN explicit MaybeReadGuard(Rcu& rcu) : rcu_(rcu) {
       if constexpr (kGuard) rcu_.read_lock();
     }
-    ~MaybeReadGuard() {
+    CITRUS_RCU_READ_UNLOCK_FN ~MaybeReadGuard() {
       if constexpr (kGuard) rcu_.read_unlock();
     }
     MaybeReadGuard(const MaybeReadGuard&) = delete;
@@ -1058,8 +1076,8 @@ class CitrusTree {
   // rcu-lint: quiescent (helper for the quiescent-only iteration APIs)
   const Node* real_root() const {
     // All real nodes live in the left subtree of the +inf sentinel.
-    const Node* inf = root_->child[kRight].load(std::memory_order_acquire);
-    return inf->child[kLeft].load(std::memory_order_acquire);
+    const Node* inf = root_.unguarded_load()->child[kRight].unguarded_load();
+    return inf->child[kLeft].unguarded_load();
   }
 
   // rcu-lint: quiescent (reached only through for_each_quiescent)
@@ -1070,12 +1088,12 @@ class CitrusTree {
     while (n != nullptr || !stack.empty()) {
       while (n != nullptr) {
         stack.push_back(n);
-        n = n->child[kLeft].load(std::memory_order_relaxed);
+        n = n->child[kLeft].unguarded_load();
       }
       n = stack.back();
       stack.pop_back();
       f(n->key(), n->value());
-      n = n->child[kRight].load(std::memory_order_relaxed);
+      n = n->child[kRight].unguarded_load();
     }
   }
 
@@ -1140,7 +1158,9 @@ class CitrusTree {
 
   Rcu& rcu_;
   mutable NodePool<Node> pool_;
-  Node* root_;
+  // Published-once entry slot: the -inf sentinel, set in the constructor
+  // and immutable afterwards (readers load-acquire through the wrapper).
+  rcu::published_ptr<Node> root_;
   std::atomic<std::int64_t> size_{0};
   mutable AtomicStats stats_;
   RetireShard retire_shards_[kRetireShards];

@@ -52,6 +52,7 @@
 #include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "rcu/gp_seq.hpp"
+#include "rcu/guarded_ptr.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -88,7 +89,7 @@ class CounterFlagRcu
  public:
   using Record = CounterFlagRecord;
 
-  void read_lock() noexcept {
+  CITRUS_RCU_READ_LOCK_FN void read_lock() noexcept {
     check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
@@ -120,7 +121,7 @@ class CounterFlagRcu
     }
   }
 
-  void read_unlock() noexcept {
+  CITRUS_RCU_READ_UNLOCK_FN void read_unlock() noexcept {
     check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
@@ -135,7 +136,7 @@ class CounterFlagRcu
   // Still lock-free among synchronizers — but instead of each call paying
   // a scan, concurrent calls elect one leader per grace period and the
   // rest piggyback on its scan (rcu/gp_seq.hpp).
-  void synchronize() noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize() noexcept {
     check::on_synchronize(this);
     assert(!in_read_section() &&
            "synchronize() inside a read-side critical section deadlocks");
@@ -149,7 +150,7 @@ class CounterFlagRcu
   // Fence + snapshot only: names a grace period that, once elapsed,
   // covers every unlink this thread performed before the call. Never
   // blocks, never scans, legal anywhere (even inside a read section).
-  GpCookie start_grace_period() noexcept {
+  CITRUS_RCU_GP_START_FN GpCookie start_grace_period() noexcept {
     check::on_gp_start(this);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     return gp_.snap();
@@ -160,7 +161,7 @@ class CounterFlagRcu
 
   // Block until the named grace period has elapsed (leading a scan only
   // if nobody else is driving one).
-  void synchronize(GpCookie cookie) noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize(GpCookie cookie) noexcept {
     check::on_gp_wait(this);
     assert(!in_read_section() &&
            "waiting on a grace period inside a read-side critical section "
@@ -174,7 +175,7 @@ class CounterFlagRcu
   // occupied record directly, exactly like the flat baseline. Ignores the
   // group hints (so it neither depends on nor perturbs the hint
   // invariant) and shares no state with other synchronizers.
-  void synchronize_expedited() noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize_expedited() noexcept {
     check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&
@@ -296,7 +297,7 @@ class FlatCounterFlagRcu
  public:
   using Record = CounterFlagRecord;
 
-  void read_lock() noexcept {
+  CITRUS_RCU_READ_LOCK_FN void read_lock() noexcept {
     check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
@@ -308,7 +309,7 @@ class FlatCounterFlagRcu
     }
   }
 
-  void read_unlock() noexcept {
+  CITRUS_RCU_READ_UNLOCK_FN void read_unlock() noexcept {
     check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
@@ -321,7 +322,7 @@ class FlatCounterFlagRcu
   // Lock-free among synchronizers: each one independently samples every
   // other thread's word and waits for flagged ones to move. Concurrent
   // synchronize_rcu calls share no state at all (the paper's key point).
-  void synchronize() noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize() noexcept {
     check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&

@@ -26,6 +26,7 @@
 #include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "rcu/gp_seq.hpp"
+#include "rcu/guarded_ptr.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -47,7 +48,7 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
  public:
   using Record = EpochRecord;
 
-  void read_lock() noexcept {
+  CITRUS_RCU_READ_LOCK_FN void read_lock() noexcept {
     check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
@@ -58,7 +59,7 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
     }
   }
 
-  void read_unlock() noexcept {
+  CITRUS_RCU_READ_UNLOCK_FN void read_unlock() noexcept {
     check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
@@ -73,7 +74,7 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
   // leader advances the epoch and scans (rcu/gp_seq.hpp). A sequential
   // caller still leads every time, so the epoch advances once per call in
   // single-threaded use.
-  void synchronize() noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize() noexcept {
     check::on_synchronize(this);
     assert(!in_read_section() &&
            "synchronize() inside a read-side critical section deadlocks");
@@ -83,13 +84,13 @@ class EpochRcu : public DomainBase<EpochRcu, EpochRecord> {
   }
 
   // Deferred grace periods (gp_poll_domain) — see counter_flag_rcu.hpp.
-  GpCookie start_grace_period() noexcept {
+  CITRUS_RCU_GP_START_FN GpCookie start_grace_period() noexcept {
     check::on_gp_start(this);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     return gp_.snap();
   }
   bool poll(GpCookie cookie) const noexcept { return gp_.done(cookie); }
-  void synchronize(GpCookie cookie) noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize(GpCookie cookie) noexcept {
     check::on_gp_wait(this);
     assert(!in_read_section() &&
            "waiting on a grace period inside a read-side critical section "

@@ -30,6 +30,7 @@
 
 #include "check/check.hpp"
 #include "fault/fault.hpp"
+#include "rcu/guarded_ptr.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -56,7 +57,7 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
   static constexpr std::uint64_t kBase = 1;
   static constexpr std::uint64_t kPhase = 1ull << 32;
 
-  void read_lock() noexcept {
+  CITRUS_RCU_READ_LOCK_FN void read_lock() noexcept {
     check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
@@ -67,7 +68,7 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
     }
   }
 
-  void read_unlock() noexcept {
+  CITRUS_RCU_READ_UNLOCK_FN void read_unlock() noexcept {
     check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
@@ -77,7 +78,7 @@ class GlobalLockRcu : public DomainBase<GlobalLockRcu, GlobalLockRecord> {
     }
   }
 
-  void synchronize() noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize() noexcept {
     check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&

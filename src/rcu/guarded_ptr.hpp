@@ -1,0 +1,251 @@
+// Typed RCU pointer discipline — the compile-time half of the static
+// analyzer (tools/rcu_analyze.py reads the other half out of the AST).
+//
+// The paper's correctness argument rests on invariants that no finite test
+// run can exhaustively witness: every dereference of a tree node happens
+// inside a read-side critical section or under the node's lock, and every
+// pointer swing that publishes structure is a release-ordered store. The
+// runtime rcucheck layer (src/check/) verifies those obligations on
+// *executed* paths; this header moves the first line of defense into the
+// type system, the way the kernel's `__rcu` address-space annotation plus
+// sparse does:
+//
+//   guarded_ptr<T>    — an RCU-protected pointer *cell* (the thing a
+//                       `T* __rcu` field is in the kernel): the only
+//                       mutable pointer state readers traverse without
+//                       locks. It wraps std::atomic<T*> and exposes no raw
+//                       load/store: reads go through load_protected()
+//                       (acquire; returns a protected_ptr handle) or
+//                       load_locked() (for writers holding the owning
+//                       lock), and writes go through publish() — release
+//                       by construction, so "publish site that is not a
+//                       release-ordered store" becomes unwritable rather
+//                       than merely detectable.
+//   protected_ptr<T>  — the borrowed handle a guarded load returns. It is
+//                       the only deref-able face of protected state, and it
+//                       is valid exactly as long as the protection region
+//                       (read-side critical section or lock) it was loaded
+//                       under. The analyzer tracks values of this type per
+//                       function and flags derefs outside any region and
+//                       handles escaping their region (returned, stored to
+//                       a field/global, captured by a deferred callback).
+//   published_ptr<T>  — a single-publisher entry slot (a tree root, a
+//                       snapshot head): publish()/load() only, no CAS. The
+//                       split exists so the analyzer can tell an interior
+//                       cell, whose writers must hold a lock, from an
+//                       entry point that is published once and then only
+//                       read.
+//
+// Escape hatches are deliberate, explicit and greppable:
+//   unguarded_load()/unguarded_store() — quiescent-only access (teardown,
+//     pre-publication construction, slot scrubbing after a grace period).
+//     The analyzer flags them outside functions annotated quiescent.
+//   protected_ptr::escape() — carry a pointer beyond its protection
+//     region. Citrus does this on purpose: `get` hands the search result
+//     to the locking phase, where generation validation — not the expired
+//     read section — re-establishes safety (DESIGN.md §7). Every escape()
+//     call site needs an `// rcu-analyze: allow(...)` annotation naming
+//     the proof obligation that replaces the region.
+//
+// All wrappers are zero-cost: protected_ptr is a trivially copyable raw
+// pointer, guarded_ptr/published_ptr are exactly std::atomic<T*>, and
+// every method is a single inlined load/store/RMW with the same memory
+// order the open-coded atomics used before this layer existed.
+//
+// The [[clang::annotate]] tags (compiled only under clang; GCC would warn
+// on the unknown attribute namespace and CI builds with -Werror) are what
+// the libclang backend of tools/rcu_analyze.py keys on; the fallback
+// frontend keys on the type and method names instead. Both grammars are
+// defined once, in tools/rcu_annotations.py.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+
+// Type/function tags for the libclang analyzer backend. Expand to nothing
+// on non-clang compilers (GCC warns on unknown attribute namespaces, and
+// CI runs -Werror).
+#if defined(__clang__)
+#define CITRUS_RCU_ANNOTATE(tag) [[clang::annotate(tag)]]
+#else
+#define CITRUS_RCU_ANNOTATE(tag)
+#endif
+
+// Function-role tags: mark the protocol entry points of every RCU domain
+// so the analyzer recognizes protection regions across all four backends
+// (counter-flag, flat, epoch, global-lock, QSBR) without a hardcoded
+// function list.
+#define CITRUS_RCU_READ_LOCK_FN CITRUS_RCU_ANNOTATE("rcu_read_lock")
+#define CITRUS_RCU_READ_UNLOCK_FN CITRUS_RCU_ANNOTATE("rcu_read_unlock")
+// A function that blocks for (or may block for) a grace period; calling
+// one from inside a read-side critical section is a self-deadlock.
+#define CITRUS_RCU_SYNCHRONIZE_FN CITRUS_RCU_ANNOTATE("rcu_synchronize")
+// Non-blocking grace-period bookkeeping (start/poll): legal anywhere.
+#define CITRUS_RCU_GP_START_FN CITRUS_RCU_ANNOTATE("rcu_gp_start")
+
+namespace citrus::rcu {
+
+template <typename T>
+class guarded_ptr;
+template <typename T>
+class published_ptr;
+
+// Borrowed handle to RCU-protected state. Valid only within the protection
+// region (read-side critical section or owning lock) it was loaded under;
+// the static analyzer enforces that scoping, the type system enforces that
+// protected state has no other deref-able face.
+template <typename T>
+class CITRUS_RCU_ANNOTATE("rcu_protected") protected_ptr {
+ public:
+  constexpr protected_ptr() noexcept = default;
+  constexpr protected_ptr(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  // Forming a handle from a raw pointer is a claim that the pointer is
+  // currently protected (a node reached under a held lock, `this` inside a
+  // locked method). Explicit so the claim is visible at the call site.
+  explicit constexpr protected_ptr(T* p) noexcept : p_(p) {}
+
+  // Qualification-adding conversion (Node → const Node), same region.
+  template <typename U>
+    requires std::convertible_to<U*, T*>
+  constexpr protected_ptr(protected_ptr<U> other) noexcept  // NOLINT
+      : p_(other.get()) {}
+
+  T& operator*() const noexcept { return *p_; }
+  T* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  // Raw view for same-region plumbing: pointer comparisons, passing to a
+  // function that itself runs inside the caller's region. Using the result
+  // beyond the region is an escape and belongs to escape() below.
+  T* get() const noexcept { return p_; }
+
+  // Deliberate region escape — the paper's own idiom: `get` returns its
+  // search result to the locking phase, where generation validation (not
+  // the expired read section) re-establishes safety. The analyzer flags
+  // every call site of escape() unless an `// rcu-analyze: allow(...)`
+  // annotation states the replacement proof obligation.
+  T* escape() const noexcept { return p_; }
+
+  friend constexpr bool operator==(protected_ptr a, protected_ptr b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend constexpr bool operator==(protected_ptr a, const T* b) noexcept {
+    return a.p_ == b;
+  }
+  friend constexpr bool operator==(protected_ptr a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  T* p_ = nullptr;
+};
+
+// An RCU-protected pointer cell: the interior links readers traverse
+// without locks (Citrus child pointers, the reclaimer's retired-list head,
+// the registry's group list). All mutation is release-ordered by
+// construction; all raw access is a named, greppable escape hatch.
+template <typename T>
+class CITRUS_RCU_ANNOTATE("rcu_guarded") guarded_ptr {
+ public:
+  constexpr guarded_ptr() noexcept : cell_(nullptr) {}
+  explicit guarded_ptr(T* init) noexcept : cell_(init) {}
+  guarded_ptr(const guarded_ptr&) = delete;
+  guarded_ptr& operator=(const guarded_ptr&) = delete;
+
+  // ── Read side ────────────────────────────────────────────────────────
+  // Acquire-load under a protection region; the kernel's rcu_dereference.
+  // `mo` exists for callers that need seq_cst (the registry scan); it can
+  // only strengthen the default.
+  protected_ptr<T> load_protected(
+      std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return protected_ptr<T>(cell_.load(mo));
+  }
+
+  // ── Update side, owning lock held ────────────────────────────────────
+  // Child links of a locked node are stable (all writers lock), so the
+  // lock — not a read section — is the protection region here. Returns a
+  // raw pointer: validity outlives no region transition, it is bounded by
+  // the lock the caller already holds.
+  T* load_locked(std::memory_order mo = std::memory_order_acquire)
+      const noexcept {
+    return cell_.load(mo);
+  }
+
+  // Release-ordered pointer swing — the only way to publish through this
+  // cell, so an insufficiently ordered publish site cannot be written.
+  void publish(T* v) noexcept { cell_.store(v, std::memory_order_release); }
+  void publish(protected_ptr<T> v) noexcept { publish(v.get()); }
+
+  // Lock-free publish for CAS-based producers (the reclaimer's MPSC
+  // stack, the registry's group list). Success order defaults to release
+  // — the publish contract — and can only be strengthened (the registry
+  // publishes groups seq_cst so scans totally order against claims);
+  // failure is a relaxed reload into `expected`.
+  bool compare_exchange_weak(
+      T*& expected, T* desired,
+      std::memory_order success = std::memory_order_release) noexcept {
+    return cell_.compare_exchange_weak(expected, desired, success,
+                                       std::memory_order_relaxed);
+  }
+
+  // Detach the entire published chain, transferring exclusive ownership
+  // to the caller (MPSC consumer side). Acquire pairs with the producers'
+  // release publishes; the raw result is owned, not borrowed.
+  T* exchange_detach(T* v = nullptr) noexcept {
+    return cell_.exchange(v, std::memory_order_acquire);
+  }
+
+  // ── Quiescent escape hatches ─────────────────────────────────────────
+  // For single-owner phases only: construction before the structure is
+  // reachable, teardown after all threads joined, slot scrubbing after a
+  // grace period. Greppable; the analyzer flags uses outside functions
+  // annotated `// rcu-analyze: quiescent(...)`.
+  T* unguarded_load(
+      std::memory_order mo = std::memory_order_relaxed) const noexcept {
+    return cell_.load(mo);
+  }
+  void unguarded_store(
+      T* v, std::memory_order mo = std::memory_order_relaxed) noexcept {
+    cell_.store(v, mo);
+  }
+
+ private:
+  std::atomic<T*> cell_;
+};
+
+// Single-publisher entry slot: published (release) at most a handful of
+// times by one thread at a time, read (acquire) by everyone. No CAS — a
+// cell that needs one is interior mutable state and belongs in
+// guarded_ptr. The analyzer treats load() exactly like a guarded load.
+template <typename T>
+class CITRUS_RCU_ANNOTATE("rcu_published") published_ptr {
+ public:
+  constexpr published_ptr() noexcept : cell_(nullptr) {}
+  explicit published_ptr(T* init) noexcept : cell_(init) {}
+  published_ptr(const published_ptr&) = delete;
+  published_ptr& operator=(const published_ptr&) = delete;
+
+  void publish(T* v) noexcept { cell_.store(v, std::memory_order_release); }
+
+  protected_ptr<T> load(
+      std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return protected_ptr<T>(cell_.load(mo));
+  }
+
+  // Quiescent escape hatches — same contract as guarded_ptr's.
+  T* unguarded_load(
+      std::memory_order mo = std::memory_order_relaxed) const noexcept {
+    return cell_.load(mo);
+  }
+  void unguarded_store(
+      T* v, std::memory_order mo = std::memory_order_relaxed) noexcept {
+    cell_.store(v, mo);
+  }
+
+ private:
+  std::atomic<T*> cell_;
+};
+
+}  // namespace citrus::rcu

@@ -35,6 +35,7 @@
 
 #include "check/check.hpp"
 #include "fault/fault.hpp"
+#include "rcu/guarded_ptr.hpp"
 #include "rcu/registry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -64,7 +65,7 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
 
   // Registration puts the thread online; threads that stop operating for
   // a while should hold an OfflineGuard (or drop the Registration).
-  void read_lock() noexcept {
+  CITRUS_RCU_READ_LOCK_FN void read_lock() noexcept {
     check::on_read_lock(this);
     Record& r = self();
     if (r.nest++ == 0) {
@@ -80,7 +81,7 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
     }
   }
 
-  void read_unlock() noexcept {
+  CITRUS_RCU_READ_UNLOCK_FN void read_unlock() noexcept {
     check::on_read_unlock(this);
     Record& r = self();
     assert(r.nest > 0 && "read_unlock without matching read_lock");
@@ -117,7 +118,7 @@ class QsbrRcu : public DomainBase<QsbrRcu, QsbrRecord> {
                   std::memory_order_seq_cst);
   }
 
-  void synchronize() noexcept {
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize() noexcept {
     check::on_synchronize(this);
     Record* me = find_record();
     assert((me == nullptr || me->nest == 0) &&

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "rcu/guarded_ptr.hpp"
+
 namespace citrus::rcu {
 
 // A deferred reclamation request: fn(ptr, ctx) runs after a grace period.
@@ -116,10 +118,11 @@ concept gp_poll_domain =
 template <rcu_domain D>
 class ReadGuard {
  public:
-  explicit ReadGuard(D& domain) noexcept : domain_(domain) {
+  CITRUS_RCU_READ_LOCK_FN explicit ReadGuard(D& domain) noexcept
+      : domain_(domain) {
     domain_.read_lock();
   }
-  ~ReadGuard() { domain_.read_unlock(); }
+  CITRUS_RCU_READ_UNLOCK_FN ~ReadGuard() { domain_.read_unlock(); }
   ReadGuard(const ReadGuard&) = delete;
   ReadGuard& operator=(const ReadGuard&) = delete;
 

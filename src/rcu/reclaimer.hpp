@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "rcu/guarded_ptr.hpp"
 #include "rcu/rcu.hpp"
 #include "sync/backoff.hpp"
 
@@ -86,12 +87,12 @@ class Reclaimer {
     }
     auto* node = new Node{Retired{ptr, fn, ctx}, nullptr};
     pending_.fetch_add(1, std::memory_order_release);
-    Node* old_head = head_.load(std::memory_order_relaxed);
+    // rcu-analyze: allow (CAS-publish loop: the relaxed initial load only
+    // seeds `expected`; the successful exchange is release by contract)
+    Node* old_head = head_.unguarded_load(std::memory_order_relaxed);
     do {
       node->next = old_head;
-    } while (!head_.compare_exchange_weak(old_head, node,
-                                          std::memory_order_release,
-                                          std::memory_order_relaxed));
+    } while (!head_.compare_exchange_weak(old_head, node));
     wakeups_.fetch_add(1, std::memory_order_release);
     wakeups_.notify_one();
   }
@@ -197,7 +198,9 @@ class Reclaimer {
   // Detach the whole producer stack and append it to `out` (FIFO order —
   // the stack is LIFO, so reverse while copying out).
   void collect(std::vector<Retired>& out) {
-    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    // Acquire-exchange transfers exclusive ownership of the whole chain to
+    // this worker; from here the nodes are private, not RCU-protected.
+    Node* node = head_.exchange_detach();
     const std::size_t mark = out.size();
     while (node != nullptr) {
       out.push_back(node->item);
@@ -211,10 +214,10 @@ class Reclaimer {
   // Sleep until work arrives or we are told to stop with an empty queue.
   bool wait_for_work() {
     for (;;) {
-      if (head_.load(std::memory_order_acquire) != nullptr) return true;
+      if (head_.load_protected() != nullptr) return true;
       if (stopping_.load(std::memory_order_acquire)) return false;
       const std::uint64_t seen = wakeups_.load(std::memory_order_acquire);
-      if (head_.load(std::memory_order_acquire) != nullptr) return true;
+      if (head_.load_protected() != nullptr) return true;
       if (stopping_.load(std::memory_order_acquire)) return false;
       wakeups_.wait(seen, std::memory_order_acquire);
     }
@@ -252,7 +255,10 @@ class Reclaimer {
   }
 
   Domain& domain_;
-  std::atomic<Node*> head_{nullptr};
+  // MPSC stack head: producers CAS-publish, the worker exchange-detaches.
+  // guarded_ptr because producers may push from inside read-side critical
+  // sections and the worker's non-null probes race with them.
+  guarded_ptr<Node> head_;
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> wakeups_{0};

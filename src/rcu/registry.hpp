@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "rcu/guarded_ptr.hpp"
 #include "rcu/rcu.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
@@ -116,7 +117,9 @@ class GroupedRegistry {
   GroupedRegistry& operator=(const GroupedRegistry&) = delete;
 
   ~GroupedRegistry() {
-    Group* g = head_.load(std::memory_order_acquire);
+    // rcu-analyze: quiescent (domain teardown: DomainBase asserts zero
+    // live registrations, so no thread can be traversing the list)
+    Group* g = head_.unguarded_load(std::memory_order_acquire);
     while (g != nullptr) {
       Group* next = g->next;
       delete g;
@@ -127,7 +130,11 @@ class GroupedRegistry {
   // Returns a quiescent record owned by the calling thread until release().
   Record* acquire() {
     for (;;) {
-      for (Group* g = head_.load(std::memory_order_acquire); g != nullptr;
+      // Groups are immortal once published (freed only by the registry
+      // destructor, which requires quiescence), so the borrowed handle
+      // may be walked raw without a bounding region.
+      // rcu-analyze: allow (append-only immortal list)
+      for (Group* g = head_.load_protected().get(); g != nullptr;
            g = g->next) {
         std::uint64_t occ = g->header.occupied.load(std::memory_order_relaxed);
         while (occ != kFullMask) {
@@ -150,12 +157,13 @@ class GroupedRegistry {
       // the winner's group has free slots.
       auto* g = new Group();
       g->header.occupied.store(1, std::memory_order_relaxed);
-      Group* old_head = head_.load(std::memory_order_relaxed);
+      // rcu-analyze: allow (CAS-publish loop: the relaxed initial load
+      // only seeds `expected`; the successful exchange publishes seq_cst)
+      Group* old_head = head_.unguarded_load(std::memory_order_relaxed);
       do {
         g->next = old_head;
       } while (!head_.compare_exchange_weak(old_head, g,
-                                            std::memory_order_seq_cst,
-                                            std::memory_order_relaxed));
+                                            std::memory_order_seq_cst));
       return prepare(g->slots[0]);
     }
   }
@@ -176,7 +184,8 @@ class GroupedRegistry {
   // (whose state is quiescent). Safe concurrently with acquire/release.
   template <typename F>
   void for_each(F&& f) const {
-    for (Group* g = head_.load(std::memory_order_acquire); g != nullptr;
+    // rcu-analyze: allow (append-only immortal list)
+    for (Group* g = head_.load_protected().get(); g != nullptr;
          g = g->next) {
       for (std::size_t i = 0; i < kGroupSize; ++i) f(g->slots[i]);
     }
@@ -187,8 +196,10 @@ class GroupedRegistry {
   // either visited (it is quiescent by then anyway) or already skipped.
   template <typename F>
   void for_each_occupied(F&& f) const {
-    for (Group* g = head_.load(std::memory_order_seq_cst); g != nullptr;
-         g = g->next) {
+    // seq_cst: orders the scan's list snapshot against slot claims (see
+    // acquire()). rcu-analyze: allow (append-only immortal list)
+    for (Group* g = head_.load_protected(std::memory_order_seq_cst).get();
+         g != nullptr; g = g->next) {
       std::uint64_t occ = g->header.occupied.load(std::memory_order_seq_cst);
       while (occ != 0) {
         const unsigned i = static_cast<unsigned>(std::countr_zero(occ));
@@ -201,8 +212,9 @@ class GroupedRegistry {
   // Group-granular visit for hierarchical scans.
   template <typename F>
   void for_each_group(F&& f) const {
-    for (Group* g = head_.load(std::memory_order_seq_cst); g != nullptr;
-         g = g->next) {
+    // rcu-analyze: allow (append-only immortal list; seq_cst as above)
+    for (Group* g = head_.load_protected(std::memory_order_seq_cst).get();
+         g != nullptr; g = g->next) {
       f(*g);
     }
   }
@@ -210,7 +222,8 @@ class GroupedRegistry {
   // Number of record slots currently allocated (occupied + recyclable).
   std::size_t allocated() const {
     std::size_t n = 0;
-    for (Group* g = head_.load(std::memory_order_acquire); g != nullptr;
+    // rcu-analyze: allow (append-only immortal list)
+    for (Group* g = head_.load_protected().get(); g != nullptr;
          g = g->next) {
       n += kGroupSize;
     }
@@ -230,7 +243,9 @@ class GroupedRegistry {
     return &r;
   }
 
-  std::atomic<Group*> head_{nullptr};
+  // Append-only group list head: CAS-published (seq_cst) by acquire(),
+  // walked without locks by every synchronizer scan.
+  guarded_ptr<Group> head_;
 };
 
 // Backward-compatible alias: the intrusive list is gone, but domain code

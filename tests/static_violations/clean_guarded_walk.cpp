@@ -1,0 +1,26 @@
+// expect-clean
+//
+// False-positive guard: a fully disciplined function — guarded walk inside
+// a read-side critical section, release publish through the typed API, a
+// teardown correctly annotated quiescent — must produce zero findings.
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+int sum_list(FakeRcu& rcu, Node& root) {
+  ReadGuard guard(rcu);
+  int total = 0;
+  citrus::rcu::protected_ptr<Node> h = root.next.load_protected();
+  while (h != nullptr) {
+    total += h->value;
+    h = h->next.load_protected();
+  }
+  return total;
+}
+
+void swing(Node& parent, Node* fresh) { parent.next.publish(fresh); }
+
+// rcu-analyze: quiescent (teardown: all readers joined before this runs)
+void teardown(Node& root) { root.next.unguarded_store(nullptr); }
+
+}  // namespace corpus

@@ -1,0 +1,43 @@
+// Shared scaffolding for the seeded-violation corpus. Each corpus file is
+// a minimal, compilable (g++ -fsyntax-only -Isrc) translation unit that
+// commits exactly one RCU-discipline violation for tools/rcu_analyze.py
+// to flag — the analyzer's own regression suite, mirroring how
+// tests/test_rcucheck.cpp seeds runtime violations for the checker.
+//
+// FakeRcu/ReadGuard carry the real protocol names (read_lock, read_unlock,
+// synchronize, ReadGuard) so both analyzer frontends recognize them — the
+// libclang backend through the CITRUS_RCU_*_FN annotate tags, the fallback
+// through the identifiers. The violations themselves all *compile*: the
+// typed wrappers make undisciplined code explicit (escape(), unguarded_*),
+// not inexpressible, and the analyzer is what turns explicit into flagged.
+#pragma once
+
+#include "rcu/guarded_ptr.hpp"
+
+namespace corpus {
+
+struct Node {
+  int value = 0;
+  citrus::rcu::guarded_ptr<Node> next;
+};
+
+struct FakeRcu {
+  CITRUS_RCU_READ_LOCK_FN void read_lock() noexcept {}
+  CITRUS_RCU_READ_UNLOCK_FN void read_unlock() noexcept {}
+  CITRUS_RCU_SYNCHRONIZE_FN void synchronize() noexcept {}
+};
+
+class ReadGuard {
+ public:
+  CITRUS_RCU_READ_LOCK_FN explicit ReadGuard(FakeRcu& r) noexcept : r_(r) {
+    r_.read_lock();
+  }
+  CITRUS_RCU_READ_UNLOCK_FN ~ReadGuard() { r_.read_unlock(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  FakeRcu& r_;
+};
+
+}  // namespace corpus

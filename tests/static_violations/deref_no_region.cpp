@@ -1,0 +1,15 @@
+// expect-finding: deref-outside-region
+//
+// Violation class (a), degenerate form: a guarded load and deref with no
+// protection region anywhere in the function — the plain data race every
+// rcu_dereference-without-rcu_read_lock bug reduces to.
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+int unprotected(Node& root) {
+  citrus::rcu::protected_ptr<Node> h = root.next.load_protected();
+  return h->value;
+}
+
+}  // namespace corpus

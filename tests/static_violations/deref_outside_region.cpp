@@ -1,0 +1,20 @@
+// expect-finding: deref-outside-region
+//
+// Violation class (a), the use-after-region bug the paper's `get` protocol
+// exists to prevent: a handle loaded inside a read-side critical section
+// is dereferenced after the section's scope closes. Between the `}` and
+// the deref a grace period may elapse and the node be reclaimed.
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+int stale_read(FakeRcu& rcu, Node& root) {
+  citrus::rcu::protected_ptr<Node> h;
+  {
+    ReadGuard guard(rcu);
+    h = root.next.load_protected();
+  }
+  return h->value;  // the protecting section ended at the brace above
+}
+
+}  // namespace corpus

@@ -1,0 +1,19 @@
+// expect-finding: region-escape
+//
+// Violation class (b): a protected pointer is captured by a deferred
+// callback. The lambda runs whenever its owner invokes it — long after
+// this frame's read-side critical section is gone.
+#include <functional>
+
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+std::function<int()> defer(FakeRcu& rcu, Node& root) {
+  ReadGuard guard(rcu);
+  citrus::rcu::protected_ptr<Node> h = root.next.load_protected();
+  Node* captured = h.escape();
+  return [captured] { return captured->value; };
+}
+
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// expect-finding: region-escape
+//
+// Violation class (b): a protected pointer escapes its critical section by
+// being returned. The caller receives a raw Node* whose protection ended
+// at the callee's closing brace — unlike the tree's own get→lock handoff,
+// nothing re-validates it, and there is no annotation claiming otherwise.
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+Node* leak_return(FakeRcu& rcu, Node& root) {
+  ReadGuard guard(rcu);
+  citrus::rcu::protected_ptr<Node> h = root.next.load_protected();
+  return h.escape();
+}
+
+}  // namespace corpus

@@ -1,0 +1,20 @@
+// expect-finding: region-escape
+//
+// Violation class (b): a protected pointer escapes by being parked in a
+// member field. The field outlives the read-side critical section, so any
+// later reader of `last` holds a pointer with no protection at all.
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+struct Cache {
+  Node* last = nullptr;
+
+  void remember(FakeRcu& rcu, Node& root) {
+    ReadGuard guard(rcu);
+    citrus::rcu::protected_ptr<Node> h = root.next.load_protected();
+    last = h.escape();
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,28 @@
+// expect-finding: publish-not-release
+//
+// Violation class (c): a pointer swing that makes a node reachable to
+// concurrent readers, done with a relaxed store on a raw atomic cell. A
+// reader's acquire load of `head_` is not guaranteed to observe the
+// node's initialization. Unwritable through guarded_ptr::publish() (which
+// is release by construction) — this file deliberately bypasses the typed
+// API to seed the raw-atomic form the analyzer must still catch.
+#include <atomic>
+
+namespace corpus {
+
+struct RawNode {
+  int value = 0;
+  std::atomic<RawNode*> next{nullptr};
+};
+
+struct RawList {
+  std::atomic<RawNode*> head_{nullptr};
+};
+
+void publish_new_head(RawList& list, RawNode* fresh) {
+  fresh->next.store(list.head_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  list.head_.store(fresh, std::memory_order_relaxed);  // readers traverse this
+}
+
+}  // namespace corpus

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""run_corpus.py — regression driver for tools/rcu_analyze.py.
+
+Three assertions, mirroring the rcucheck suite's shape:
+
+  1. Every seeded-violation file in this directory is *flagged* with the
+     finding kind its `// expect-finding:` header names (or produces an
+     annotation diagnostic, for `// expect-diagnostic:` files).
+  2. Files marked `// expect-clean` produce zero findings (false-positive
+     guard).
+  3. The analyzer stays clean on the real `src/` tree.
+
+As a bonus, when a C++ compiler is available every corpus file is also
+syntax-checked (`-fsyntax-only`) against the real wrapper header: the
+violations must be *compilable* discipline bugs, not type errors — the
+wrappers make indiscipline explicit, the analyzer makes it flagged.
+
+Usage: tests/static_violations/run_corpus.py [--root DIR]
+Exit 0 iff all assertions hold. Registered as a ctest (label: tier1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+EXPECT_FINDING_RE = re.compile(r"//\s*expect-finding:\s*([\w-]+)")
+EXPECT_DIAG_RE = re.compile(r"//\s*expect-diagnostic:\s*(.+)")
+EXPECT_CLEAN_RE = re.compile(r"//\s*expect-clean\b")
+
+
+def run_analyzer(root: pathlib.Path, target: pathlib.Path):
+    return subprocess.run(
+        [
+            sys.executable,
+            str(root / "tools" / "rcu_analyze.py"),
+            "--root",
+            str(root),
+            str(target),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=root,
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=None, help="repo root")
+    args = ap.parse_args()
+
+    here = pathlib.Path(__file__).resolve().parent
+    root = (
+        pathlib.Path(args.root).resolve()
+        if args.root
+        else here.parent.parent
+    )
+
+    failures: list[str] = []
+    checked = 0
+
+    cxx = shutil.which("g++") or shutil.which("c++") or shutil.which("clang++")
+
+    for case in sorted(here.glob("*.cpp")):
+        text = case.read_text(encoding="utf-8")
+        expect_kinds = EXPECT_FINDING_RE.findall(text)
+        expect_diags = EXPECT_DIAG_RE.findall(text)
+        expect_clean = EXPECT_CLEAN_RE.search(text) is not None
+        if not (expect_kinds or expect_diags or expect_clean):
+            failures.append(
+                f"{case.name}: no expect-finding/expect-diagnostic/"
+                f"expect-clean header — every corpus file must state its "
+                f"contract"
+            )
+            continue
+
+        proc = run_analyzer(root, case)
+        out = proc.stdout + proc.stderr
+        checked += 1
+
+        if expect_clean:
+            if proc.returncode != 0:
+                failures.append(
+                    f"{case.name}: expected clean, analyzer exited "
+                    f"{proc.returncode}:\n{out}"
+                )
+        else:
+            if proc.returncode == 0:
+                failures.append(
+                    f"{case.name}: seeded violation NOT flagged "
+                    f"(analyzer exited 0):\n{out}"
+                )
+            for kind in expect_kinds:
+                if f"[{kind}]" not in out:
+                    failures.append(
+                        f"{case.name}: expected finding kind "
+                        f"[{kind}] absent from output:\n{out}"
+                    )
+            for diag in expect_diags:
+                if diag.strip() not in out:
+                    failures.append(
+                        f"{case.name}: expected diagnostic text "
+                        f"`{diag.strip()}` absent from output:\n{out}"
+                    )
+
+        if cxx is not None:
+            cc = subprocess.run(
+                [
+                    cxx,
+                    "-std=c++20",
+                    "-fsyntax-only",
+                    f"-I{root / 'src'}",
+                    f"-I{here}",
+                    str(case),
+                ],
+                capture_output=True,
+                text=True,
+            )
+            if cc.returncode != 0:
+                failures.append(
+                    f"{case.name}: does not compile "
+                    f"(violations must be valid C++):\n{cc.stderr}"
+                )
+
+    # The real tree must stay clean — the zero-findings half of the
+    # acceptance contract.
+    src = run_analyzer(root, root / "src")
+    if src.returncode != 0:
+        failures.append(
+            f"src/: analyzer not clean:\n{src.stdout}{src.stderr}"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        print(f"\nrun_corpus: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(
+        f"run_corpus: ok ({checked} corpus cases"
+        f"{', compile-checked' if cxx else ''}; src/ clean)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+// expect-finding: sync-in-read-section
+//
+// Violation class (d), direct form: synchronize() called while a read-side
+// critical section is open. The grace period being awaited includes the
+// waiter's own section — a self-deadlock (rcucheck's runtime class (d),
+// caught here without executing the path).
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+void self_deadlock(FakeRcu& rcu) {
+  ReadGuard guard(rcu);
+  rcu.synchronize();
+}
+
+}  // namespace corpus

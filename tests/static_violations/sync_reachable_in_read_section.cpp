@@ -1,0 +1,18 @@
+// expect-finding: sync-in-read-section
+//
+// Violation class (d), reachability form: the grace-period wait is one
+// call deep. `drain` is legal on its own; calling it from inside a read
+// section is the deadlock. Requires the call-graph fixpoint — a purely
+// local check cannot see it.
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+void drain(FakeRcu& rcu) { rcu.synchronize(); }
+
+void caller_inside_section(FakeRcu& rcu) {
+  ReadGuard guard(rcu);
+  drain(rcu);
+}
+
+}  // namespace corpus

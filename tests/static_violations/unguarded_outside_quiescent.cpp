@@ -1,0 +1,18 @@
+// expect-finding: quiescent-escape
+//
+// The quiescent escape hatches (unguarded_load/unguarded_store) are for
+// single-owner phases: pre-publication construction, post-join teardown,
+// post-grace-period scrubbing. Using one in an ordinary function without
+// a quiescent suppression marker stating why no concurrent readers exist
+// is a discipline hole — the store is relaxed and the cell may be
+// concurrently read. (The marker itself is deliberately not spelled out
+// in this comment: the grammar would parse it and bless the function.)
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+void sloppy_reset(Node& root) {
+  root.next.unguarded_store(nullptr);
+}
+
+}  // namespace corpus

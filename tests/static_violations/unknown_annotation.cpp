@@ -1,0 +1,14 @@
+// expect-diagnostic: annotation error
+//
+// Grammar enforcement (shared with lint_rcu.py via rcu_annotations.py): a
+// typo'd suppression key must be *rejected with a diagnostic*, not
+// silently ignored — a suppression that quietly suppresses nothing is the
+// worst failure mode an escape-hatch grammar can have.
+#include "corpus_common.hpp"
+
+namespace corpus {
+
+// rcu-analyze: quiscent (typo for `quiescent` — must be rejected)
+void fine(Node& root) { root.next.unguarded_store(nullptr); }
+
+}  // namespace corpus

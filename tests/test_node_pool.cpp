@@ -25,7 +25,7 @@ TEST(NodePool, AllocateConstructsPayload) {
   EXPECT_EQ(n->key(), 5);
   EXPECT_EQ(n->value(), 50);
   EXPECT_FALSE(n->marked.load());
-  EXPECT_EQ(n->child[0].load(), nullptr);
+  EXPECT_EQ(n->child[0].unguarded_load(), nullptr);
   EXPECT_EQ(n->tag[0].load(), 0u);
   EXPECT_EQ(pool.live(), 1);
   pool.destroy_with_pool(n);
@@ -147,8 +147,8 @@ TEST(NodePool, RecycleScrubsStaleLinks) {
   long k = 1, v = 1;
   Node* a = pool.allocate(false, NodeKind::kReal, &k, &v, nullptr, nullptr);
   Node* b = pool.allocate(false, NodeKind::kReal, &k, &v, nullptr, nullptr);
-  a->child[0].store(b);
-  a->child[1].store(b);
+  a->child[0].unguarded_store(b);
+  a->child[1].unguarded_store(b);
   a->tag[0].store(7);
   a->tag[1].store(9);
   a->marked.store(true);
@@ -157,8 +157,8 @@ TEST(NodePool, RecycleScrubsStaleLinks) {
       citrus::check::kEnabled
           ? static_cast<Node*>(citrus::check::poison_pointer())
           : nullptr;
-  EXPECT_EQ(a->child[0].load(), scrubbed);
-  EXPECT_EQ(a->child[1].load(), scrubbed);
+  EXPECT_EQ(a->child[0].unguarded_load(), scrubbed);
+  EXPECT_EQ(a->child[1].unguarded_load(), scrubbed);
   EXPECT_EQ(a->tag[0].load(), 0u);
   EXPECT_EQ(a->tag[1].load(), 0u);
   b->marked.store(true);

@@ -7,16 +7,15 @@ runtime violation class (a): a function that dereferences tree-node state
 (`->child[...]`, `->key()`, `->value()`, `->next[...]`) must, somewhere in
 its body, establish a protection context — open a read-side critical
 section, take a lock, or carry an explicit annotation naming why neither is
-needed:
+needed.
 
-    // rcu-lint: quiescent (<why no concurrent updaters exist>)
-    // rcu-lint: allow (<why protection is established by the caller>)
-    // rcu-lint: exempt-file (<why this file's safety protocol is not
-    //                         lock/critical-section shaped>)
-
-The last form exempts a whole file and exists for the comparison baselines
-(lock-free CAS protocols, optimistic version validation), whose safety
-arguments the RCU discipline does not describe.
+Annotations use the shared grammar of tools/rcu_annotations.py — the same
+one tools/rcu_analyze.py reads, with both the `rcu-lint:` and
+`rcu-analyze:` prefixes accepted and the same key set (quiescent, allow,
+exempt-file). A file either tool exempts is exempt for both, so the two
+can never disagree on a file's status; unknown annotation keys are
+rejected with a diagnostic (and a nonzero exit) instead of silently
+ignored.
 
 Fault-injection hooks (src/fault/: `fault::inject_stall(...)` /
 `fault::inject_fail(...)`) are recognized annotated sites: they live by
@@ -40,6 +39,9 @@ import argparse
 import pathlib
 import re
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import rcu_annotations  # noqa: E402
 
 # A dereference of RCU-protected node state.
 DEREF_RE = re.compile(
@@ -76,16 +78,18 @@ GUARD_RE = re.compile(
     r")"
 )
 
-# Annotation markers. They are comments, so they are translated to sentinel
-# tokens *before* comment stripping.
-MARKER_RE = re.compile(r"//\s*rcu-lint:\s*(quiescent|allow|exempt-file)\b")
+# Annotation markers (shared grammar, both tool prefixes). They are
+# comments, so they are translated to sentinel tokens *before* comment
+# stripping; key validation happens separately via rcu_annotations.parse.
+MARKER_RE = re.compile(
+    r"//\s*rcu-(?:lint|analyze):\s*(quiescent|allow|exempt-file)\b"
+)
 SENTINELS = {
     "quiescent": "RCU_LINT_QUIESCENT_",
     "allow": "RCU_LINT_ALLOW_",
     "exempt-file": "RCU_LINT_EXEMPT_FILE_",
 }
 SENTINEL_RE = re.compile(r"\bRCU_LINT_(?:QUIESCENT|ALLOW)_\b")
-EXEMPT_FILE_RE = re.compile(r"\bRCU_LINT_EXEMPT_FILE_\b")
 
 # Start-of-function heuristic: a line ending in `{` whose head looks like a
 # signature (has `(` and no control keyword).
@@ -173,11 +177,15 @@ def function_name(header: str) -> str:
     return m.group(1) if m else "<unknown>"
 
 
-def scan_file(path: pathlib.Path) -> list[Finding]:
-    text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+def scan_file(
+    path: pathlib.Path,
+) -> tuple[list[Finding], list[rcu_annotations.Diagnostic]]:
+    raw = path.read_text(encoding="utf-8")
+    annotations, diagnostics = rcu_annotations.parse(raw, path)
+    if rcu_annotations.file_exempt(annotations):
+        return [], diagnostics
+    text = strip_comments_and_strings(raw)
     text = FAULT_HOOK_RE.sub("", text)
-    if EXEMPT_FILE_RE.search(text):
-        return []
     lines = text.split("\n")
 
     findings: list[Finding] = []
@@ -245,7 +253,7 @@ def scan_file(path: pathlib.Path) -> list[Finding]:
             # A guarded inner scope does not bless the outer one, but an
             # unguarded inner deref already reported stays reported.
 
-    return findings
+    return findings, diagnostics
 
 
 def main() -> int:
@@ -266,13 +274,22 @@ def main() -> int:
             files.append(t)
 
     findings: list[Finding] = []
+    diagnostics: list[rcu_annotations.Diagnostic] = []
     for f in files:
-        findings.extend(scan_file(f))
+        file_findings, file_diags = scan_file(f)
+        findings.extend(file_findings)
+        diagnostics.extend(file_diags)
 
+    for diag in diagnostics:
+        print(diag)
     for finding in findings:
         print(finding)
-    if findings:
-        print(f"\nlint_rcu: {len(findings)} finding(s)", file=sys.stderr)
+    if findings or diagnostics:
+        print(
+            f"\nlint_rcu: {len(findings)} finding(s), "
+            f"{len(diagnostics)} annotation diagnostic(s)",
+            file=sys.stderr,
+        )
         return 1
     print(f"lint_rcu: clean ({len(files)} files scanned)")
     return 0

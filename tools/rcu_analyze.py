@@ -1,0 +1,1016 @@
+#!/usr/bin/env python3
+"""rcu_analyze.py — AST-grade static analyzer for the repo's RCU discipline.
+
+The runtime rcucheck layer (src/check/) verifies the paper's protocol
+obligations on *executed* paths; tools/lint_rcu.py is a function-granular
+brace tracker. This pass closes the gap between them: a per-function
+dataflow analysis that models read-side critical sections and lock scopes
+as *regions* (line intervals within a function) and checks every use of
+the typed wrappers from src/rcu/guarded_ptr.hpp against them. Four
+violation classes are reported, each finding carrying the region trace
+that justifies it:
+
+  deref-outside-region   A protected_ptr (the borrowed handle returned by
+                         guarded_ptr::load_protected / published_ptr::load)
+                         is dereferenced at a program point where no
+                         read-side critical section or lock region is open.
+
+  region-escape          A protected handle escapes its protection region:
+                         returned, stored to a field/global, captured by a
+                         deferred callback, or laundered through
+                         protected_ptr::escape() — without an
+                         `// rcu-analyze: allow (...)` annotation naming
+                         the proof obligation that replaces the region
+                         (generation validation, a caller-held lock, ...).
+
+  publish-not-release    A pointer swing that publishes structure is not a
+                         release-ordered store (e.g. a raw
+                         `.store(p, std::memory_order_relaxed)` on a cell
+                         readers traverse). Unwritable through
+                         guarded_ptr::publish(), so every hit is a raw
+                         atomic that escaped the typed API — or an
+                         unguarded_store outside a quiescent function
+                         (reported as quiescent-escape, below).
+
+  sync-in-read-section   A call that blocks for a grace period
+                         (synchronize_rcu and everything reachable from
+                         it, one call-graph fixpoint deep) made while a
+                         read-side critical section is open — the
+                         self-deadlock RCU forbids.
+
+  quiescent-escape       unguarded_load()/unguarded_store() — the
+                         single-owner escape hatches — used in a function
+                         not annotated `quiescent` and at a site not
+                         annotated `allow`.
+
+Two frontends feed one analysis:
+
+  * libclang — when the clang python bindings and a loadable libclang are
+    present, functions/regions/uses are lifted from the real AST over
+    compile_commands.json (export with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON,
+    on by default in this repo's top-level CMakeLists). The
+    [[clang::annotate("rcu_guarded")]] family of tags on the wrapper types
+    and the CITRUS_RCU_*_FN function-role tags are the markers it keys on.
+  * fallback — a self-contained lexical frontend (tokenizer + per-function
+    scope tracker) that recognizes the same wrapper API and guard idioms
+    by name. It approximates the CFG with lexical scope intervals, which
+    is exact for this codebase's RAII-guard style (regions are scopes).
+    Used automatically when libclang is unavailable, so the analyzer and
+    its corpus run in every environment the tests run in.
+
+Suppressions use the shared grammar of tools/rcu_annotations.py (the same
+one lint_rcu.py reads, either `rcu-lint:` or `rcu-analyze:` prefix):
+`quiescent` blesses a function, `allow` blesses a site (same line or up to
+three lines above), `exempt-file` skips a file for *both* tools. Unknown
+keys are diagnostics, and any diagnostic fails the run.
+
+Usage:
+    tools/rcu_analyze.py [--root DIR] [--backend auto|libclang|fallback]
+                         [--compile-commands build/compile_commands.json]
+                         [paths...]
+
+Exits nonzero on findings or annotation diagnostics (CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import rcu_annotations  # noqa: E402
+
+# ──────────────────────────────────────────────────────────────────────
+# Shared IR: both frontends lower source into these structures.
+# ──────────────────────────────────────────────────────────────────────
+
+
+@dataclasses.dataclass
+class Region:
+    """A protection interval within one function, in source lines."""
+
+    kind: str  # "read" | "lock"
+    opened_by: str  # the token/stmt that opened it, for the trace
+    start: int  # 1-based line of the opening
+    end: int  # 1-based line of the close (scope exit / unlock)
+
+    def covers(self, line: int) -> bool:
+        return self.start <= line <= self.end
+
+    def trace(self) -> str:
+        return (
+            f"{self.kind} region lines {self.start}-{self.end} "
+            f"(opened by `{self.opened_by}`)"
+        )
+
+
+@dataclasses.dataclass
+class Use:
+    """One analyzable event inside a function body."""
+
+    kind: str  # deref | escape | escape_return | escape_store |
+    #            escape_capture | publish_relaxed | unguarded | sync_call
+    line: int
+    text: str  # trimmed source line, for the report
+    detail: str = ""  # e.g. the variable or callee name
+
+
+@dataclasses.dataclass
+class Function:
+    name: str
+    path: pathlib.Path
+    start: int  # line of the `{` opening the body
+    end: int  # line of the matching `}`
+    regions: list[Region] = dataclasses.field(default_factory=list)
+    uses: list[Use] = dataclasses.field(default_factory=list)
+    calls: set[str] = dataclasses.field(default_factory=set)
+    # Role tags — from [[clang::annotate]] under libclang, from naming
+    # under the fallback.
+    is_synchronize: bool = False
+
+    def open_regions(self, line: int) -> list[Region]:
+        return [r for r in self.regions if r.covers(line)]
+
+
+@dataclasses.dataclass
+class Finding:
+    path: pathlib.Path
+    line: int
+    func: str
+    kind: str
+    message: str
+    trace: list[str]
+
+    def __str__(self) -> str:
+        out = f"{self.path}:{self.line}: [{self.kind}] {self.message}"
+        for t in self.trace:
+            out += f"\n    trace: {t}"
+        return out
+
+
+# ──────────────────────────────────────────────────────────────────────
+# Fallback frontend: lexical scope tracking over stripped source.
+# ──────────────────────────────────────────────────────────────────────
+
+# Tokens that open a read-side critical section for the rest of the
+# enclosing scope (RAII guards) or until an explicit unlock.
+READ_OPEN_RE = re.compile(
+    r"\b(?:ReadGuard|MaybeReadGuard)\b(?!;)"
+    r"|\bread_lock\s*\(|\brcu_read_lock\b"
+)
+READ_CLOSE_RE = re.compile(r"\bread_unlock\s*\(|\brcu_read_unlock\b")
+
+# Tokens that open a lock region for the rest of the enclosing scope.
+LOCK_OPEN_RE = re.compile(
+    r"\b(?:lock_guard|scoped_lock|unique_lock|shared_lock)\s*[<(]"
+    r"|(?<![_\w])\.lock\s*\(|->lock\s*\(|\btry_lock\s*\("
+    r"|\bacquire_timed\s*\("
+)
+
+# A guarded load producing a borrowed handle, and the handle type itself.
+GUARDED_LOAD_RE = re.compile(r"\bload_protected\s*\(")
+PROTECTED_DECL_RE = re.compile(
+    r"\bprotected_ptr\s*<[^;=]*>\s*(?P<var>\w+)\s*[=({;]"
+    r"|\bauto\s+(?P<var2>\w+)\s*=\s*[^;]*\bload_protected\s*\("
+)
+
+# Explicit region escape through the typed API.
+ESCAPE_RE = re.compile(r"\b(?P<var>\w+)\s*\.\s*escape\s*\(\s*\)")
+
+# Quiescent escape hatches of guarded_ptr / published_ptr.
+UNGUARDED_RE = re.compile(r"\bunguarded_(?:load|store)\s*\(")
+
+# A non-release publish on a pointer cell readers traverse. The typed API
+# makes this unwritable (publish() is release by construction), so the
+# pattern targets raw std::atomic pointer cells that escaped the wrappers:
+# a .store()/->store() whose argument list names memory_order_relaxed and
+# whose receiver looks like a link field (child[/next/head_/root_/tail_).
+PUBLISH_RELAXED_RE = re.compile(
+    r"(?:child\s*\[[^\]]*\]|next\w*|head_|root_|tail_)\s*(?:\.|->)\s*"
+    r"store\s*\([^;]*memory_order_relaxed"
+)
+
+# Grace-period-blocking calls (the roots of the reachability fixpoint).
+SYNC_ROOT_RE = re.compile(
+    r"\b(?:synchronize(?:_expedited|_rcu)?|flush_retired)\s*\("
+)
+
+# A call site: identifier followed by `(`, excluding C++ keywords and the
+# noise the other patterns already classify.
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+NOT_CALLS = frozenset(
+    """if while for switch return sizeof alignof static_cast const_cast
+    reinterpret_cast dynamic_cast new delete assert static_assert defined
+    noexcept decltype alignas operator catch throw EXPECT_EQ EXPECT_NE
+    EXPECT_TRUE EXPECT_FALSE ASSERT_EQ ASSERT_TRUE TEST TEST_F""".split()
+)
+
+# Deref of a tracked handle: `var->` or `*var` (unary).
+def deref_re(var: str) -> re.Pattern[str]:
+    return re.compile(
+        rf"\b{re.escape(var)}\s*->|(?<![\w)\]])\*\s*{re.escape(var)}\b"
+    )
+
+
+# Function-signature heuristic shared with lint_rcu.py: a `{`-terminated
+# line whose head has a call-like shape and no control keyword.
+CONTROL_KEYWORDS = re.compile(
+    r"^\s*(?:if|else|for|while|switch|do|return|case|catch|namespace"
+    r"|struct|class|enum|union|try)\b"
+)
+FUNC_NAME_RE = re.compile(r"([~\w:]+)\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank comments and string/char literals, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        else:  # string | char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            elif c == "\n":
+                state = "code"
+                out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class _Scope:
+    """One open brace scope inside a function body."""
+
+    __slots__ = ("depth", "regions")
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        # Regions opened in this scope; closed when the scope exits.
+        self.regions: list[Region] = []
+
+
+def _extract_functions(
+    lines: list[str], path: pathlib.Path
+) -> list[Function]:
+    """Find function bodies via the signature-line heuristic.
+
+    Nested bodies (lambdas, local classes) stay part of the enclosing
+    function: the guard idioms in this codebase are RAII objects whose
+    lifetime is the lexical scope, so analyzing the outermost body with a
+    scope stack models them correctly.
+    """
+    functions: list[Function] = []
+    depth = 0
+    header_acc = ""
+    current: Function | None = None
+    entry_depth = 0
+
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        opens = line.count("{")
+        closes = line.count("}")
+
+        if current is None and opens:
+            candidate = (header_acc + " " + line).strip()
+            head = candidate.split("{", 1)[0]
+            looks_like_sig = (
+                "(" in head
+                and not CONTROL_KEYWORDS.match(stripped)
+                and not CONTROL_KEYWORDS.match(candidate)
+                and not head.rstrip().endswith(("=", ",", "(", "&&", "||"))
+                and ";" not in head.split("(", 1)[0]
+                and "=" not in head.split("(", 1)[0]
+            )
+            if looks_like_sig:
+                m = FUNC_NAME_RE.search(head)
+                current = Function(
+                    name=m.group(1) if m else "<unknown>",
+                    path=path,
+                    start=lineno,
+                    end=lineno,
+                )
+                entry_depth = depth
+
+        if stripped and not opens:
+            header_acc = (header_acc + " " + stripped)[-400:]
+            if stripped.endswith((";", "}")):
+                header_acc = ""
+        else:
+            header_acc = ""
+
+        depth += opens - closes
+        if current is not None and depth <= entry_depth:
+            current.end = lineno
+            functions.append(current)
+            current = None
+
+    if current is not None:  # unterminated (truncated input): keep span
+        current.end = len(lines)
+        functions.append(current)
+    return functions
+
+
+def _analyze_function_body(fn: Function, lines: list[str]) -> None:
+    """Populate fn.regions / fn.uses / fn.calls from its body lines."""
+    scope_stack: list[_Scope] = [_Scope(0)]
+    depth = 0
+    tracked: dict[str, int] = {}  # protected_ptr var -> decl line
+
+    for lineno in range(fn.start, fn.end + 1):
+        line = lines[lineno - 1]
+        text = line.strip()
+
+        # Region openings bind to the *current* scope and run to its end
+        # (RAII); explicit read_unlock closes the innermost read region.
+        m = READ_OPEN_RE.search(line)
+        if m:
+            r = Region("read", m.group(0).strip().rstrip("(<"), lineno, fn.end)
+            scope_stack[-1].regions.append(r)
+            fn.regions.append(r)
+        m = LOCK_OPEN_RE.search(line)
+        if m:
+            r = Region("lock", m.group(0).strip().rstrip("(<"), lineno, fn.end)
+            scope_stack[-1].regions.append(r)
+            fn.regions.append(r)
+        if READ_CLOSE_RE.search(line):
+            open_reads = [
+                r for r in fn.regions if r.kind == "read" and r.end == fn.end
+            ]
+            if open_reads:
+                open_reads[-1].end = lineno
+
+        # New protected handles come into scope.
+        for dm in PROTECTED_DECL_RE.finditer(line):
+            var = dm.group("var") or dm.group("var2")
+            if var:
+                tracked[var] = lineno
+
+        # Uses.
+        for var in list(tracked):
+            if deref_re(var).search(line):
+                fn.uses.append(Use("deref", lineno, text, var))
+        for em in ESCAPE_RE.finditer(line):
+            fn.uses.append(Use("escape", lineno, text, em.group("var")))
+        if UNGUARDED_RE.search(line):
+            fn.uses.append(Use("unguarded", lineno, text))
+        if PUBLISH_RELAXED_RE.search(line):
+            fn.uses.append(Use("publish_relaxed", lineno, text))
+        if SYNC_ROOT_RE.search(line):
+            fn.is_synchronize = True
+            fn.uses.append(Use("sync_call", lineno, text, "synchronize"))
+        for cm in CALL_RE.finditer(line):
+            callee = cm.group(1)
+            if callee not in NOT_CALLS:
+                fn.calls.add(callee)
+
+        # Scope bookkeeping (after use collection: a `}`-only line closes
+        # regions *after* nothing on it can use them).
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                scope_stack.append(_Scope(depth))
+            elif ch == "}":
+                if len(scope_stack) > 1:
+                    closing = scope_stack.pop()
+                    for r in closing.regions:
+                        if r.end == fn.end:  # not already closed by unlock
+                            r.end = lineno
+                depth = max(0, depth - 1)
+
+
+def fallback_frontend(
+    path: pathlib.Path, raw_text: str
+) -> list[Function]:
+    text = strip_comments_and_strings(raw_text)
+    lines = text.split("\n")
+    functions = _extract_functions(lines, path)
+    for fn in functions:
+        _analyze_function_body(fn, lines)
+    return functions
+
+
+# ──────────────────────────────────────────────────────────────────────
+# libclang frontend (used when the bindings + a loadable library exist).
+# ──────────────────────────────────────────────────────────────────────
+
+
+def _load_libclang():
+    try:
+        import clang.cindex as ci  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    try:
+        ci.Index.create()
+        return ci
+    except Exception:
+        # Bindings present but no loadable libclang.so — same outcome.
+        return None
+
+
+# Annotation tags the wrapper header attaches (see guarded_ptr.hpp).
+_TAG_READ_LOCK = "rcu_read_lock"
+_TAG_READ_UNLOCK = "rcu_read_unlock"
+_TAG_SYNCHRONIZE = "rcu_synchronize"
+_TAG_PROTECTED = "rcu_protected"
+
+
+def _annotations_of(cursor) -> set[str]:
+    out = set()
+    for ch in cursor.get_children():
+        if ch.kind.name == "ANNOTATE_ATTR":
+            out.add(ch.spelling)
+    return out
+
+
+def libclang_frontend(
+    ci, path: pathlib.Path, compile_args: list[str]
+) -> list[Function]:
+    """Lift the IR from a real AST.
+
+    Regions come from RAII guard variable lifetimes (CompoundStmt extent
+    of a VarDecl whose constructor is tagged rcu_read_lock) and calls to
+    rcu_read_lock/rcu_read_unlock-tagged functions; derefs/escapes from
+    member accesses on rcu_protected-typed values; synchronize
+    reachability from rcu_synchronize-tagged callees. The structures it
+    returns are identical to the fallback's, so the analysis below is
+    frontend-agnostic.
+    """
+    index = ci.Index.create()
+    tu = index.parse(str(path), args=compile_args)
+    functions: list[Function] = []
+
+    def body_of(cursor):
+        for ch in cursor.get_children():
+            if ch.kind.name == "COMPOUND_STMT":
+                return ch
+        return None
+
+    def walk_fn(cursor):
+        body = body_of(cursor)
+        if body is None:
+            return
+        fn = Function(
+            name=cursor.spelling or "<unknown>",
+            path=path,
+            start=body.extent.start.line,
+            end=body.extent.end.line,
+        )
+
+        def visit(node, scope_end: int):
+            kindname = node.kind.name
+            if kindname == "VAR_DECL":
+                ty = node.type.spelling
+                if "protected_ptr" in ty:
+                    pass  # handle decls are tracked via member refs below
+                for ch in node.get_children():
+                    ref = getattr(ch, "referenced", None)
+                    if ref is not None:
+                        tags = _annotations_of(ref)
+                        if _TAG_READ_LOCK in tags:
+                            fn.regions.append(
+                                Region(
+                                    "read",
+                                    node.spelling,
+                                    node.extent.start.line,
+                                    scope_end,
+                                )
+                            )
+            if kindname in ("CALL_EXPR", "CXX_MEMBER_CALL_EXPR"):
+                ref = getattr(node, "referenced", None)
+                tags = _annotations_of(ref) if ref is not None else set()
+                nm = node.spelling or ""
+                if _TAG_READ_LOCK in tags or nm == "read_lock":
+                    fn.regions.append(
+                        Region("read", nm, node.extent.start.line, scope_end)
+                    )
+                if _TAG_READ_UNLOCK in tags or nm == "read_unlock":
+                    for r in fn.regions:
+                        if r.kind == "read" and r.end == scope_end:
+                            r.end = node.extent.start.line
+                if _TAG_SYNCHRONIZE in tags or nm in (
+                    "synchronize",
+                    "synchronize_expedited",
+                    "flush_retired",
+                ):
+                    fn.is_synchronize = True
+                    fn.uses.append(
+                        Use(
+                            "sync_call",
+                            node.extent.start.line,
+                            nm,
+                            nm,
+                        )
+                    )
+                if nm == "escape":
+                    fn.uses.append(
+                        Use("escape", node.extent.start.line, nm, nm)
+                    )
+                if nm in ("unguarded_load", "unguarded_store"):
+                    fn.uses.append(
+                        Use("unguarded", node.extent.start.line, nm)
+                    )
+                if nm:
+                    fn.calls.add(nm)
+            if kindname == "MEMBER_REF_EXPR":
+                # A deref of protected state: member access whose base is
+                # rcu_protected-typed.
+                for ch in node.get_children():
+                    base_ty = ch.type.spelling if ch.type else ""
+                    if "protected_ptr" in base_ty:
+                        fn.uses.append(
+                            Use(
+                                "deref",
+                                node.extent.start.line,
+                                node.spelling,
+                                ch.spelling,
+                            )
+                        )
+            child_scope_end = (
+                node.extent.end.line
+                if kindname == "COMPOUND_STMT"
+                else scope_end
+            )
+            for ch in node.get_children():
+                visit(ch, child_scope_end)
+
+        visit(body, body.extent.end.line)
+        functions.append(fn)
+
+    def walk(cursor):
+        if cursor.kind.name in (
+            "FUNCTION_DECL",
+            "CXX_METHOD",
+            "CONSTRUCTOR",
+            "DESTRUCTOR",
+            "FUNCTION_TEMPLATE",
+        ):
+            if (
+                cursor.location.file
+                and pathlib.Path(str(cursor.location.file)) == path
+            ):
+                walk_fn(cursor)
+        for ch in cursor.get_children():
+            walk(ch)
+
+    walk(tu.cursor)
+    return functions
+
+
+def load_compile_args(
+    cc_path: pathlib.Path | None, src: pathlib.Path
+) -> list[str]:
+    """Best-effort compile args for one file from compile_commands.json.
+
+    Headers are not entries there; fall back to the args of any .cpp in
+    the database (they share the include paths) or a bare -Isrc.
+    """
+    default = ["-std=c++20", "-Isrc", "-xc++"]
+    if cc_path is None or not cc_path.exists():
+        return default
+    try:
+        db = json.loads(cc_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return default
+    chosen = None
+    for entry in db:
+        if pathlib.Path(entry.get("file", "")).resolve() == src.resolve():
+            chosen = entry
+            break
+    if chosen is None and db:
+        chosen = db[0]
+    if chosen is None:
+        return default
+    args = chosen.get("arguments")
+    if not args:
+        args = chosen.get("command", "").split()
+    # Drop the compiler, -c/-o pairs and the source file itself.
+    out: list[str] = []
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-c", "-o"):
+            skip = a == "-o"
+            continue
+        if a.endswith((".cpp", ".cc", ".o")):
+            continue
+        out.append(a)
+    return out or default
+
+
+# ──────────────────────────────────────────────────────────────────────
+# The frontend-agnostic analysis.
+# ──────────────────────────────────────────────────────────────────────
+
+# How far above a site an `allow` annotation may sit (a short comment
+# block ending in the marker directly above the statement).
+ALLOW_WINDOW = 3
+# How far above a function's opening line a `quiescent` annotation may sit.
+QUIESCENT_WINDOW = 6
+
+# A handle returned from a function: `return <expr>.escape()` is already
+# an escape use; `return var;` of a tracked handle type is legal (the
+# callee documents the contract — protected_ptr in, protected_ptr out is
+# not a region transition, see search_locked_free). Storing to a field or
+# a global is detected lexically in the fallback via escape() presence,
+# which the typed API forces: protected_ptr has no implicit conversion to
+# T*, so the only way to park the raw pointer anywhere is get()/escape().
+
+
+def compute_sync_reachable(functions: list[Function]) -> set[str]:
+    """One fixpoint over the name-level call graph: every function from
+    which a grace-period wait is reachable."""
+    reachable = {f.name for f in functions if f.is_synchronize}
+    # Names like "Derived::synchronize" should match calls to
+    # "synchronize"; index by last component.
+    def last(name: str) -> str:
+        return name.rsplit("::", 1)[-1]
+
+    reachable_last = {last(n) for n in reachable}
+    changed = True
+    while changed:
+        changed = False
+        for f in functions:
+            if f.name in reachable:
+                continue
+            if f.calls & reachable_last:
+                reachable.add(f.name)
+                reachable_last.add(last(f.name))
+                changed = True
+    return reachable_last
+
+
+def analyze_functions(
+    functions: list[Function],
+    annotations: list[rcu_annotations.Annotation],
+    sync_reachable: set[str],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    allow_lines = rcu_annotations.lines_with_key(annotations, "allow")
+    quiescent_lines = rcu_annotations.lines_with_key(
+        annotations, "quiescent"
+    )
+
+    def site_allowed(line: int) -> bool:
+        return any(
+            line - d in allow_lines for d in range(0, ALLOW_WINDOW + 1)
+        )
+
+    def fn_quiescent(fn: Function) -> bool:
+        if any(fn.start <= ln <= fn.end for ln in quiescent_lines):
+            return True
+        return any(
+            fn.start - d in quiescent_lines
+            for d in range(1, QUIESCENT_WINDOW + 1)
+        )
+
+    def fn_allowed(fn: Function) -> bool:
+        # A function-level allow (above the signature) blesses the whole
+        # body — the lint's historic granularity.
+        return any(
+            fn.start - d in allow_lines
+            for d in range(0, QUIESCENT_WINDOW + 1)
+        )
+
+    for fn in functions:
+        blessed_fn = fn_quiescent(fn) or fn_allowed(fn)
+        for use in fn.uses:
+            open_regions = fn.open_regions(use.line)
+            trace = [r.trace() for r in open_regions] or [
+                "no protection region open at this line"
+            ]
+            if use.kind == "deref":
+                if open_regions or blessed_fn or site_allowed(use.line):
+                    continue
+                findings.append(
+                    Finding(
+                        fn.path,
+                        use.line,
+                        fn.name,
+                        "deref-outside-region",
+                        f"protected handle `{use.detail}` dereferenced "
+                        f"outside any read-side critical section or lock "
+                        f"region in `{fn.name}`",
+                        trace,
+                    )
+                )
+            elif use.kind == "escape":
+                if site_allowed(use.line) or blessed_fn:
+                    continue
+                findings.append(
+                    Finding(
+                        fn.path,
+                        use.line,
+                        fn.name,
+                        "region-escape",
+                        f"`{use.detail}.escape()` carries a protected "
+                        f"pointer beyond its region without an "
+                        f"`// rcu-analyze: allow (...)` stating the "
+                        f"replacement proof obligation",
+                        trace,
+                    )
+                )
+            elif use.kind == "unguarded":
+                if blessed_fn or site_allowed(use.line):
+                    continue
+                findings.append(
+                    Finding(
+                        fn.path,
+                        use.line,
+                        fn.name,
+                        "quiescent-escape",
+                        f"unguarded access in `{fn.name}`, which is not "
+                        f"annotated `// rcu-analyze: quiescent (...)`: "
+                        f"`{use.text[:70]}`",
+                        trace,
+                    )
+                )
+            elif use.kind == "publish_relaxed":
+                if site_allowed(use.line) or blessed_fn:
+                    continue
+                findings.append(
+                    Finding(
+                        fn.path,
+                        use.line,
+                        fn.name,
+                        "publish-not-release",
+                        f"pointer publish without release ordering: "
+                        f"`{use.text[:70]}` — route it through "
+                        f"guarded_ptr::publish(), which is release by "
+                        f"construction",
+                        trace,
+                    )
+                )
+            elif use.kind == "sync_call":
+                read_regions = [
+                    r for r in open_regions if r.kind == "read"
+                ]
+                if not read_regions:
+                    continue
+                if site_allowed(use.line):
+                    continue
+                findings.append(
+                    Finding(
+                        fn.path,
+                        use.line,
+                        fn.name,
+                        "sync-in-read-section",
+                        f"grace-period wait inside a read-side critical "
+                        f"section of `{fn.name}` — self-deadlock: the "
+                        f"section being waited out includes the waiter",
+                        [r.trace() for r in read_regions],
+                    )
+                )
+
+    return findings
+
+
+def indirect_sync_findings(
+    functions: list[Function],
+    per_file_lines: dict[pathlib.Path, list[str]],
+    sync_reachable: set[str],
+    annotations_by_file: dict[
+        pathlib.Path, list[rcu_annotations.Annotation]
+    ],
+) -> list[Finding]:
+    """Flag calls to synchronize-*reachable* functions inside read regions.
+
+    Separate from the direct check so the region trace can say which
+    callee makes the call dangerous.
+    """
+    findings: list[Finding] = []
+    direct = {"synchronize", "synchronize_expedited", "flush_retired"}
+    interesting = sync_reachable - direct
+    if not interesting:
+        return findings
+    call_res = {
+        name: re.compile(rf"\b{re.escape(name)}\s*\(")
+        for name in interesting
+    }
+    for fn in functions:
+        lines = per_file_lines.get(fn.path)
+        if lines is None:
+            continue
+        allow_lines = rcu_annotations.lines_with_key(
+            annotations_by_file.get(fn.path, []), "allow"
+        )
+        for lineno in range(fn.start, fn.end + 1):
+            read_regions = [
+                r
+                for r in fn.open_regions(lineno)
+                if r.kind == "read" and r.start != lineno
+            ]
+            if not read_regions:
+                continue
+            line = lines[lineno - 1]
+            for name, cre in call_res.items():
+                if not cre.search(line):
+                    continue
+                if fn.name.rsplit("::", 1)[-1] == name:
+                    continue  # recursion/self-definition noise
+                if any(
+                    lineno - d in allow_lines
+                    for d in range(0, ALLOW_WINDOW + 1)
+                ):
+                    continue
+                findings.append(
+                    Finding(
+                        fn.path,
+                        lineno,
+                        fn.name,
+                        "sync-in-read-section",
+                        f"call to `{name}`, from which a grace-period "
+                        f"wait is reachable, inside a read-side critical "
+                        f"section of `{fn.name}`",
+                        [r.trace() for r in read_regions]
+                        + [f"`{name}` reaches synchronize()"],
+                    )
+                )
+    return findings
+
+
+# ──────────────────────────────────────────────────────────────────────
+# Driver.
+# ──────────────────────────────────────────────────────────────────────
+
+
+def collect_files(
+    targets: list[pathlib.Path],
+) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for t in targets:
+        if t.is_dir():
+            files.extend(sorted(t.rglob("*.hpp")))
+            files.extend(sorted(t.rglob("*.cpp")))
+        else:
+            files.append(t)
+    return files
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="AST-grade RCU discipline analyzer",
+    )
+    ap.add_argument("--root", default=None, help="repo root (default: cwd)")
+    ap.add_argument(
+        "--backend",
+        choices=("auto", "libclang", "fallback"),
+        default="auto",
+        help="frontend to use (auto prefers libclang when loadable)",
+    )
+    ap.add_argument(
+        "--compile-commands",
+        default=None,
+        help="compile_commands.json for the libclang backend "
+        "(default: <root>/build/compile_commands.json)",
+    )
+    ap.add_argument(
+        "--print-backend",
+        action="store_true",
+        help="print the selected backend and exit 0",
+    )
+    ap.add_argument("paths", nargs="*", help="files/dirs (default: src/)")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root) if args.root else pathlib.Path.cwd()
+    targets = [pathlib.Path(p) for p in args.paths] or [root / "src"]
+    files = collect_files(targets)
+
+    ci = None
+    if args.backend in ("auto", "libclang"):
+        ci = _load_libclang()
+        if ci is None and args.backend == "libclang":
+            print(
+                "rcu_analyze: libclang backend requested but the clang "
+                "python bindings / libclang library are not loadable",
+                file=sys.stderr,
+            )
+            return 2
+    backend = "libclang" if ci is not None else "fallback"
+    if args.print_backend:
+        print(backend)
+        return 0
+
+    cc_path = (
+        pathlib.Path(args.compile_commands)
+        if args.compile_commands
+        else root / "build" / "compile_commands.json"
+    )
+
+    all_findings: list[Finding] = []
+    all_diags: list[rcu_annotations.Diagnostic] = []
+    all_functions: list[Function] = []
+    per_file_lines: dict[pathlib.Path, list[str]] = {}
+    annotations_by_file: dict[
+        pathlib.Path, list[rcu_annotations.Annotation]
+    ] = {}
+    scanned = 0
+
+    for path in files:
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            print(f"rcu_analyze: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        annotations, diags = rcu_annotations.parse(raw, path)
+        all_diags.extend(diags)
+        if rcu_annotations.file_exempt(annotations):
+            continue
+        annotations_by_file[path] = annotations
+        stripped = strip_comments_and_strings(raw)
+        per_file_lines[path] = stripped.split("\n")
+        if backend == "libclang":
+            try:
+                fns = libclang_frontend(
+                    ci, path, load_compile_args(cc_path, path)
+                )
+            except Exception as e:  # parse failure: fall back per file
+                print(
+                    f"rcu_analyze: libclang failed on {path} ({e}); "
+                    f"using fallback frontend for this file",
+                    file=sys.stderr,
+                )
+                fns = fallback_frontend(path, raw)
+        else:
+            fns = fallback_frontend(path, raw)
+        all_functions.extend(fns)
+        scanned += 1
+
+    sync_reachable = compute_sync_reachable(all_functions)
+    by_file: dict[pathlib.Path, list[Function]] = {}
+    for fn in all_functions:
+        by_file.setdefault(fn.path, []).append(fn)
+    for path, fns in by_file.items():
+        all_findings.extend(
+            analyze_functions(
+                fns, annotations_by_file.get(path, []), sync_reachable
+            )
+        )
+    all_findings.extend(
+        indirect_sync_findings(
+            all_functions, per_file_lines, sync_reachable,
+            annotations_by_file,
+        )
+    )
+
+    for d in all_diags:
+        print(d)
+    for f in sorted(all_findings, key=lambda f: (str(f.path), f.line)):
+        print(f)
+
+    n = len(all_findings) + len(all_diags)
+    if n:
+        print(
+            f"\nrcu_analyze[{backend}]: {len(all_findings)} finding(s), "
+            f"{len(all_diags)} annotation diagnostic(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"rcu_analyze[{backend}]: clean "
+        f"({scanned} files, {len(all_functions)} functions)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

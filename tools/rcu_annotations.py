@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""rcu_annotations.py — the one annotation grammar shared by the RCU
+static tools (tools/lint_rcu.py and tools/rcu_analyze.py).
+
+Both tools read the same comment markers, so a suppression written for one
+is honored by the other and the two can never disagree about a file's
+status. Two spellings are accepted everywhere — `rcu-lint:` (the historic
+prefix from PR 2) and `rcu-analyze:` (the analyzer's) — with an identical
+key set:
+
+    // rcu-lint: quiescent (<why no concurrent updaters exist>)
+    // rcu-analyze: quiescent (...)
+        The enclosing function runs in a single-owner phase (construction
+        before publication, teardown after joins, post-grace-period
+        scrubbing). Blesses unguarded_* calls and unprotected derefs in
+        that function.
+
+    // rcu-lint: allow (<proof obligation replacing the region>)
+    // rcu-analyze: allow (...)
+        The next statement (or the enclosing function, for the lint's
+        function-granular rule) is protected by something the tool cannot
+        see: a lock held by the caller, generation validation, an
+        append-only immortal structure. Blesses escape() calls, relaxed
+        CAS seed loads, and cross-region carries at that site.
+
+    // rcu-lint: exempt-file (<why this file's safety protocol is not
+    //                         lock/critical-section shaped>)
+    // rcu-analyze: exempt-file (...)
+        Exempts the whole file from both tools. Exists for the comparison
+        baselines (lock-free CAS protocols, optimistic version
+        validation), whose safety arguments the RCU discipline does not
+        describe.
+
+Unknown keys are *rejected with a diagnostic*, not silently ignored: a
+typo like `rcu-lint: quiscent` used to disable nothing while looking like
+it disabled something, which is the worst possible failure mode for a
+suppression mechanism. parse() returns those diagnostics and both tools
+exit nonzero on them.
+
+A reason in parentheses is required: a suppression that does not say what
+discharges the obligation is not a proof, it is a mute button.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+
+# Keys understood by both tools. Every entry must say what the *tools* do
+# with it (see module docstring); adding a key here is an interface change
+# for both lint_rcu.py and rcu_analyze.py.
+KNOWN_KEYS = ("quiescent", "allow", "exempt-file")
+
+# Any rcu-lint:/rcu-analyze: marker, with whatever follows the prefix
+# captured for key validation. Deliberately loose so typos are *seen* and
+# rejected rather than skipped.
+MARKER_RE = re.compile(
+    r"//\s*(?P<prefix>rcu-(?:lint|analyze)):\s*(?P<rest>[^\n]*)"
+)
+
+# A well-formed marker body: known key, then a parenthesized reason.
+BODY_RE = re.compile(
+    r"(?P<key>[A-Za-z-]+)\s*(?P<reason>\(.*)?$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Annotation:
+    path: pathlib.Path
+    line: int  # 1-based line the marker appears on
+    prefix: str  # "rcu-lint" or "rcu-analyze"
+    key: str  # one of KNOWN_KEYS
+    reason: str  # text inside the parentheses (may span lines; best-effort)
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    path: pathlib.Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: annotation error: {self.message}"
+
+
+def parse(
+    text: str, path: pathlib.Path
+) -> tuple[list[Annotation], list[Diagnostic]]:
+    """Extract all annotations from `text`.
+
+    Returns (annotations, diagnostics). Diagnostics cover unknown keys and
+    markers missing a reason; both tools must treat any diagnostic as a
+    failure (exit nonzero) so a broken suppression can never pass CI.
+    """
+    annotations: list[Annotation] = []
+    diagnostics: list[Diagnostic] = []
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        m = MARKER_RE.search(line)
+        if m is None:
+            continue
+        body = BODY_RE.match(m.group("rest").strip())
+        prefix = m.group("prefix")
+        if body is None:
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    f"`// {prefix}:` marker with no key; expected one of "
+                    f"{', '.join(KNOWN_KEYS)}",
+                )
+            )
+            continue
+        key = body.group("key")
+        if key not in KNOWN_KEYS:
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    f"unknown annotation key `{key}` after `{prefix}:`; "
+                    f"expected one of {', '.join(KNOWN_KEYS)}",
+                )
+            )
+            continue
+        reason = (body.group("reason") or "").strip().lstrip("(")
+        if not body.group("reason"):
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    f"`{prefix}: {key}` without a parenthesized reason; "
+                    "every suppression must name the proof obligation it "
+                    "discharges",
+                )
+            )
+            continue
+        annotations.append(
+            Annotation(path, lineno, prefix, key, reason.rstrip(") "))
+        )
+    return annotations, diagnostics
+
+
+def parse_file(
+    path: pathlib.Path,
+) -> tuple[list[Annotation], list[Diagnostic]]:
+    return parse(path.read_text(encoding="utf-8"), path)
+
+
+def file_exempt(annotations: list[Annotation]) -> bool:
+    """True if any marker (either prefix) exempts the whole file.
+
+    This is the single exempt-file mechanism both tools consult, so a file
+    one tool skips is by construction skipped by the other.
+    """
+    return any(a.key == "exempt-file" for a in annotations)
+
+
+def lines_with_key(annotations: list[Annotation], key: str) -> set[int]:
+    """Line numbers (1-based) carrying the given key, either prefix."""
+    return {a.line for a in annotations if a.key == key}
