@@ -23,8 +23,11 @@ int main(int argc, char** argv) {
   config.seconds = seconds;
 
   std::vector<workload::SeriesPoint> points;
+  // citrus-cop rides along: same domain (counter+flag), different update
+  // protocol — separates the grace-period cost from the lock-hold cost.
   for (const char* algorithm :
-       {"citrus", "citrus-std-rcu", "citrus-epoch", "citrus-qsbr"}) {
+       {"citrus", "citrus-cop", "citrus-std-rcu", "citrus-epoch",
+        "citrus-qsbr"}) {
     for (const auto t : threads) {
       config.threads = static_cast<int>(t);
       auto dict = adapters::make_dictionary(algorithm);

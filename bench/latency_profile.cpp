@@ -27,9 +27,9 @@ int main(int argc, char** argv) {
 
   std::printf("latency profile: %s, range [0,%" PRId64 "], %d threads\n",
               config.mix_label().c_str(), config.key_range, config.threads);
-  std::printf("%-16s %10s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "algorithm",
-              "ops/s", "r-p50", "r-p90", "r-p99", "r-p999", "u-p50", "u-p90",
-              "u-p99", "u-p999");
+  std::printf("%-16s %10s | %8s %8s %8s %8s | %8s %8s %8s %8s | %9s\n",
+              "algorithm", "ops/s", "r-p50", "r-p90", "r-p99", "r-p999",
+              "u-p50", "u-p90", "u-p99", "u-p999", "upd-retry");
   // Registry comparison set, plus "citrus-reclaim" named literally: it is
   // an ablation alias (reclamation tier A/B against "citrus"), kept here
   // because reclamation lives exactly in the update tail this profile is
@@ -45,16 +45,24 @@ int main(int argc, char** argv) {
     dict_opts.key_range_hint = config.key_range;
     auto dict = adapters::make_dictionary(name, dict_opts);
     const auto r = workload::run_workload(*dict, config);
+    // Per-variant update-retry work: restarted traversals plus (for the
+    // cop protocol) failed under-lock validations. Zero on traits tiers
+    // that compile stats out.
+    const auto s = dict->stats();
+    const std::uint64_t retries =
+        s.insert_retries + s.erase_retries + s.cop_validation_failures;
     std::printf(
         "%-16s %10s | %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64
-        "n | %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n\n",
+        "n | %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n %7" PRIu64 "n | %9"
+        PRIu64 "\n",
         name.c_str(), workload::format_ops(r.throughput).c_str(),
         r.read_latency.p50,
         r.read_latency.p90, r.read_latency.p99, r.read_latency.p999,
         r.update_latency.p50, r.update_latency.p90, r.update_latency.p99,
-        r.update_latency.p999);
+        r.update_latency.p999, retries);
   }
   std::printf(
-      "\n(quantile values are log2-bucket lower bounds in nanoseconds)\n");
+      "\n(quantile values are log2-bucket lower bounds in nanoseconds; "
+      "upd-retry is 0 when the traits tier compiles stats out)\n");
   return 0;
 }

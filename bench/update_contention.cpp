@@ -1,0 +1,178 @@
+// A/B update-contention bench: the paper's lock+validate updater
+// ("citrus") against the optimistic copy-validate-publish updater
+// ("citrus-cop", DESIGN.md §8) across {threads} x {update fraction} x
+// {key range}. Small key ranges concentrate updaters on few nodes — the
+// regime where cop's hoisted allocation and single-CAS publish (or HTM
+// commit) should pay; large ranges check it does not regress the
+// uncontended case.
+//
+// Two passes per cell:
+//   * throughput — stats-off traits (the timed A/B comparison);
+//   * accounting — a short stats-on run whose cop_* counters demonstrate
+//     the commit/abort/fallback bookkeeping (ISSUE acceptance: on
+//     hardware without HTM every commit arrives via the software
+//     fallback, so cop_fallbacks ≈ successful updates and
+//     cop_aborts_htm = 0 unless fault::Site::kTxAbort is armed).
+//
+// Defaults are sized for a quick run; a contention study looks like
+//   ./update_contention --seconds=2 --repeats=3 --threads=1,4,16,64 \
+//       --updates=50,100 --ranges=512,200000
+// Pass --json=BENCH_update_contention.json for the machine-readable
+// records consumed by the CI bench-smoke lane.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "adapters/idictionary.hpp"
+#include "util/cli.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+namespace {
+
+using namespace citrus;
+
+struct CellPoint {
+  std::string series;
+  int threads = 0;
+  int update_pct = 0;
+  std::int64_t key_range = 0;
+  util::Summary throughput;
+  adapters::StatsSnapshot counters;  // from the stats-on accounting run
+  std::uint64_t retries = 0;         // insert_retries + erase_retries
+};
+
+void write_json(const std::string& path, const std::vector<CellPoint>& points,
+                double ratio_small_range) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "update_contention: cannot open --json path " << path
+              << "\n";
+    return;
+  }
+  out << "{\"figure\":\"update_contention\",\"cop_over_lock_small_range\":"
+      << ratio_small_range << ",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    if (i != 0) out << ",";
+    out << "{\"series\":\"" << p.series << "\",\"threads\":" << p.threads
+        << ",\"update_pct\":" << p.update_pct
+        << ",\"key_range\":" << p.key_range
+        << ",\"mean_ops\":" << p.throughput.mean
+        << ",\"stddev_ops\":" << p.throughput.stddev
+        << ",\"repeats\":" << p.throughput.count
+        << ",\"update_retries\":" << p.retries
+        << ",\"lock_timeouts\":" << p.counters.lock_timeouts
+        << ",\"cop_commits\":" << p.counters.cop_commits
+        << ",\"cop_aborts_htm\":" << p.counters.cop_aborts_htm
+        << ",\"cop_fallbacks\":" << p.counters.cop_fallbacks
+        << ",\"cop_validation_failures\":"
+        << p.counters.cop_validation_failures << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const auto threads = opts.get_int_list("threads", {1, 2, 4, 8, 16});
+  const auto updates = opts.get_int_list("updates", {20, 50, 100});
+  const auto ranges = opts.get_int_list("ranges", {512, 200000});
+  const double seconds = opts.get_double("seconds", 0.3);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 1));
+  const std::string csv = opts.get("csv", "");
+  const std::string json = opts.get("json", "");
+  // The accounting pass is fixed-cost; keep it short.
+  const double stats_seconds = opts.get_double("stats-seconds", 0.1);
+
+  const char* algorithms[] = {"citrus", "citrus-cop"};
+
+  std::vector<CellPoint> points;
+  for (const auto range : ranges) {
+    for (const auto upd : updates) {
+      workload::WorkloadConfig config;
+      config.key_range = range;
+      config.contains_fraction = 1.0 - static_cast<double>(upd) / 100.0;
+      config.seconds = seconds;
+
+      std::vector<workload::SeriesPoint> table;
+      for (const char* algorithm : algorithms) {
+        for (const auto t : threads) {
+          config.threads = static_cast<int>(t);
+          CellPoint p;
+          p.series = algorithm;
+          p.threads = config.threads;
+          p.update_pct = static_cast<int>(upd);
+          p.key_range = range;
+          p.throughput = workload::run_repeated(algorithm, config, repeats);
+
+          // Accounting pass: reclaim=true selects the stats-on traits
+          // tier, so the cop_* counters (and retry counts) are live.
+          adapters::Options stats_opts;
+          stats_opts.reclaim = true;
+          stats_opts.key_range_hint = range;
+          auto dict = adapters::make_dictionary(algorithm, stats_opts);
+          workload::WorkloadConfig stats_config = config;
+          stats_config.seconds = stats_seconds;
+          (void)workload::run_workload(*dict, stats_config);
+          p.counters = dict->stats();
+          p.retries =
+              p.counters.insert_retries + p.counters.erase_retries;
+
+          table.push_back({p.series, p.threads, p.throughput});
+          std::cout << "update-contention range=" << range << " updates="
+                    << upd << "% " << algorithm << " threads=" << t
+                    << " -> " << workload::format_ops(p.throughput.mean)
+                    << " ops/s (retries=" << p.retries
+                    << " cop_commits=" << p.counters.cop_commits
+                    << " cop_aborts_htm=" << p.counters.cop_aborts_htm
+                    << " cop_fallbacks=" << p.counters.cop_fallbacks
+                    << " cop_validation_failures="
+                    << p.counters.cop_validation_failures << ")"
+                    << std::endl;
+          points.push_back(std::move(p));
+        }
+      }
+      workload::print_throughput_table(
+          std::cout,
+          "Update contention: " + std::to_string(upd) + "% updates, key "
+          "range [0," + std::to_string(range) + "]",
+          table);
+      workload::append_csv(csv,
+                           "update-contention-range" + std::to_string(range) +
+                               "-upd" + std::to_string(upd),
+                           table);
+    }
+  }
+
+  // Headline ratio: cop vs lock+validate at the max swept thread count,
+  // highest update fraction, smallest key range — the cell the ISSUE's
+  // acceptance bar names.
+  double ratio = 0.0;
+  {
+    std::int64_t small = ranges.front();
+    for (const auto r : ranges) small = std::min(small, r);
+    std::int64_t upd_max = updates.front();
+    for (const auto u : updates) upd_max = std::max(upd_max, u);
+    std::int64_t t_max = threads.front();
+    for (const auto t : threads) t_max = std::max(t_max, t);
+    double lock_ops = 0.0, cop_ops = 0.0;
+    for (const auto& p : points) {
+      if (p.key_range != small || p.update_pct != upd_max ||
+          p.threads != t_max) {
+        continue;
+      }
+      if (p.series == "citrus") lock_ops = p.throughput.mean;
+      if (p.series == "citrus-cop") cop_ops = p.throughput.mean;
+    }
+    if (lock_ops > 0.0) ratio = cop_ops / lock_ops;
+    std::cout << "\nheadline (threads=" << t_max << ", " << upd_max
+              << "% updates, range [0," << small << "]): citrus-cop/citrus = "
+              << ratio << "x" << std::endl;
+  }
+  write_json(json, points, ratio);
+  return 0;
+}

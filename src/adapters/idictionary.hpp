@@ -114,6 +114,11 @@ struct ShardStats {
   std::uint64_t gp_shared = 0;      // calls that piggybacked on a scan
   std::uint64_t scans = 0;          // validated scan chunks served
   std::uint64_t scan_retries = 0;   // chunk attempts discarded on conflict
+  // Optimistic cop-updater breakdown (citrus-cop*; zero elsewhere).
+  std::uint64_t cop_commits = 0;
+  std::uint64_t cop_aborts_htm = 0;
+  std::uint64_t cop_fallbacks = 0;
+  std::uint64_t cop_validation_failures = 0;
   std::size_t size = 0;             // keys resident (relaxed counter)
 };
 
@@ -144,6 +149,17 @@ struct StatsSnapshot {
   std::uint64_t scans = 0;
   std::uint64_t scan_retries = 0;
   std::uint64_t scan_keys_visited = 0;
+  // Optimistic cop-updater breakdown (citrus-cop*; all zero on the
+  // lock+validate protocol). cop_commits = successful optimistic
+  // publishes (either path); cop_aborts_htm = aborted HTM attempts
+  // (hardware, or simulated via fault::Site::kTxAbort); cop_fallbacks =
+  // entries into the software validate-under-lock path;
+  // cop_validation_failures = under-lock validations that failed and
+  // forced a re-traversal.
+  std::uint64_t cop_commits = 0;
+  std::uint64_t cop_aborts_htm = 0;
+  std::uint64_t cop_fallbacks = 0;
+  std::uint64_t cop_validation_failures = 0;
   // Deferred-reclaim backpressure events: enqueue calls that found the
   // backlog over the high watermark and reclaimed synchronously
   // (rcu/reclaimer.hpp). Zero when no Reclaimer/watermark is configured.
@@ -252,9 +268,16 @@ using DictionaryFactory =
 //   citrus-reclaim    Citrus with full memory reclamation on; DefaultTraits
 //   citrus-mutex      Citrus with std::mutex node locks — lock ablation;
 //                     BenchTraits + UseStdMutex
+//   citrus-cop        Citrus with the optimistic copy-validate-publish
+//                     updater (citrus_cop.hpp): HTM fast path where the
+//                     hardware has it, hoisted-allocation lock+validate
+//                     fallback otherwise. BenchTraits
 //   citrus-shard4     ShardedCitrus, 4 shards × counter+flag RCU domains;
 //   citrus-shard16      per-shard node pools and retire queues. BenchTraits
 //   citrus-shard64      per shard; Options::shards overrides the count.
+//   citrus-cop-shard4   ShardedCitrus over the cop updater, 4/16/64
+//   citrus-cop-shard16  shards; same sharding semantics as citrus-shard*.
+//   citrus-cop-shard64
 //   rbtree            relativistic red-black tree (global writer lock)
 //   bonsai            Bonsai path-copying balanced tree (global writer lock)
 //   avl               Bronson optimistic AVL

@@ -12,6 +12,7 @@
 #include "baselines/lockfree_bst.hpp"
 #include "baselines/rcu_rbtree.hpp"
 #include "baselines/relativistic_hash.hpp"
+#include "citrus/citrus_cop.hpp"
 #include "citrus/citrus_tree.hpp"
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/epoch_rcu.hpp"
@@ -282,6 +283,10 @@ class TreeAdapter final : public IDictionary {
       snap.scans = s.scans;
       snap.scan_retries = s.scan_retries;
       snap.scan_keys_visited = s.scan_keys_visited;
+      snap.cop_commits = s.cop_commits;
+      snap.cop_aborts_htm = s.cop_aborts_htm;
+      snap.cop_fallbacks = s.cop_fallbacks;
+      snap.cop_validation_failures = s.cop_validation_failures;
     }
     return snap;
   }
@@ -299,10 +304,13 @@ using Key = std::int64_t;
 using Value = std::int64_t;
 
 // Adapter over ShardedCitrus: N shards, each an independent (domain, tree)
-// pair; a ThreadScope registers with all shard domains.
-template <typename Rcu, typename Traits>
+// pair; a ThreadScope registers with all shard domains. TreeT picks the
+// per-shard update protocol (lock+validate or cop).
+template <typename Rcu, typename Traits,
+          template <typename, typename, typename, typename>
+          class TreeT = core::CitrusTree>
 class ShardedAdapter final : public IDictionary {
-  using Sharded = shard::ShardedCitrus<Key, Value, Rcu, Traits>;
+  using Sharded = shard::ShardedCitrus<Key, Value, Rcu, Traits, TreeT>;
 
   class Scope final : public ThreadScope {
    public:
@@ -391,6 +399,10 @@ class ShardedAdapter final : public IDictionary {
       out.gp_shared = s.gp_shared;
       out.scans = s.scans;
       out.scan_retries = s.scan_retries;
+      out.cop_commits = s.cop_commits;
+      out.cop_aborts_htm = s.cop_aborts_htm;
+      out.cop_fallbacks = s.cop_fallbacks;
+      out.cop_validation_failures = s.cop_validation_failures;
       out.size = dict_.shard_size(i);
       snap.grace_periods += out.grace_periods;
       snap.insert_retries += s.insert_retries;
@@ -403,6 +415,10 @@ class ShardedAdapter final : public IDictionary {
       snap.scans += s.scans;
       snap.scan_retries += s.scan_retries;
       snap.scan_keys_visited += s.scan_keys_visited;
+      snap.cop_commits += s.cop_commits;
+      snap.cop_aborts_htm += s.cop_aborts_htm;
+      snap.cop_fallbacks += s.cop_fallbacks;
+      snap.cop_validation_failures += s.cop_validation_failures;
       snap.shards.push_back(out);
     }
     return snap;
@@ -454,8 +470,30 @@ DictionaryFactory citrus_factory(const char* name, bool reclaim_default) {
   };
 }
 
+// Optimistic cop protocol (citrus_cop.hpp); same Options::reclaim
+// handling as citrus_factory.
+template <typename Rcu>
+DictionaryFactory cop_factory(const char* name, bool reclaim_default) {
+  return [name, reclaim_default](const Options& options) -> std::unique_ptr<IDictionary> {
+    const bool reclaim = options.reclaim.value_or(reclaim_default);
+    DictionaryTraits traits = kCitrusTraits;
+    traits.reclaiming = reclaim;
+    if (reclaim) {
+      return std::make_unique<TreeAdapter<
+          Rcu, core::CitrusCopTree<Key, Value, Rcu, core::DefaultTraits>>>(
+          name, traits);
+    }
+    return std::make_unique<TreeAdapter<
+        Rcu, core::CitrusCopTree<Key, Value, Rcu, core::BenchTraits>>>(
+        name, traits);
+  };
+}
+
 // Sharded Citrus: Options::shards (power of two) overrides the name's
-// default count; Options::reclaim picks the traits tier as above.
+// default count; Options::reclaim picks the traits tier as above. TreeT
+// picks the per-shard update protocol.
+template <template <typename, typename, typename, typename>
+          class TreeT = core::CitrusTree>
 DictionaryFactory sharded_factory(const char* name,
                                   std::size_t default_shards) {
   return [name, default_shards](const Options& options)
@@ -470,12 +508,12 @@ DictionaryFactory sharded_factory(const char* name,
     const DictionaryTraits traits{true, reclaim, ScanConsistency::kChunked};
     if (reclaim) {
       return std::make_unique<
-          ShardedAdapter<CounterFlagRcu, core::DefaultTraits>>(name, traits,
-                                                               shards);
+          ShardedAdapter<CounterFlagRcu, core::DefaultTraits, TreeT>>(
+          name, traits, shards);
     }
     return std::make_unique<
-        ShardedAdapter<CounterFlagRcu, core::BenchTraits>>(name, traits,
-                                                           shards);
+        ShardedAdapter<CounterFlagRcu, core::BenchTraits, TreeT>>(
+        name, traits, shards);
   };
 }
 
@@ -523,11 +561,25 @@ const std::map<std::string, RegistryEntry>& registry() {
                                                  CitrusMutexTraits>>(
             "citrus-mutex", kCitrusTraits),
         kCitrusTraits}},
+      // Optimistic copy-validate-publish protocol: its own algorithm
+      // family (comparison=true), plus sharded ablation aliases.
+      {"citrus-cop",
+       {cop_factory<CounterFlagRcu>("citrus-cop", false), kCitrusTraits,
+        true}},
       {"citrus-shard4", {sharded_factory("citrus-shard4", 4), shard_traits}},
       {"citrus-shard16",
        {sharded_factory("citrus-shard16", 16), shard_traits, true}},
       {"citrus-shard64",
        {sharded_factory("citrus-shard64", 64), shard_traits}},
+      {"citrus-cop-shard4",
+       {sharded_factory<core::CitrusCopTree>("citrus-cop-shard4", 4),
+        shard_traits}},
+      {"citrus-cop-shard16",
+       {sharded_factory<core::CitrusCopTree>("citrus-cop-shard16", 16),
+        shard_traits}},
+      {"citrus-cop-shard64",
+       {sharded_factory<core::CitrusCopTree>("citrus-cop-shard64", 64),
+        shard_traits}},
       {"rbtree",
        {factory<CounterFlagRcu,
                 baselines::RcuRedBlackTree<Key, Value, CounterFlagRcu,

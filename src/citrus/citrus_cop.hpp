@@ -1,0 +1,610 @@
+// CITRUS-COP — an optimistic copy-validate-publish update protocol layered
+// over the Citrus tree (DESIGN.md §8).
+//
+// The paper's updaters pessimistically lock first and allocate/publish
+// second; under update-heavy contention the node locks are held across the
+// allocator and the retry loop convoys on them. This protocol inverts the
+// order, following the RCU-HTM recipe (Siakavaras et al., PACT'17 lineage;
+// see PAPERS.md): run the same wait-free `get`, build a PRIVATE copy of the
+// affected neighborhood from the node pool while holding nothing, then
+// validate-and-publish with one release-ordered pointer swing —
+//
+//   * HTM fast path: a hardware transaction subscribes the neighborhood's
+//     lock words (SpinLock::is_locked puts them in the read-set, so any
+//     lock-based updater aborts us instead of racing us), re-runs
+//     validate_link, swings the one parent->child pointer and commits.
+//     Entirely lock-free when it commits; bounded retries
+//     (util/htm.hpp::run_transactions), then the software path.
+//   * Software path: the paper's validate-under-lock, but with the
+//     allocation hoisted out of the critical section — the locks now cover
+//     only validate + one store, which is what shrinks the contention
+//     window on machines without (working) TSX.
+//
+// Private copies that lose (key already present, validation failed) are
+// returned to the pool immediately: they were never published, so no
+// reader can hold them and no grace period is owed. Replaced nodes retire
+// through the base tree's deferred grace-period machinery, unchanged.
+//
+// What deliberately stays out of the transaction:
+//   * The two-child erase: it awaits a grace period mid-protocol (paper
+//     Line 74) — unboundedly transaction-hostile — so it always runs the
+//     software protocol (still with the successor's copy built before the
+//     locks are taken).
+//   * size_ and the stats counters: shared cache lines touched after the
+//     commit, so concurrent updates do not conflict on bookkeeping.
+//   * rcucheck builds: the check hooks write global state (canaries,
+//     held-lock sets) that would both abort transactions and be torn by
+//     them; with check::kEnabled the HTM gate is closed at compile time
+//     and every operation takes the (fully checked) software path.
+//
+// Fault site: fault::Site::kTxAbort fires at the head of each operation's
+// transactional window; every fired occurrence consumes one unit of the
+// bounded retry budget and counts as one simulated HTM abort, so an abort
+// storm degrades to the software path after exactly tx_retries() aborts —
+// by construction there is no retry livelock, with or without hardware.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "check/check.hpp"
+#include "citrus/citrus_node.hpp"
+#include "citrus/citrus_traverse.hpp"
+#include "citrus/citrus_tree.hpp"
+#include "citrus/update_status.hpp"
+#include "fault/fault.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/guarded_ptr.hpp"
+#include "rcu/rcu.hpp"
+#include "util/htm.hpp"
+
+namespace citrus::core {
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = DefaultTraits>
+class CitrusCopTree : public CitrusTree<Key, Value, Rcu, Traits> {
+  using Base = CitrusTree<Key, Value, Rcu, Traits>;
+  using typename Base::GetResult;
+  using typename Base::Lock;
+  using typename Base::LockSet;
+  using typename Base::MaybeReadGuard;
+  using typename Base::Node;
+  using Base::bump;
+  using Base::bump_n;
+  using Base::erase_single_child;
+  using Base::get;
+  using Base::increment_tag;
+  using Base::pause;
+  using Base::pool_;
+  using Base::rcu_;
+  using Base::retire;
+  using Base::size_;
+  using Base::validate;
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+  using rcu_type = Rcu;
+
+  explicit CitrusCopTree(Rcu& domain) : Base(domain) {}
+
+  // The HTM fast path exists only when the node lock can be subscribed
+  // (SpinLock exposes its lock word; std::mutex cannot).
+  static constexpr bool kLockSubscribable =
+      requires(const Lock& l) { { l.is_locked() } -> std::convertible_to<bool>; };
+
+  // All three gates of util/htm.hpp plus the protocol-level ones above.
+  static bool htm_enabled() noexcept {
+    if constexpr (!util::htm::kCompiled || check::kEnabled ||
+                  !kLockSubscribable) {
+      return false;
+    } else {
+      return util::htm::available();
+    }
+  }
+
+  // Per-operation transactional attempt budget (Traits override hook).
+  static constexpr unsigned tx_retries() noexcept {
+    if constexpr (requires { Traits::kTxRetries; }) {
+      return Traits::kTxRetries;
+    } else {
+      return util::htm::kDefaultTxRetries;
+    }
+  }
+
+ private:
+  // Lock subscription that still compiles for non-subscribable locks (the
+  // transaction bodies are dead code then — htm_enabled() is false — but
+  // they are part of an instantiated function).
+  static bool subscribed_locked(const Node* n) noexcept {
+    if constexpr (kLockSubscribable) {
+      return n->lock.is_locked();
+    } else {
+      return false;
+    }
+  }
+
+ public:
+
+  // ── Update side (shadows the base protocol; the read side and the
+  //    ordered operations are inherited unchanged) ────────────────────
+  //
+  // The base class dispatches its bool wrappers to its own try_* forms
+  // non-virtually, so the wrappers are shadowed here as well.
+
+  bool insert(const Key& key, const Value& value) {
+    return try_insert(key, value) == UpdateStatus::kSuccess;
+  }
+  bool erase(const Key& key) {
+    return try_erase(key) == UpdateStatus::kSuccess;
+  }
+  bool assign(const Key& key, const Value& value) {
+    return try_assign(key, value) == UpdateStatus::kSuccess;
+  }
+  bool insert_or_assign(const Key& key, const Value& value) {
+    for (;;) {
+      switch (try_insert(key, value)) {
+        case UpdateStatus::kSuccess:
+          return true;
+        case UpdateStatus::kNoMemory:
+          return false;
+        case UpdateStatus::kNoOp:
+          break;
+      }
+      switch (try_assign(key, value)) {
+        case UpdateStatus::kSuccess:
+        case UpdateStatus::kNoMemory:
+          return false;
+        case UpdateStatus::kNoOp:
+          break;  // the key vanished between the two calls; start over
+      }
+    }
+  }
+
+  // Optimistic insert: the leaf is built before anything is examined —
+  // the kNoMemory unwind therefore cannot have touched the tree at all.
+  UpdateStatus try_insert(const Key& key, const Value& value) {
+    Node* leaf = pool_.allocate(false, NodeKind::kReal, &key, &value,
+                                nullptr, nullptr);
+    if (leaf == nullptr) return UpdateStatus::kNoMemory;
+    pause(PausePoint::kCopAfterCopy);
+    for (;;) {
+      GetResult g = get(key);
+      if (g.curr != nullptr) {
+        discard_copy(leaf);
+        return UpdateStatus::kNoOp;  // key found; the copy was never needed
+      }
+
+      switch (tx_attempt([&]() CITRUS_COP_TX_BODY {
+        if (subscribed_locked(g.prev)) util::htm::tx_abort_lock_held();
+        if (!validate_link<Node>(g.prev, g.prev_gen, g.tag, nullptr, 0,
+                                 g.direction)) {
+          util::htm::tx_abort_validation();
+        }
+        g.prev->child[g.direction].publish(leaf);
+        // The transaction is atomic to every other thread, so the seqlock
+        // takes one even step — no observable odd intermediate.
+        g.prev->version.fetch_add(2, std::memory_order_release);
+      })) {
+        case util::htm::TxResult::kCommitted:
+          size_.fetch_add(1, std::memory_order_relaxed);
+          bump(&CitrusStats::cop_commits);
+          return UpdateStatus::kSuccess;
+        case util::htm::TxResult::kValidationAbort:
+          continue;  // stale snapshot: re-traverse
+        case util::htm::TxResult::kFallback:
+          break;
+      }
+
+      // Software path: the paper's lock+validate, allocation already done.
+      bump(&CitrusStats::cop_fallbacks);
+      LockSet locks;
+      if (!locks.acquire_timed(g.prev)) {
+        bump(&CitrusStats::lock_timeouts);
+        continue;
+      }
+      if (!validate(g.prev, g.prev_gen, g.tag, nullptr, 0, g.direction)) {
+        bump(&CitrusStats::cop_validation_failures);
+        continue;  // LockSet releases on scope exit
+      }
+      g.prev->scan_write_begin();
+      // The single-pointer publish, as a release CAS: under the lock the
+      // validated slot can only hold nullptr, so the CAS never loses —
+      // only weak-CAS spurious failure loops here.
+      Node* expected = nullptr;
+      while (!g.prev->child[g.direction].compare_exchange_weak(expected,
+                                                               leaf) &&
+             expected == nullptr) {
+      }
+      assert(expected == nullptr && "validated empty slot changed under lock");
+      g.prev->scan_write_end();
+      locks.release_all();
+      size_.fetch_add(1, std::memory_order_relaxed);
+      bump(&CitrusStats::cop_commits);
+      return UpdateStatus::kSuccess;
+    }
+  }
+
+  // Optimistic assign: the replacement is built once, before any lock;
+  // only its child links (readable solely under curr's lock or in-tx) are
+  // filled in at publish time. Values are immutable per node (the base
+  // class invariant), so assignment is node replacement here too.
+  UpdateStatus try_assign(const Key& key, const Value& value) {
+    Node* copy = nullptr;
+    for (;;) {
+      GetResult g = get(key);
+      if (g.curr == nullptr) {
+        if (copy != nullptr) discard_copy(copy);
+        return UpdateStatus::kNoOp;  // key not found
+      }
+      if (copy == nullptr) {
+        copy = pool_.allocate(false, NodeKind::kReal, &key, &value, nullptr,
+                              nullptr);
+        if (copy == nullptr) return UpdateStatus::kNoMemory;
+        pause(PausePoint::kCopAfterCopy);
+      }
+
+      switch (tx_attempt([&]() CITRUS_COP_TX_BODY {
+        if (subscribed_locked(g.prev) || subscribed_locked(g.curr)) {
+          util::htm::tx_abort_lock_held();
+        }
+        if (!validate_link<Node>(g.prev, g.prev_gen, 0, g.curr, g.curr_gen,
+                                 g.direction)) {
+          util::htm::tx_abort_validation();
+        }
+        // The copy is private until the publish below; storing into it
+        // needs no ordering of its own (the publish is the release).
+        // rcu-analyze: allow (pre-publication construction of the private
+        // copy inside the transaction; the publish below is the release)
+        copy->child[kLeft].unguarded_store(g.curr->child[kLeft].load_locked());
+        copy->child[kRight].unguarded_store(
+            g.curr->child[kRight].load_locked());
+        g.curr->marked.store(true, std::memory_order_release);
+        g.prev->child[g.direction].publish(copy);
+        g.prev->version.fetch_add(2, std::memory_order_release);
+      })) {
+        case util::htm::TxResult::kCommitted:
+          bump(&CitrusStats::cop_commits);
+          retire(g.curr);
+          return UpdateStatus::kSuccess;
+        case util::htm::TxResult::kValidationAbort:
+          continue;
+        case util::htm::TxResult::kFallback:
+          break;
+      }
+
+      bump(&CitrusStats::cop_fallbacks);
+      LockSet locks;
+      if (!locks.acquire_timed(g.prev) || !locks.acquire_timed(g.curr)) {
+        bump(&CitrusStats::lock_timeouts);
+        continue;
+      }
+      if (!validate(g.prev, g.prev_gen, 0, g.curr, g.curr_gen, g.direction)) {
+        bump(&CitrusStats::cop_validation_failures);
+        continue;  // keep the copy: key/value are still right for a retry
+      }
+      check::on_node_access(g.curr);  // locked + validated: live
+      // rcu-analyze: allow (pre-publication construction of the private
+      // copy under curr's lock; the publish below is the release)
+      copy->child[kLeft].unguarded_store(g.curr->child[kLeft].load_locked());
+      copy->child[kRight].unguarded_store(g.curr->child[kRight].load_locked());
+      g.curr->marked.store(true, std::memory_order_release);
+      g.prev->scan_write_begin();
+      g.prev->child[g.direction].publish(copy);
+      g.prev->scan_write_end();
+      locks.release_all();
+      bump(&CitrusStats::cop_commits);
+      retire(g.curr);
+      return UpdateStatus::kSuccess;
+    }
+  }
+
+  // Optimistic erase. The single-child case is one pointer swing and takes
+  // the transactional window; the two-child case awaits a grace period
+  // mid-protocol and therefore always runs the software protocol — with
+  // the successor's replacement copy built before any lock is taken.
+  UpdateStatus try_erase(const Key& key) {
+    for (;;) {
+      GetResult g = get(key);
+      if (g.curr == nullptr) return UpdateStatus::kNoOp;  // key not found
+      pause(PausePoint::kEraseAfterGet);
+
+      // Classify the victim (one child vs two) without locks. Inside a
+      // fresh read-side section a node that still carries the searched
+      // generation and is unmarked cannot be recycled while the section
+      // stays open, so its child slots are safe to *load* (the hints are
+      // re-established under locks / in-tx before anything is trusted).
+      Node* left_hint = nullptr;
+      Node* right_hint = nullptr;
+      {
+        MaybeReadGuard guard(rcu_);
+        check::on_node_header_access(g.curr);
+        if (g.curr->generation.load(std::memory_order_acquire) !=
+                g.curr_gen ||
+            g.curr->marked.load(std::memory_order_acquire)) {
+          bump(&CitrusStats::erase_retries);
+          continue;  // the victim moved on since the search
+        }
+        // rcu-analyze: allow (classification hints only — never
+        // dereferenced; the protocol re-reads the children under locks
+        // or inside the transaction before trusting them)
+        left_hint = g.curr->child[kLeft].load_protected().escape();
+        right_hint = g.curr->child[kRight].load_protected().escape();
+      }
+
+      if (left_hint == nullptr || right_hint == nullptr) {
+        switch (erase_one_child_cop(g)) {
+          case OneChild::kDone:
+            return UpdateStatus::kSuccess;
+          case OneChild::kRetry:
+            break;
+        }
+      } else {
+        switch (erase_two_children_cop(g)) {
+          case TwoChildCop::kDone:
+            return UpdateStatus::kSuccess;
+          case TwoChildCop::kNoMemory:
+            return UpdateStatus::kNoMemory;
+          case TwoChildCop::kRetry:
+            break;
+        }
+      }
+    }
+  }
+
+ private:
+  enum class OneChild { kDone, kRetry };
+  enum class TwoChildCop { kDone, kRetry, kNoMemory };
+
+  // Mark-and-bypass of a victim with at most one child: HTM window first,
+  // then lock+validate. kRetry covers every failed validation and the
+  // victim growing a second child (the caller re-classifies).
+  OneChild erase_one_child_cop(const GetResult& g) {
+    switch (tx_attempt([&]() CITRUS_COP_TX_BODY {
+      if (subscribed_locked(g.prev) || subscribed_locked(g.curr)) {
+        util::htm::tx_abort_lock_held();
+      }
+      if (!validate_link<Node>(g.prev, g.prev_gen, 0, g.curr, g.curr_gen,
+                               g.direction)) {
+        util::htm::tx_abort_validation();
+      }
+      Node* left = g.curr->child[kLeft].load_locked();
+      Node* right = g.curr->child[kRight].load_locked();
+      if (left != nullptr && right != nullptr) {
+        util::htm::tx_abort_validation();  // grew a child: re-classify
+      }
+      g.curr->marked.store(true, std::memory_order_release);
+      Node* child = left != nullptr ? left : right;
+      g.prev->child[g.direction].publish(child);
+      if (child == nullptr) {
+        g.prev->tag[g.direction].fetch_add(1, std::memory_order_release);
+      }
+      g.prev->version.fetch_add(2, std::memory_order_release);
+    })) {
+      case util::htm::TxResult::kCommitted:
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        bump(&CitrusStats::cop_commits);
+        retire(g.curr);
+        return OneChild::kDone;
+      case util::htm::TxResult::kValidationAbort:
+        return OneChild::kRetry;
+      case util::htm::TxResult::kFallback:
+        break;
+    }
+
+    bump(&CitrusStats::cop_fallbacks);
+    LockSet locks;
+    if (!locks.acquire_timed(g.prev) || !locks.acquire_timed(g.curr)) {
+      bump(&CitrusStats::lock_timeouts);
+      return OneChild::kRetry;
+    }
+    if (!validate(g.prev, g.prev_gen, 0, g.curr, g.curr_gen, g.direction)) {
+      bump(&CitrusStats::cop_validation_failures);
+      return OneChild::kRetry;
+    }
+    check::on_node_access(g.curr);  // locked + validated: live
+    Node* left = g.curr->child[kLeft].load_locked();
+    Node* right = g.curr->child[kRight].load_locked();
+    if (left != nullptr && right != nullptr) {
+      bump(&CitrusStats::erase_retries);
+      return OneChild::kRetry;  // re-classify as two-child
+    }
+    erase_single_child(g, left, right);
+    locks.release_all();
+    bump(&CitrusStats::cop_commits);
+    retire(g.curr);
+    return OneChild::kDone;
+  }
+
+  // Two-child erase, cop style: walk to the successor and copy its
+  // key/value inside a read-side section (a generation-verified node
+  // cannot be recycled while the section is open, and generations are
+  // re-validated under the locks before the copy is trusted), build the
+  // replacement from the pool BEFORE locking, then run the paper's
+  // lock/validate/publish/grace/unlink sequence (Lines 57-83).
+  TwoChildCop erase_two_children_cop(const GetResult& g) {
+    Node* prev_succ;
+    Node* succ;
+    std::uint64_t succ_gen, prev_succ_gen, succ_left_tag;
+    alignas(Key) unsigned char skey_buf[sizeof(Key)];
+    alignas(Value) unsigned char sval_buf[sizeof(Value)];
+    {
+      MaybeReadGuard guard(rcu_);
+      check::on_node_header_access(g.curr);
+      if (g.curr->generation.load(std::memory_order_acquire) != g.curr_gen ||
+          g.curr->marked.load(std::memory_order_acquire)) {
+        bump(&CitrusStats::erase_retries);
+        return TwoChildCop::kRetry;
+      }
+      // Generation verified inside this open section: the victim's links
+      // are live, so the leftmost walk of its right subtree stays on live
+      // nodes for as long as the section lasts.
+      rcu::protected_ptr<Node> ps(g.curr);
+      rcu::protected_ptr<Node> s = g.curr->child[kRight].load_protected();
+      if (s == nullptr) {
+        bump(&CitrusStats::erase_retries);
+        return TwoChildCop::kRetry;  // no longer two-child: re-classify
+      }
+      check::on_node_access(s.get());
+      rcu::protected_ptr<Node> next = s->child[kLeft].load_protected();
+      while (next != nullptr) {
+        ps = s;
+        s = next;
+        check::on_node_access(s.get());
+        next = next->child[kLeft].load_protected();
+      }
+      succ_gen = s->generation.load(std::memory_order_acquire);
+      prev_succ_gen = ps->generation.load(std::memory_order_acquire);
+      succ_left_tag = s->tag[kLeft].load(std::memory_order_acquire);
+      // Copy the successor's payload while the section still protects it;
+      // the lock-phase generation checks below prove the payload was not
+      // rebuilt between this copy and the publish that uses it.
+      new (skey_buf) Key(s->key());
+      new (sval_buf) Value(s->value());
+      // rcu-analyze: allow (generation-validated handoff to the locking
+      // phase, as in get(); stale escapees always fail validate)
+      prev_succ = ps.escape();
+      succ = s.escape();
+    }
+    const Key& skey = *std::launder(reinterpret_cast<Key*>(skey_buf));
+    const Value& sval = *std::launder(reinterpret_cast<Value*>(sval_buf));
+    struct PayloadGuard {  // the stack copies always die with this frame
+      const Key& k;
+      const Value& v;
+      ~PayloadGuard() {
+        k.~Key();
+        v.~Value();
+      }
+    } payload_guard{skey, sval};
+
+    // The replacement, built from the pool before any lock is taken (born
+    // locked: it is published mid-protocol and must stay immutable to
+    // other updaters until the successor is unlinked).
+    Node* replacement =
+        pool_.allocate(true, NodeKind::kReal, &skey, &sval, nullptr, nullptr);
+    if (replacement == nullptr) return TwoChildCop::kNoMemory;
+
+    LockSet locks;
+    locks.adopt(replacement);
+    const auto abandon = [&]() {
+      locks.release_all();
+      discard_copy(replacement);
+    };
+
+    if (!locks.acquire_timed(g.prev) || !locks.acquire_timed(g.curr)) {
+      bump(&CitrusStats::lock_timeouts);
+      abandon();
+      return TwoChildCop::kRetry;
+    }
+    if (!validate(g.prev, g.prev_gen, 0, g.curr, g.curr_gen, g.direction)) {
+      bump(&CitrusStats::cop_validation_failures);
+      abandon();
+      return TwoChildCop::kRetry;
+    }
+    check::on_node_access(g.curr);  // locked + validated: live
+    Node* left = g.curr->child[kLeft].load_locked();
+    Node* right = g.curr->child[kRight].load_locked();
+    if (left == nullptr || right == nullptr) {
+      bump(&CitrusStats::erase_retries);
+      abandon();
+      return TwoChildCop::kRetry;  // no longer two-child: re-classify
+    }
+    const int succ_direction = prev_succ == g.curr ? kRight : kLeft;
+    if (prev_succ != g.curr) {  // do not lock twice (paper Line 66)
+      if (!locks.acquire_timed(prev_succ)) {
+        bump(&CitrusStats::lock_timeouts);
+        abandon();
+        return TwoChildCop::kRetry;
+      }
+    }
+    if (!locks.acquire_timed(succ)) {
+      bump(&CitrusStats::lock_timeouts);
+      abandon();
+      return TwoChildCop::kRetry;
+    }
+    if (!validate(prev_succ, prev_succ_gen, 0, succ, succ_gen,
+                  succ_direction) ||
+        !validate(succ, succ_gen, succ_left_tag, nullptr, 0, kLeft)) {
+      bump(&CitrusStats::cop_validation_failures);
+      abandon();
+      return TwoChildCop::kRetry;
+    }
+    // succ's generation is unchanged under its lock, so the payload copied
+    // in the read section above is exactly succ's payload — the
+    // replacement's key/value are valid. Its children (read under curr's
+    // lock, so stable) are filled in now, pre-publication.
+    // rcu-analyze: allow (pre-publication construction of the private
+    // replacement under the held locks; the publish below is the release)
+    replacement->child[kLeft].unguarded_store(left);
+    replacement->child[kRight].unguarded_store(right);
+
+    g.curr->marked.store(true, std::memory_order_release);  // Line 72
+    g.prev->scan_write_begin();
+    g.prev->child[g.direction].publish(replacement);  // Line 73
+    g.prev->scan_write_end();
+    pause(PausePoint::kAfterReplacementPublish);
+
+    {
+      // Same rcucheck blessing as the base protocol: readers acquire no
+      // locks, so awaiting a grace period under node locks cannot deadlock.
+      check::AllowSyncWithHeldLocks blessed;
+      rcu_.synchronize();  // Line 74: wait for readers
+    }
+    pause(PausePoint::kBeforeSuccessorUnlink);
+
+    succ->marked.store(true, std::memory_order_release);  // Line 75
+    Node* succ_right = succ->child[kRight].load_locked();
+    if (prev_succ == g.curr) {
+      replacement->scan_write_begin();
+      replacement->child[kRight].publish(succ_right);
+      replacement->scan_write_end();
+      increment_tag(replacement, kRight);
+    } else {
+      prev_succ->scan_write_begin();
+      prev_succ->child[kLeft].publish(succ_right);
+      prev_succ->scan_write_end();
+      increment_tag(prev_succ, kLeft);
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    bump(&CitrusStats::two_child_erases);
+    bump(&CitrusStats::cop_commits);
+    locks.release_all();
+    retire(g.curr);
+    retire(succ);
+    return TwoChildCop::kDone;
+  }
+
+  // One bounded transactional attempt window: drain any injected abort
+  // storm first (each simulated abort consumes budget, exactly like a real
+  // one), then run the hardware transaction if every gate is open. Returns
+  // kFallback when no hardware path exists — the common case, and the
+  // reason every caller has a complete software protocol behind it.
+  template <typename Body>
+  util::htm::TxResult tx_attempt(Body&& body) {
+    unsigned budget = tx_retries();
+    while (budget > 0 && fault::inject_fail(fault::Site::kTxAbort)) {
+      --budget;
+      bump(&CitrusStats::cop_aborts_htm);
+    }
+    if (budget == 0 || !htm_enabled()) return util::htm::TxResult::kFallback;
+    unsigned aborts = 0;
+    const util::htm::TxResult r =
+        util::htm::run_transactions(budget, &aborts, std::forward<Body>(body));
+    if (aborts > 0) bump_n(&CitrusStats::cop_aborts_htm, aborts);
+    return r;
+  }
+
+  // Return a never-published private copy to the pool. No reader can hold
+  // it (it was never reachable), so no grace period is owed; the marked
+  // store satisfies recycle()'s unlink protocol. The caller must have
+  // released the node's lock if it was allocated keep_locked.
+  void discard_copy(Node* n) {
+    n->marked.store(true, std::memory_order_relaxed);
+    pool_.recycle(n);
+  }
+};
+
+}  // namespace citrus::core

@@ -1,0 +1,110 @@
+// Shared traversal/validation machinery of the Citrus updaters.
+//
+// Both update protocols — the paper's lock+validate (citrus_tree.hpp) and
+// the optimistic copy-validate-publish path (citrus_cop.hpp) — run the
+// same wait-free `get` search, carry the same (node, generation, tag)
+// snapshots out of the read-side critical section, and re-establish
+// safety with the same post-lock validation. This header holds the pieces
+// that are protocol-independent so the cop tree is a protocol layer, not
+// a fork:
+//
+//   GetResult  — the last edge the search followed, plus the generation
+//                and ABA-tag snapshots reclaim-mode validation needs.
+//   LockSet    — bounded multi-lock acquisition (timed try-lock, bulk
+//                release, adoption of locks acquired elsewhere). Bounded
+//                acquisition makes update deadlock impossible by
+//                construction and guarantees a blocked updater reaches a
+//                quiescent point (the QSBR domain depends on this).
+//   validate_link — the paper's `validate` (Lines 33-38) extended with
+//                generation checks: the locked (or transaction-subscribed)
+//                nodes are unmarked, still in the expected parent-child
+//                relation, and the slot's tag is unchanged for an insert
+//                into an empty slot.
+#pragma once
+
+#include <cstdint>
+
+#include "check/check.hpp"
+#include "citrus/citrus_node.hpp"
+#include "sync/backoff.hpp"
+
+namespace citrus::core {
+
+// Result of the paper's `get` (Lines 1-15) plus the generation snapshots
+// used by reclaim-mode validation.
+template <typename Node>
+struct GetResult {
+  Node* prev = nullptr;
+  Node* curr = nullptr;
+  std::uint64_t tag = 0;
+  std::uint64_t prev_gen = 0;
+  std::uint64_t curr_gen = 0;
+  int direction = kRight;
+};
+
+// Bounded multi-lock helper: every acquisition is a bounded try-lock (on
+// timeout the whole operation restarts from the root), so update deadlock
+// is impossible by construction and no thread ever blocks indefinitely
+// without passing a quiescent point. Releases everything on destruction
+// unless release_all() already ran. Capacity: the deepest holder is the
+// two-child erase with prev, curr, prevSucc, succ and the replacement.
+template <typename Node, std::uint32_t kAttempts>
+class LockSet {
+ public:
+  ~LockSet() { release_all(); }
+
+  bool acquire_timed(Node* n) {
+    sync::Backoff bo;
+    for (std::uint32_t i = 0; i < kAttempts; ++i) {
+      if (n->lock.try_lock()) {
+        held_[count_++] = n;
+        return true;
+      }
+      bo.pause();
+    }
+    return false;
+  }
+
+  // Adopt a lock acquired elsewhere (the pool returns delete's
+  // replacement node already locked).
+  void adopt(Node* n) { held_[count_++] = n; }
+
+  void release_all() {
+    while (count_ > 0) held_[--count_]->lock.unlock();
+  }
+
+ private:
+  Node* held_[5] = {};
+  int count_ = 0;
+};
+
+// Paper `validate` (Lines 33-38) extended with generation checks (always
+// compiled; generations never change when reclamation is off, so the
+// extra comparisons are branch-predicted away in bench mode). The caller
+// must have made the inspected state stable: either it holds the locks on
+// prev/curr (the lock+validate protocol) or it runs inside an HTM
+// transaction that has subscribed those locks (the cop fast path).
+// rcu-lint: allow (caller locks or HTM-subscribes prev/curr)
+template <typename Node>
+bool validate_link(Node* prev, std::uint64_t prev_gen, std::uint64_t tag,
+                   Node* curr, std::uint64_t curr_gen, int direction) {
+  // Header-only accesses: validate may legally inspect a recycled slot
+  // (the generation/marked checks are what detect that), so the lifetime
+  // canary is not consulted here.
+  check::on_node_header_access(prev);
+  if (curr != nullptr) check::on_node_header_access(curr);
+  if (prev->generation.load(std::memory_order_acquire) != prev_gen) {
+    return false;
+  }
+  if (prev->marked.load(std::memory_order_acquire)) return false;
+  if (prev->child[direction].load_locked() != curr) {
+    return false;
+  }
+  if (curr != nullptr) {
+    return curr->generation.load(std::memory_order_acquire) == curr_gen &&
+           !curr->marked.load(std::memory_order_acquire);
+  }
+  return prev->tag[direction].load(std::memory_order_acquire) == tag;
+}
+
+}  // namespace citrus::core

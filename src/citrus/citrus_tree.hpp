@@ -62,6 +62,7 @@
 
 #include "check/check.hpp"
 #include "citrus/citrus_node.hpp"
+#include "citrus/citrus_traverse.hpp"
 #include "citrus/node_pool.hpp"
 #include "citrus/structure_report.hpp"
 #include "citrus/update_status.hpp"
@@ -83,6 +84,7 @@ enum class PausePoint {
   kEraseAfterGet,       // erase: search done, nothing locked
   kAfterReplacementPublish,  // two-child erase: copy linked, pre-grace
   kBeforeSuccessorUnlink,    // two-child erase: grace elapsed
+  kCopAfterCopy,        // cop update: private copy built, nothing published
 };
 
 // Compile-time policy knobs for the tree.
@@ -123,6 +125,19 @@ struct CitrusStats {
   std::uint64_t scan_retries = 0;
   std::uint64_t scan_keys_visited = 0;
 
+  // Optimistic copy-updater counters (citrus_cop.hpp; zero on the
+  // lock+validate protocol). cop_commits counts successful optimistic
+  // publishes on either path; cop_aborts_htm counts aborted HTM attempts
+  // (hardware or injected via fault::Site::kTxAbort); cop_fallbacks
+  // counts entries into the software validate-under-lock path (on a
+  // machine without working HTM that is every publish attempt);
+  // cop_validation_failures counts software-path validations that failed
+  // and forced a re-traversal.
+  std::uint64_t cop_commits = 0;
+  std::uint64_t cop_aborts_htm = 0;
+  std::uint64_t cop_fallbacks = 0;
+  std::uint64_t cop_validation_failures = 0;
+
   // Grace-period engine counters of this tree's RCU domain (zero on
   // domains without the shared gp_seq). Domain-level: if several trees
   // share one domain, each stats() reports the same domain totals.
@@ -143,6 +158,10 @@ struct CitrusStats {
     scans += o.scans;
     scan_retries += o.scan_retries;
     scan_keys_visited += o.scan_keys_visited;
+    cop_commits += o.cop_commits;
+    cop_aborts_htm += o.cop_aborts_htm;
+    cop_fallbacks += o.cop_fallbacks;
+    cop_validation_failures += o.cop_validation_failures;
     gp_started += o.gp_started;
     gp_shared += o.gp_shared;
     gp_expedited += o.gp_expedited;
@@ -156,6 +175,9 @@ template <typename Key, typename Value,
           rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
           typename Traits = DefaultTraits>
 class CitrusTree {
+ protected:
+  // Visible to the derived cop tree (citrus_cop.hpp), which layers an
+  // alternative update protocol over the same node/lock machinery.
   using Lock = typename Traits::LockTag::type;
   using Node = CitrusNode<Key, Value, Lock>;
 
@@ -521,6 +543,12 @@ class CitrusTree {
       out.scan_retries = stats_.scan_retries.load(std::memory_order_relaxed);
       out.scan_keys_visited =
           stats_.scan_keys_visited.load(std::memory_order_relaxed);
+      out.cop_commits = stats_.cop_commits.load(std::memory_order_relaxed);
+      out.cop_aborts_htm =
+          stats_.cop_aborts_htm.load(std::memory_order_relaxed);
+      out.cop_fallbacks = stats_.cop_fallbacks.load(std::memory_order_relaxed);
+      out.cop_validation_failures =
+          stats_.cop_validation_failures.load(std::memory_order_relaxed);
     }
     // Domain-side counters are kept by the grace-period engine itself and
     // cost nothing to read, so they are reported even with kStats off.
@@ -620,52 +648,11 @@ class CitrusTree {
   Rcu& domain() noexcept { return rcu_; }
   std::int64_t pool_live_nodes() const noexcept { return pool_.live(); }
 
- private:
-  // Result of the paper's `get` (Lines 1-15) plus the generation snapshots
-  // used by reclaim-mode validation.
-  struct GetResult {
-    Node* prev = nullptr;
-    Node* curr = nullptr;
-    std::uint64_t tag = 0;
-    std::uint64_t prev_gen = 0;
-    std::uint64_t curr_gen = 0;
-    int direction = kRight;
-  };
-
-  // Bounded multi-lock helper: every acquisition is a bounded try-lock
-  // (on timeout the whole operation restarts from the root), so update
-  // deadlock is impossible by construction and no thread ever blocks
-  // indefinitely without passing a quiescent point — a requirement for
-  // running over the QSBR domain. Releases everything on destruction
-  // unless release_all() already ran.
-  class LockSet {
-   public:
-    ~LockSet() { release_all(); }
-
-    bool acquire_timed(Node* n) {
-      sync::Backoff bo;
-      for (std::uint32_t i = 0; i < Traits::kLockAttempts; ++i) {
-        if (n->lock.try_lock()) {
-          held_[count_++] = n;
-          return true;
-        }
-        bo.pause();
-      }
-      return false;
-    }
-
-    // Adopt a lock acquired elsewhere (the pool returns delete's
-    // replacement node already locked).
-    void adopt(Node* n) { held_[count_++] = n; }
-
-    void release_all() {
-      while (count_ > 0) held_[--count_]->lock.unlock();
-    }
-
-   private:
-    Node* held_[5] = {};
-    int count_ = 0;
-  };
+ protected:
+  // The traversal state and bounded-locking machinery are shared with the
+  // optimistic cop protocol (citrus_traverse.hpp holds the definitions).
+  using GetResult = core::GetResult<Node>;
+  using LockSet = core::LockSet<Node, Traits::kLockAttempts>;
 
   // Paper `get` (Lines 1-15): wait-free search inside a read-side critical
   // section; returns the last edge followed plus the tag of the final slot
@@ -861,29 +848,13 @@ class CitrusTree {
     return validate_versions(vset);
   }
 
-  // Paper `validate` (Lines 33-38) extended with generation checks (always
-  // compiled; generations never change when reclamation is off, so the
-  // extra comparisons are branch-predicted away in bench mode).
+  // Paper `validate` (Lines 33-38): delegates to the shared
+  // validate_link (citrus_traverse.hpp), which both update protocols use.
   // rcu-lint: allow (caller holds the locks acquired on prev/curr)
   bool validate(Node* prev, std::uint64_t prev_gen, std::uint64_t tag,
                 Node* curr, std::uint64_t curr_gen, int direction) const {
-    // Header-only accesses: validate may legally inspect a recycled slot
-    // (the generation/marked checks are what detect that), so the lifetime
-    // canary is not consulted here.
-    check::on_node_header_access(prev);
-    if (curr != nullptr) check::on_node_header_access(curr);
-    if (prev->generation.load(std::memory_order_acquire) != prev_gen) {
-      return false;
-    }
-    if (prev->marked.load(std::memory_order_acquire)) return false;
-    if (prev->child[direction].load_locked() != curr) {
-      return false;
-    }
-    if (curr != nullptr) {
-      return curr->generation.load(std::memory_order_acquire) == curr_gen &&
-             !curr->marked.load(std::memory_order_acquire);
-    }
-    return prev->tag[direction].load(std::memory_order_acquire) == tag;
+    return validate_link<Node>(prev, prev_gen, tag, curr, curr_gen,
+                               direction);
   }
 
   // Paper `incrementTag` (Lines 39-41); caller holds node's lock.
@@ -1120,6 +1091,10 @@ class CitrusTree {
     std::atomic<std::uint64_t> scans{0};
     std::atomic<std::uint64_t> scan_retries{0};
     std::atomic<std::uint64_t> scan_keys_visited{0};
+    std::atomic<std::uint64_t> cop_commits{0};
+    std::atomic<std::uint64_t> cop_aborts_htm{0};
+    std::atomic<std::uint64_t> cop_fallbacks{0};
+    std::atomic<std::uint64_t> cop_validation_failures{0};
   };
 
   void bump(std::uint64_t CitrusStats::* field) const {
@@ -1136,17 +1111,28 @@ class CitrusTree {
         stats_.scans.fetch_add(1, std::memory_order_relaxed);
       } else if (field == &CitrusStats::scan_retries) {
         stats_.scan_retries.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::cop_commits) {
+        stats_.cop_commits.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::cop_aborts_htm) {
+        stats_.cop_aborts_htm.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::cop_fallbacks) {
+        stats_.cop_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::cop_validation_failures) {
+        stats_.cop_validation_failures.fetch_add(1,
+                                                 std::memory_order_relaxed);
       }
     } else {
       (void)field;
     }
   }
 
-  // Add-by-n variant for the keys-visited counter.
+  // Add-by-n variant for the batched counters.
   void bump_n(std::uint64_t CitrusStats::* field, std::uint64_t n) const {
     if constexpr (Traits::kStats) {
       if (field == &CitrusStats::scan_keys_visited) {
         stats_.scan_keys_visited.fetch_add(n, std::memory_order_relaxed);
+      } else if (field == &CitrusStats::cop_aborts_htm) {
+        stats_.cop_aborts_htm.fetch_add(n, std::memory_order_relaxed);
       }
     } else {
       (void)field;

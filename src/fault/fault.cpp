@@ -23,6 +23,8 @@ const char* to_string(Site s) noexcept {
       return "alloc-failure";
     case Site::kReclaimDelay:
       return "reclaim-delay";
+    case Site::kTxAbort:
+      return "tx-abort";
   }
   return "unknown";
 }

@@ -61,8 +61,15 @@ enum class Site : std::uint8_t {
   // Reclaimer worker, after a batch's grace period has elapsed and before
   // its callbacks run: a reclaim backlog that drains late.
   kReclaimDelay = 3,
+  // Optimistic copy updater (citrus_cop.hpp), at the head of the HTM
+  // validate/publish window: a fired occurrence models one aborted
+  // hardware attempt and consumes one unit of the bounded tx-retry
+  // budget, so an abort storm (every=1) forces the software fallback
+  // after exactly Traits::kTxRetries simulated aborts per operation —
+  // never a retry livelock. Fires whether or not real HTM exists.
+  kTxAbort = 4,
 };
-inline constexpr std::size_t kSiteCount = 4;
+inline constexpr std::size_t kSiteCount = 5;
 
 const char* to_string(Site s) noexcept;
 

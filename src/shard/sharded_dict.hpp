@@ -60,11 +60,16 @@
 
 namespace citrus::shard {
 
+// TreeT selects the per-shard update protocol: the paper's lock+validate
+// tree (the default) or the optimistic cop tree (citrus_cop.hpp) — the
+// router and merge layers are protocol-agnostic.
 template <typename Key, typename Value,
           rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
-          typename Traits = core::DefaultTraits>
+          typename Traits = core::DefaultTraits,
+          template <typename, typename, typename, typename>
+          class TreeT = core::CitrusTree>
 class ShardedCitrus {
-  using Tree = core::CitrusTree<Key, Value, Rcu, Traits>;
+  using Tree = TreeT<Key, Value, Rcu, Traits>;
 
   // Domain + tree on their own cache lines; the domain outlives the tree
   // (declaration order) exactly as in the unsharded adapter.

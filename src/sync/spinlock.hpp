@@ -43,6 +43,15 @@ class SpinLock {
 
   void unlock() noexcept { locked_.store(false, std::memory_order_release); }
 
+  // Lock subscription for the HTM fast path (citrus_cop.hpp): reading the
+  // lock word inside a transaction puts it in the read-set, so a holder
+  // showing up later aborts the transaction instead of racing it. Outside
+  // a transaction this is only a hint and must not be used for mutual
+  // exclusion.
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<bool> locked_{false};
 };
@@ -77,6 +86,16 @@ class CheckedLock {
     // that proves the violation still exists.
     check::on_node_unlock(this);
     base_.unlock();
+  }
+
+  // Pass-through subscription hint where the base lock exposes one. (The
+  // cop tree never takes the HTM path in checked builds — the hooks are
+  // transaction-hostile — but the accessor keeps the two lock flavors
+  // interface-compatible.)
+  bool is_locked() const noexcept
+    requires requires(const Base& b) { b.is_locked(); }
+  {
+    return base_.is_locked();
   }
 
  private:

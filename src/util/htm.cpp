@@ -1,0 +1,63 @@
+// HTM feature probe — enumeration plus a commit self-test (see htm.hpp
+// for the three-gate model). Compiled unconditionally; with the compile
+// gate off this collapses to `return false`.
+
+#include "util/htm.hpp"
+
+#if CITRUS_HTM_X86
+#include <cpuid.h>
+#endif
+#if CITRUS_HTM_POWER
+#include <sys/auxv.h>
+#endif
+
+namespace citrus::util::htm {
+
+namespace {
+
+#if CITRUS_HTM_X86
+
+bool enumerated() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 11)) != 0;  // CPUID.(EAX=7,ECX=0):EBX.RTM[bit 11]
+}
+
+#elif CITRUS_HTM_POWER
+
+bool enumerated() noexcept {
+  return (getauxval(AT_HWCAP2) & PPC_FEATURE2_HTM) != 0;
+}
+
+#else
+
+bool enumerated() noexcept { return false; }
+
+#endif
+
+// Executed only when enumeration succeeded (XBEGIN on a non-RTM part is
+// #UD, so the order of the gates matters). RTM disabled by microcode
+// (TSX_CTRL / the TAA mitigations) still enumerates on some parts but
+// aborts every transaction; a bounded loop of empty transactions decides.
+bool commits() noexcept {
+  if constexpr (!kCompiled) {
+    return false;
+  } else {
+    for (int i = 0; i < 128; ++i) {
+      if (tx_begin() == kTxStarted) {
+        tx_end();
+        return true;
+      }
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+bool available() noexcept {
+  static const bool ok = kCompiled && enumerated() && commits();
+  return ok;
+}
+
+}  // namespace citrus::util::htm

@@ -1,0 +1,165 @@
+// Hardware transactional memory: feature probe and bounded tx-retry
+// harness for the optimistic copy-validate-publish updater (citrus-cop,
+// src/citrus/citrus_cop.hpp; DESIGN.md §8).
+//
+// Three nested gates decide whether a transaction ever starts:
+//   1. Compile time — `-DCITRUS_HTM=ON` (CMake) plus an architecture whose
+//      intrinsics the compiler was told to emit (`__RTM__` on x86 via
+//      -mrtm, `__HTM__` on POWER). Off, every wrapper below collapses to a
+//      constant and run_transactions() is a single branch to the fallback.
+//   2. Runtime enumeration — cpuid leaf 7 EBX bit 11 (RTM) on x86,
+//      getauxval(AT_HWCAP2) & PPC_FEATURE2_HTM on POWER.
+//   3. A commit self-test — RTM can be enumerated yet fused off or
+//      disabled by microcode (the TAA/Zombieload mitigations ship exactly
+//      that configuration), in which case XBEGIN always aborts. available()
+//      only reports true after at least one empty transaction has actually
+//      committed on this machine.
+//
+// The retry policy follows the classic RCU-HTM harness: a bounded number
+// of attempts (kDefaultTxRetries), explicit abort codes distinguishing "a
+// validation check failed inside the transaction" (re-traverse, the
+// snapshot is stale) from "a subscribed lock was held" (back off and
+// retry, the lock will clear), and capacity/illegal aborts falling through
+// to the software path immediately.
+#pragma once
+
+#include <cstdint>
+
+#if !defined(CITRUS_HTM)
+#define CITRUS_HTM 0
+#endif
+
+#if CITRUS_HTM && defined(__RTM__) && (defined(__x86_64__) || defined(__i386__))
+#define CITRUS_HTM_X86 1
+#include <immintrin.h>
+#elif CITRUS_HTM && defined(__HTM__) && defined(__powerpc64__)
+#define CITRUS_HTM_POWER 1
+#include <htmintrin.h>
+#else
+#define CITRUS_HTM_X86 0
+#define CITRUS_HTM_POWER 0
+#endif
+
+#if !defined(CITRUS_HTM_X86)
+#define CITRUS_HTM_X86 0
+#endif
+#if !defined(CITRUS_HTM_POWER)
+#define CITRUS_HTM_POWER 0
+#endif
+
+// Greppable marker for lambdas whose body runs INSIDE a hardware
+// transaction (the static discipline tools treat it as a protection
+// context, like a held lock). Expands to nothing.
+#define CITRUS_COP_TX_BODY
+
+namespace citrus::util::htm {
+
+// True when this build can emit transactions at all (gate 1 above).
+inline constexpr bool kCompiled = CITRUS_HTM_X86 != 0 || CITRUS_HTM_POWER != 0;
+
+// tx_begin() result when the transaction started (matches _XBEGIN_STARTED).
+inline constexpr unsigned kTxStarted = ~0u;
+
+// Explicit abort codes (8-bit immediates, the RCU-HTM convention):
+// validation observed a stale snapshot — re-traverse instead of retrying;
+// a subscribed lock word was held — the holder will finish, retry.
+inline constexpr unsigned kAbortValidation = 0xee;
+inline constexpr unsigned kAbortLockHeld = 0xff;
+
+// Attempt budget before conceding to the software fallback.
+inline constexpr unsigned kDefaultTxRetries = 20;
+
+// Gates 2+3: enumeration plus the commit self-test, probed once per
+// process and cached (htm.cpp). Always false when !kCompiled.
+bool available() noexcept;
+
+#if CITRUS_HTM_X86
+
+inline unsigned tx_begin() noexcept { return _xbegin(); }
+inline void tx_end() noexcept { _xend(); }
+inline void tx_abort_validation() noexcept { _xabort(0xee); }
+inline void tx_abort_lock_held() noexcept { _xabort(0xff); }
+inline bool tx_aborted_explicitly(unsigned status) noexcept {
+  return (status & _XABORT_EXPLICIT) != 0;
+}
+inline unsigned tx_abort_code(unsigned status) noexcept {
+  return _XABORT_CODE(status);
+}
+inline bool tx_may_retry(unsigned status) noexcept {
+  return (status & _XABORT_RETRY) != 0;
+}
+
+#elif CITRUS_HTM_POWER
+
+inline unsigned tx_begin() noexcept {
+  if (__builtin_tbegin(0)) return kTxStarted;
+  // TEXASR upper word carries the software-supplied failure code for
+  // tabort.; treat everything else as a transient conflict.
+  return __builtin_get_texasru();
+}
+inline void tx_end() noexcept { __builtin_tend(0); }
+inline void tx_abort_validation() noexcept { __builtin_tabort(0xee); }
+inline void tx_abort_lock_held() noexcept { __builtin_tabort(0xff); }
+inline bool tx_aborted_explicitly(unsigned status) noexcept {
+  return (status & TEXASR_AC) != 0;
+}
+inline unsigned tx_abort_code(unsigned status) noexcept {
+  return (status >> 24) & 0xff;
+}
+inline bool tx_may_retry(unsigned status) noexcept {
+  return (status & TEXASR_PR) == 0;
+}
+
+#else
+
+// Stub backend: tx_begin never starts, so run_transactions() falls back
+// on its first iteration and none of the other wrappers is reachable.
+inline unsigned tx_begin() noexcept { return 0; }
+inline void tx_end() noexcept {}
+inline void tx_abort_validation() noexcept {}
+inline void tx_abort_lock_held() noexcept {}
+inline bool tx_aborted_explicitly(unsigned) noexcept { return false; }
+inline unsigned tx_abort_code(unsigned) noexcept { return 0; }
+inline bool tx_may_retry(unsigned) noexcept { return false; }
+
+#endif
+
+// Outcome of a bounded-retry transactional attempt.
+enum class TxResult {
+  kCommitted,        // a transaction ran body() to completion and committed
+  kValidationAbort,  // body() saw a stale snapshot — caller must re-traverse
+  kFallback,         // budget exhausted or non-retryable abort — go software
+};
+
+// Bounded-retry harness. body() runs INSIDE the transaction: it must
+// either return normally (the transaction commits) or call
+// tx_abort_validation()/tx_abort_lock_held(), and it must not execute
+// anything transaction-hostile (syscalls, page faults it can avoid,
+// unbounded writes). Every abort increments *aborts. Lock-held aborts
+// retry within the budget (the subscribed lock will clear); validation
+// aborts return immediately (retrying the same stale snapshot cannot
+// succeed); capacity/illegal aborts without the retry hint fall back.
+template <typename Body>
+inline TxResult run_transactions(unsigned retries, unsigned* aborts,
+                                 Body&& body) {
+  if (!available()) return TxResult::kFallback;
+  for (unsigned i = 0; i < retries; ++i) {
+    const unsigned status = tx_begin();
+    if (status == kTxStarted) {
+      body();
+      tx_end();
+      return TxResult::kCommitted;
+    }
+    ++*aborts;
+    if (tx_aborted_explicitly(status)) {
+      if (tx_abort_code(status) == kAbortValidation) {
+        return TxResult::kValidationAbort;
+      }
+      continue;  // lock held: the holder finishes, retry is worthwhile
+    }
+    if (!tx_may_retry(status)) break;  // capacity/illegal: hopeless
+  }
+  return TxResult::kFallback;
+}
+
+}  // namespace citrus::util::htm

@@ -1,0 +1,40 @@
+// expect-finding: publish-not-release
+//
+// Violation class (c), cop-updater flavor: the copy-validate-publish
+// protocol (src/citrus/citrus_cop.hpp) builds a private copy of the
+// affected neighborhood, then makes it reachable by swinging exactly one
+// parent link. That swing IS the linearization point, and it is the only
+// store concurrent readers synchronize with — done relaxed, a reader's
+// acquire load of the link can observe the copy before the copy's
+// payload/children writes, i.e. a half-built node. The real protocol
+// publishes through guarded_ptr::publish() (release by construction) or a
+// release compare_exchange; this file seeds the raw-atomic relaxed form
+// the analyzer must still catch even though the copy was built privately
+// (private construction does not excuse the publish ordering).
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+struct CopNode {
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+  std::atomic<CopNode*> child[2] = {{nullptr}, {nullptr}};
+};
+
+// Build a private replacement for `victim` (copy key/value, adopt its
+// children) and publish it over the parent's link — with the wrong order.
+void cop_publish_copy(CopNode* parent, int dir, CopNode* victim,
+                      CopNode* copy) {
+  copy->key = victim->key;
+  copy->value = victim->value;
+  copy->child[0].store(victim->child[0].load(std::memory_order_acquire),
+                       std::memory_order_relaxed);  // private: fine
+  copy->child[1].store(victim->child[1].load(std::memory_order_acquire),
+                       std::memory_order_relaxed);  // private: fine
+  // The publish: readers traverse parent->child[dir]. Relaxed here lets a
+  // reader see `copy` without the payload stores above.
+  parent->child[dir].store(copy, std::memory_order_relaxed);
+}
+
+}  // namespace corpus

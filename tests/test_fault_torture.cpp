@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "citrus/citrus_cop.hpp"
 #include "citrus/citrus_tree.hpp"
 #include "fault/fault.hpp"
 #include "lineariz/checker.hpp"
@@ -447,6 +448,204 @@ TEST(Backpressure, WatermarkBoundsBacklogUnderReaderStall) {
       static_cast<std::uint64_t>(kProducers) * kPerProducer;
   EXPECT_TRUE(eventually([&] { return freed.load() == total; }));
   EXPECT_TRUE(eventually([&] { return reclaimer.pending() == 0; }));
+}
+
+// ── Cop updater: seeded transaction-abort storms (fault::Site::kTxAbort
+//    fires in the validate/publish window whether or not the machine has
+//    HTM) must degrade to the software path after exactly tx_retries()
+//    simulated aborts per attempt — bounded by construction, no livelock ──
+
+using CopTree =
+    citrus::core::CitrusCopTree<std::int64_t, std::int64_t, CounterFlagRcu,
+                                DefaultTraits>;
+
+TEST(TxAbortStorm, FallsBackBounded) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "build with -DCITRUS_FAULT_INJECT=ON";
+  }
+  DisarmAll guard;
+  auto& inj = fault::Injector::instance();
+
+  CounterFlagRcu domain;
+  CopTree tree(domain);
+
+  fault::Plan p;
+  p.site = fault::Site::kTxAbort;
+  p.first = 1;
+  p.every = 1;  // storm: every transactional attempt aborts, forever
+  inj.arm(p);
+
+  // Deterministic phase: every update's transactional budget drains
+  // (tx_retries() simulated aborts), then the software path commits.
+  constexpr std::int64_t kKeys = 64;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kKeys; ++k) {
+      ASSERT_EQ(tree.try_insert(k, k), UpdateStatus::kSuccess) << k;
+    }
+    ASSERT_EQ(tree.try_erase(kKeys - 1), UpdateStatus::kSuccess);
+  }
+
+  // Concurrent phase: the storm persists under contention and nothing
+  // livelocks — completion of the joins is the proof.
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      typename CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(911u + static_cast<unsigned>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::int64_t key =
+            static_cast<std::int64_t>(rng.bounded(kKeys));
+        if ((rng() & 1) != 0) {
+          (void)tree.try_insert(key, key);
+        } else {
+          (void)tree.try_erase(key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  inj.disarm(fault::Site::kTxAbort);
+
+  const auto s = tree.stats();
+  EXPECT_GT(s.cop_fallbacks, 0u);
+  EXPECT_GT(s.cop_commits, 0u);
+  // The bound, exactly: each transactional attempt burns its whole budget
+  // on simulated aborts, then enters the software path once. The two-child
+  // erase path never attempts a transaction, so it adds to neither side.
+  EXPECT_EQ(s.cop_aborts_htm, CopTree::tx_retries() * s.cop_fallbacks);
+
+  const auto report = tree.check_structure();
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+// Abort storm + seeded allocation failure: kNoMemory unwinds must free
+// the private copy. kRetireBatch=1 recycles every retired node inline, so
+// at quiescence the pool's live count is exactly sentinels + live keys —
+// a leaked private copy (or a double recycle) breaks the equality.
+struct CopOomTraits : DefaultTraits {
+  static constexpr std::size_t kRetireBatch = 1;
+};
+
+TEST(TxAbortStorm, OomUnwindFreesPrivateCopies) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "build with -DCITRUS_FAULT_INJECT=ON";
+  }
+  DisarmAll guard;
+  auto& inj = fault::Injector::instance();
+
+  CounterFlagRcu domain;
+  citrus::core::CitrusCopTree<std::int64_t, std::int64_t, CounterFlagRcu,
+                              CopOomTraits>
+      tree(domain);
+  constexpr std::int64_t kKeyRange = 48;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kKeyRange; k += 2) {
+      ASSERT_EQ(tree.try_insert(k, k), UpdateStatus::kSuccess);
+    }
+  }
+
+  fault::Plan storm;
+  storm.site = fault::Site::kTxAbort;
+  storm.first = 1;
+  storm.every = 1;
+  inj.arm(storm);
+  fault::Plan oom;
+  oom.site = fault::Site::kAllocFailure;
+  oom.probability = 0.5;
+  oom.seed = 0xC0FFEE;
+  inj.arm(oom);
+
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<std::uint64_t> no_memory{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      typename CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(31u + static_cast<unsigned>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::int64_t key =
+            static_cast<std::int64_t>(rng.bounded(kKeyRange));
+        const auto st = ((rng() & 1) != 0) ? tree.try_insert(key, key)
+                                           : tree.try_erase(key);
+        if (st == UpdateStatus::kNoMemory) no_memory.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  inj.disarm_all();
+
+  EXPECT_GT(no_memory.load(), 0u) << "the seeded OOM plan never fired";
+  const auto s = tree.stats();
+  EXPECT_GT(s.cop_fallbacks, 0u);
+
+  const auto report = tree.check_structure();
+  EXPECT_TRUE(report.ok) << report.error;
+  // The no-leak equality: two sentinels plus one node per live key. Every
+  // kNoMemory/kNoOp/validation-failure unwind must have recycled its
+  // private copy for this to hold (kRetireBatch=1 leaves no batch slack).
+  EXPECT_EQ(tree.live_nodes(),
+            static_cast<std::int64_t>(2 + tree.size()));
+}
+
+// A private copy that turns out to be unnecessary (the key appears while
+// the copy exists) is returned to the pool, not leaked: park an inserter
+// right after its allocation, complete a competing insert, resume.
+struct CopParkTraits : DefaultTraits {
+  static inline std::atomic<bool> armed{false};
+  static inline std::atomic<bool> parked{false};
+  static inline std::atomic<bool> release{false};
+  static void pause(citrus::core::PausePoint point) {
+    if (point != citrus::core::PausePoint::kCopAfterCopy) return;
+    if (!armed.exchange(false, std::memory_order_acq_rel)) return;
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+};
+
+TEST(CopPrivateCopy, FreedOnNoOp) {
+  CounterFlagRcu domain;
+  citrus::core::CitrusCopTree<std::int64_t, std::int64_t, CounterFlagRcu,
+                              CopParkTraits>
+      tree(domain);
+  CopParkTraits::parked.store(false);
+  CopParkTraits::release.store(false);
+  CopParkTraits::armed.store(true, std::memory_order_release);
+
+  std::atomic<int> status{-1};
+  std::thread inserter([&] {
+    typename CounterFlagRcu::Registration reg(domain);
+    status.store(static_cast<int>(tree.try_insert(7, 7)),
+                 std::memory_order_release);
+  });
+  while (!CopParkTraits::parked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // The inserter holds a fully built private leaf and nothing else; the
+  // key arrives from elsewhere while it is parked.
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.insert(7, 7));
+  }
+  CopParkTraits::release.store(true, std::memory_order_release);
+  inserter.join();
+
+  EXPECT_EQ(status.load(), static_cast<int>(UpdateStatus::kNoOp));
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    EXPECT_TRUE(tree.contains(7));
+  }
+  // Two sentinels + the one published node: the parked thread's private
+  // copy went back to the pool on the kNoOp unwind.
+  EXPECT_EQ(tree.live_nodes(), 3);
+  const auto report = tree.check_structure();
+  EXPECT_TRUE(report.ok) << report.error;
 }
 
 // ── Reclaim delay: a slow worker is a backlog, not a leak ───────────────

@@ -169,6 +169,35 @@ TEST(Linearizability, ShardedCitrusSmallHotRange) {
   EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
 }
 
+TEST(Linearizability, CitrusCop) {
+  // The cop protocol moves the linearization point to a single publish
+  // (HTM commit or release CAS); the history checker cannot tell — the
+  // same histories must linearize.
+  auto dict = citrus::adapters::make_dictionary("citrus-cop");
+  const auto r = record_and_check_dict(*dict, kThreads, kOps, kRange, 12);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+  EXPECT_GT(r.events_checked, 0u);
+}
+
+TEST(Linearizability, CitrusCopReclaimSmallHotRange) {
+  // Reclamation on, tiny hot range: maximizes cop two-child erases (the
+  // hoisted successor copy + synchronize path) and validation failures
+  // racing node recycling.
+  citrus::adapters::Options options;
+  options.reclaim = true;
+  auto dict = citrus::adapters::make_dictionary("citrus-cop", options);
+  const auto r = record_and_check_dict(*dict, 3, 600, 48, 13);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, ShardedCitrusCop) {
+  // Per-shard cop linearizability must compose exactly like the
+  // lock+validate sharding does.
+  auto dict = citrus::adapters::make_dictionary("citrus-cop-shard4");
+  const auto r = record_and_check_dict(*dict, kThreads, kOps, kRange, 14);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
 TEST(Linearizability, Avl) {
   const auto r =
       record_and_check<citrus::baselines::BronsonAvlTree<std::int64_t, std::int64_t>,

@@ -163,6 +163,26 @@ TEST(ScanTorture, CitrusReclaimChunked) {
               150);
 }
 
+TEST(ScanTorture, CopChunked) {
+  // Scans racing cop publishes: a chunk's seqlock validation must observe
+  // the cop publish (HTM commit or release CAS) as one even→even version
+  // step and retry, never emit a half-published neighborhood.
+  run_torture({"citrus-cop", ScanConsistency::kChunked, 64}, 3, 3, 150);
+}
+
+TEST(ScanTorture, CopReclaimChunked) {
+  // Cop with reclamation: private copies that lose validation go straight
+  // back to the pool (no grace period owed), published victims retire
+  // through the deferred machinery — scans must never see either early.
+  run_torture({"citrus-cop", ScanConsistency::kChunked, 32, true, true}, 3,
+              3, 150);
+}
+
+TEST(ScanTorture, CopShardedMerge) {
+  run_torture({"citrus-cop-shard4", ScanConsistency::kChunked, 48, true, true},
+              3, 3, 100);
+}
+
 TEST(ScanTorture, ShardedMerge) {
   run_torture({"citrus-shard4", ScanConsistency::kChunked, 48, true, true}, 3, 3,
               100);

@@ -66,6 +66,13 @@ FAULT_HOOK_RE = re.compile(r"\bfault\s*::\s*inject_\w+\s*\([^()]*\)")
 # a function that only walks one of those never needs its own guard. The
 # tokens are the method-call forms; bare words like "Snapshot" would also
 # match StatsSnapshot and are deliberately not used.
+#
+# The cop updater's transactional contexts (src/util/htm.hpp,
+# src/citrus/citrus_cop.hpp) count as well: a body handed to
+# run_transactions()/tx_attempt() executes inside a hardware transaction
+# that subscribed the relevant lock words — any concurrent writer aborts
+# the transaction, which is at least as strong as holding the locks. The
+# CITRUS_COP_TX_BODY marker macro tags such lambdas explicitly.
 GUARD_RE = re.compile(
     r"\b(?:"
     r"ReadGuard|MaybeReadGuard|read_lock\s*\(|rcu_read_lock"
@@ -75,6 +82,8 @@ GUARD_RE = re.compile(
     r"|start_grace_period\s*\(|(?<=[.>])poll\s*\("
     r"|scan_chunk\s*\(|attempt_scan\s*\("
     r"|(?<=[.>])range\s*\(|(?<=[.>])snapshot\s*\("
+    r"|run_transactions\s*\(|tx_attempt\s*\(|tx_begin\s*\("
+    r"|CITRUS_COP_TX_BODY"
     r")"
 )
 

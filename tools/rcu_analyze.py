@@ -165,10 +165,17 @@ READ_OPEN_RE = re.compile(
 READ_CLOSE_RE = re.compile(r"\bread_unlock\s*\(|\brcu_read_unlock\b")
 
 # Tokens that open a lock region for the rest of the enclosing scope.
+# The cop updater's transactional contexts count as lock regions: a body
+# handed to run_transactions()/tx_attempt() runs inside a hardware
+# transaction that subscribed the relevant lock words (any concurrent
+# writer aborts it — at least as strong as holding the locks), and the
+# CITRUS_COP_TX_BODY marker macro (src/util/htm.hpp) tags such lambdas.
 LOCK_OPEN_RE = re.compile(
     r"\b(?:lock_guard|scoped_lock|unique_lock|shared_lock)\s*[<(]"
     r"|(?<![_\w])\.lock\s*\(|->lock\s*\(|\btry_lock\s*\("
     r"|\bacquire_timed\s*\("
+    r"|\brun_transactions\s*\(|\btx_attempt\s*\(|\btx_begin\s*\("
+    r"|\bCITRUS_COP_TX_BODY\b"
 )
 
 # A guarded load producing a borrowed handle, and the handle type itself.
