@@ -1,0 +1,294 @@
+// Skew-depth bench (harness extension; motivates the background subtree
+// maintainer of src/maint/citrus_cf.hpp): adversarial insertion orders
+// that degenerate a plain external BST, then a pure-lookup measurement of
+// what the resulting depth costs — and what the maintainer buys back.
+//
+// Orders:
+//   seq    — ascending keys: the worst case, a right spine of depth n-1.
+//   zipf   — Zipf(s=1) draws over the key space until the set fills, the
+//            stragglers appended ascending: partially sorted, long runs.
+//   random — uniformly shuffled: the ~log n baseline the others contrast.
+//
+// Series are "citrus" (no maintainer: depth is whatever the order built)
+// against the citrus-cf family. For citrus-cf the bench waits for the
+// maintainer to settle (rebuild counter stable and the depth bound met or
+// the settle budget spent) before timing, so the measured throughput is
+// the steady state the maintainer converges to, and the per-point depth
+// fields record both the as-built and the settled shape.
+//
+// The AB5 acceptance shape (EXPERIMENTS.md): at --n=100000 seq,
+// citrus-cf settles to max_depth <= 4*log2(n) and its lookup throughput
+// is >= 3x plain citrus (in practice orders of magnitude: the spine walk
+// is O(n)).
+//
+// Quick run: ./skew_depth
+// Fuller:    ./skew_depth --n=100000 --seconds=1 --repeats=3 \
+//                         --threads=1,4 --orders=seq,zipf,random
+// Pass --json=BENCH_skew_depth.json for the machine-readable records
+// archived by the CI bench-smoke lane.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapters/idictionary.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+struct DepthPoint {
+  std::string algorithm;
+  std::string order;
+  int threads = 0;
+  std::int64_t n = 0;
+  citrus::util::Summary lookups;   // lookups/sec over repeats
+  std::size_t max_depth_built = 0;  // after the last insert
+  std::size_t max_depth = 0;        // after settling (== built for citrus)
+  double avg_depth = 0.0;
+  std::uint64_t rebuilds = 0;
+  double settle_ms = 0.0;
+};
+
+// {"figure":"skew_depth","points":[{...},...]}, field names matching the
+// CSV columns so external tooling can consume either.
+void write_json(const std::string& path,
+                const std::vector<DepthPoint>& points) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "skew_depth: cannot open --json path " << path << "\n";
+    return;
+  }
+  out << "{\"figure\":\"skew_depth\",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    if (i != 0) out << ",";
+    out << "{\"series\":\"" << p.algorithm << "\",\"order\":\"" << p.order
+        << "\",\"threads\":" << p.threads << ",\"n\":" << p.n
+        << ",\"mean_lookups\":" << p.lookups.mean
+        << ",\"stddev_lookups\":" << p.lookups.stddev
+        << ",\"repeats\":" << p.lookups.count
+        << ",\"max_depth_built\":" << p.max_depth_built
+        << ",\"max_depth\":" << p.max_depth
+        << ",\"avg_depth\":" << p.avg_depth << ",\"rebuilds\":" << p.rebuilds
+        << ",\"settle_ms\":" << p.settle_ms << "}";
+  }
+  out << "]}\n";
+}
+
+// The insertion sequence for one order; exactly n distinct keys [0, n).
+std::vector<std::int64_t> make_order(const std::string& order, std::int64_t n,
+                                     std::uint64_t seed) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  if (order == "seq") {
+    for (std::int64_t k = 0; k < n; ++k) keys.push_back(k);
+    return keys;
+  }
+  if (order == "random") {
+    for (std::int64_t k = 0; k < n; ++k) keys.push_back(k);
+    citrus::util::Xoshiro256 rng(seed);
+    for (std::size_t i = keys.size(); i > 1; --i) {
+      std::swap(keys[i - 1], keys[rng.bounded(i)]);
+    }
+    return keys;
+  }
+  // zipf: rank-skewed draws (inverse-CDF over the harmonic weights) until
+  // the distinct set stops growing usefully, stragglers appended
+  // ascending — long monotone runs, the realistic skew adversary.
+  citrus::util::Xoshiro256 rng(seed);
+  std::vector<double> cdf(static_cast<std::size_t>(n));
+  double h = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    h += 1.0 / static_cast<double>(r + 1);
+    cdf[static_cast<std::size_t>(r)] = h;
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::int64_t distinct = 0;
+  const std::int64_t draws = 4 * n;
+  for (std::int64_t d = 0; d < draws && distinct < n; ++d) {
+    const double u =
+        static_cast<double>(rng()) / 18446744073709551616.0 * h;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto k = static_cast<std::int64_t>(it - cdf.begin());
+    if (!seen[static_cast<std::size_t>(k)]) {
+      seen[static_cast<std::size_t>(k)] = true;
+      keys.push_back(k);
+      ++distinct;
+    }
+  }
+  for (std::int64_t k = 0; k < n; ++k) {
+    if (!seen[static_cast<std::size_t>(k)]) keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace citrus;
+  util::Options opts(argc, argv);
+  const std::int64_t n = opts.get_int("n", 100000);
+  const auto threads = opts.get_int_list("threads", {4});
+  const double seconds = opts.get_double("seconds", 0.3);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 1));
+  const double settle_budget_ms = opts.get_double("settle-ms", 10000.0);
+  const std::string orders_flag = opts.get("orders", "seq,zipf,random");
+  const std::string algos_flag =
+      opts.get("algos", "citrus,citrus-cf,citrus-cf-shard16");
+  const std::string csv = opts.get("csv", "");
+  const std::string json = opts.get("json", "");
+  const std::uint64_t seed = opts.get_int("seed", 42);
+
+  auto split = [](const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? s.size() : comma;
+      if (end > pos) out.push_back(s.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    return out;
+  };
+  const auto orders = split(orders_flag);
+  const auto algorithms = split(algos_flag);
+
+  const double depth_bound = 4.0 * std::log2(static_cast<double>(n));
+
+  std::vector<DepthPoint> points;
+  std::vector<workload::SeriesPoint> table;
+  for (const auto& order : orders) {
+    const auto keys = make_order(order, n, seed);
+    for (const auto& algorithm : algorithms) {
+      for (const auto t : threads) {
+        std::vector<double> lookups_per_sec;
+        DepthPoint p;
+        p.algorithm = algorithm;
+        p.order = order;
+        p.threads = static_cast<int>(t);
+        p.n = n;
+        for (int rep = 0; rep < repeats; ++rep) {
+          adapters::Options dict_opts;
+          dict_opts.key_range_hint = n;
+          auto dict = adapters::make_dictionary(algorithm, dict_opts);
+          {
+            const auto scope = dict->enter_thread();
+            for (const auto k : keys) dict->insert(k, k);
+          }
+          p.max_depth_built = dict->check_structure().max_depth;
+          // Settle: rebuild counter stable across a poll AND the depth
+          // bound met, or the budget spent (plain citrus never rebuilds
+          // and its built depth never meets the bound on seq, so the
+          // "stable + can't improve" arm exits immediately).
+          const auto settle_start = std::chrono::steady_clock::now();
+          const auto settle_deadline =
+              settle_start +
+              std::chrono::microseconds(
+                  static_cast<std::int64_t>(settle_budget_ms * 1000.0));
+          std::uint64_t last_rebuilds = dict->stats().maint_rebuilds;
+          for (;;) {
+            const auto rep_now = dict->check_structure();
+            const std::uint64_t now_rebuilds = dict->stats().maint_rebuilds;
+            const bool stable = now_rebuilds == last_rebuilds;
+            last_rebuilds = now_rebuilds;
+            if (stable && (static_cast<double>(rep_now.max_depth) <=
+                               depth_bound ||
+                           now_rebuilds == 0)) {
+              break;
+            }
+            if (std::chrono::steady_clock::now() >= settle_deadline) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+          p.settle_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - settle_start)
+                  .count();
+          const auto rep_final = dict->check_structure();
+          p.max_depth = rep_final.max_depth;
+          p.avg_depth = rep_final.avg_depth;
+          p.rebuilds = rep_final.rebuilds;
+
+          // Measure: pure uniform lookups, all keys present.
+          std::atomic<bool> stop{false};
+          std::vector<std::uint64_t> per_thread(
+              static_cast<std::size_t>(t), 0);
+          std::vector<std::thread> workers;
+          workers.reserve(static_cast<std::size_t>(t));
+          for (std::int64_t w = 0; w < t; ++w) {
+            workers.emplace_back([&, w] {
+              const auto scope = dict->enter_thread();
+              util::Xoshiro256 rng(seed + 0x9E3779B97F4A7C15ull *
+                                              static_cast<std::uint64_t>(
+                                                  w + rep * 64 + 1));
+              std::uint64_t ops = 0;
+              while (!stop.load(std::memory_order_relaxed)) {
+                for (int burst = 0; burst < 64; ++burst) {
+                  const auto k = static_cast<std::int64_t>(
+                      rng.bounded(static_cast<std::uint64_t>(n)));
+                  if (!dict->contains(k)) std::abort();  // keys never leave
+                  ++ops;
+                }
+              }
+              per_thread[static_cast<std::size_t>(w)] = ops;
+            });
+          }
+          const auto measure_start = std::chrono::steady_clock::now();
+          std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+          stop.store(true, std::memory_order_relaxed);
+          for (auto& w : workers) w.join();
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            measure_start)
+                  .count();
+          std::uint64_t total = 0;
+          for (const auto ops : per_thread) total += ops;
+          lookups_per_sec.push_back(static_cast<double>(total) / elapsed);
+        }
+        p.lookups = util::summarize(std::move(lookups_per_sec));
+        points.push_back(p);
+        table.push_back({p.algorithm + "/" + p.order, p.threads, p.lookups});
+        std::cout << "skew_depth " << p.algorithm << " order=" << p.order
+                  << " n=" << n << " threads=" << t << " -> "
+                  << workload::format_ops(p.lookups.mean)
+                  << " lookups/s (depth " << p.max_depth_built << " -> "
+                  << p.max_depth << ", avg " << p.avg_depth << ", "
+                  << p.rebuilds << " rebuilds, settle "
+                  << static_cast<int>(p.settle_ms) << "ms)" << std::endl;
+      }
+    }
+  }
+  workload::print_throughput_table(
+      std::cout, "Skew depth: lookups/s by series (algorithm/order)", table);
+  workload::append_csv(csv, "skew_depth", table);
+  write_json(json, points);
+
+  // The AB5 headline, when both series ran: seq-order speedup and bound.
+  for (const auto t : threads) {
+    const DepthPoint* plain = nullptr;
+    const DepthPoint* cf = nullptr;
+    for (const auto& p : points) {
+      if (p.order != "seq" || p.threads != t) continue;
+      if (p.algorithm == "citrus") plain = &p;
+      if (p.algorithm == "citrus-cf") cf = &p;
+    }
+    if (plain != nullptr && cf != nullptr && plain->lookups.mean > 0.0) {
+      std::cout << "seq/" << t << "t: citrus-cf max_depth " << cf->max_depth
+                << (static_cast<double>(cf->max_depth) <= depth_bound
+                        ? " <= "
+                        : " > ")
+                << "4*log2(n) = " << depth_bound << ", speedup "
+                << cf->lookups.mean / plain->lookups.mean << "x" << std::endl;
+    }
+  }
+  return 0;
+}

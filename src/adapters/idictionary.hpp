@@ -64,6 +64,11 @@ struct ScanOptions {
   ScanConsistency consistency = ScanConsistency::kChunked;
   std::size_t limit = 0;  // max pairs to visit; 0 = unlimited
   std::size_t chunk = 0;  // kChunked chunk size; 0 = implementation default
+  // Visit in DESCENDING key order (hi down to lo). The consistency
+  // contract is unchanged; chunks advance monotonically downward. Ordered
+  // strategies serve this natively (a mirrored validated scan); the weak
+  // fallback is a pred-chain of point reads.
+  bool reverse = false;
 };
 
 // Range-scan callback: return true to continue, false to stop the scan.
@@ -119,6 +124,10 @@ struct ShardStats {
   std::uint64_t cop_aborts_htm = 0;
   std::uint64_t cop_fallbacks = 0;
   std::uint64_t cop_validation_failures = 0;
+  // Structural-maintainer breakdown (citrus-cf*; zero elsewhere).
+  std::uint64_t maint_rebuilds = 0;
+  std::uint64_t maint_validation_failures = 0;
+  std::uint64_t maint_nodes_rebuilt = 0;
   std::size_t size = 0;             // keys resident (relaxed counter)
 };
 
@@ -160,6 +169,14 @@ struct StatsSnapshot {
   std::uint64_t cop_aborts_htm = 0;
   std::uint64_t cop_fallbacks = 0;
   std::uint64_t cop_validation_failures = 0;
+  // Background structural-maintainer breakdown (citrus-cf*; all zero on
+  // strategies without one). maint_rebuilds = published subtree rebuilds;
+  // maint_validation_failures = rebuilds abandoned because a concurrent
+  // update won the revalidation race (or a lock/allocation failed);
+  // maint_nodes_rebuilt = real nodes copied into published replacements.
+  std::uint64_t maint_rebuilds = 0;
+  std::uint64_t maint_validation_failures = 0;
+  std::uint64_t maint_nodes_rebuilt = 0;
   // Deferred-reclaim backpressure events: enqueue calls that found the
   // backlog over the high watermark and reclaimed synchronously
   // (rcu/reclaimer.hpp). Zero when no Reclaimer/watermark is configured.
@@ -221,10 +238,11 @@ class IDictionary {
   virtual std::optional<Entry> succ(std::int64_t key) const = 0;
   virtual std::optional<Entry> pred(std::int64_t key) const = 0;
 
-  // Visit every pair with lo <= key <= hi in ascending key order, subject
-  // to opts. Returns the number of pairs visited. The default
-  // implementation is the documented weak mode: a succ-chain of point
-  // reads (ScanConsistency::kWeak); overriders serve stronger levels.
+  // Visit every pair with lo <= key <= hi in ascending key order —
+  // descending when opts.reverse — subject to opts. Returns the number of
+  // pairs visited. The default implementation is the documented weak
+  // mode: a succ-chain (pred-chain when reversed) of point reads
+  // (ScanConsistency::kWeak); overriders serve stronger levels.
   virtual std::size_t range(std::int64_t lo, std::int64_t hi,
                             const RangeVisitor& visit,
                             const ScanOptions& opts = {}) const;
@@ -278,6 +296,17 @@ using DictionaryFactory =
 //   citrus-cop-shard4   ShardedCitrus over the cop updater, 4/16/64
 //   citrus-cop-shard16  shards; same sharding semantics as citrus-shard*.
 //   citrus-cop-shard64
+//   citrus-cf         Citrus with the background structural maintainer
+//                     (src/maint/citrus_cf.hpp): a per-tree thread rebuilds
+//                     subtrees deeper than c·log2(size) into balanced
+//                     private copies and publishes each with one release
+//                     CAS, bounding search depth under skewed insertion.
+//                     CfBenchTraits (the maintainer recycles replaced
+//                     subtrees, so read-side sections stay on regardless
+//                     of the reclaim tier).
+//   citrus-cf-shard4    ShardedCitrus over the maintained tree, 4/16/64
+//   citrus-cf-shard16   shards — one maintainer thread per shard; same
+//   citrus-cf-shard64   sharding semantics as citrus-shard*.
 //   rbtree            relativistic red-black tree (global writer lock)
 //   bonsai            Bonsai path-copying balanced tree (global writer lock)
 //   avl               Bronson optimistic AVL
@@ -285,10 +314,13 @@ using DictionaryFactory =
 //   skiplist          Herlihy lazy skiplist
 //   rcu-hash          relativistic hash table (per-bucket locks, RCU resize)
 //
-// Scan-consistency ceilings: citrus* serve kSnapshot (validated in-tree
-// traversal), citrus-shard* serve kChunked (k-way merge of per-shard
-// atomic chunks), bonsai serves kSnapshot (scan of the RCU-published
-// immutable root), everything else serves kWeak.
+// Scan-consistency ceilings: citrus* (citrus-cf included) serve kSnapshot
+// (validated in-tree traversal), citrus-shard*/citrus-cf-shard* serve
+// kChunked (k-way merge of per-shard atomic chunks), bonsai serves
+// kSnapshot (scan of the RCU-published immutable root), everything else
+// serves kWeak. ScanOptions::reverse is honored at the same ceilings (the
+// validated scans have a descending mirror; the weak fallback is a
+// pred-chain).
 std::vector<std::string> registered_dictionaries();
 // Introspection: every registered name with its default-Options traits.
 std::vector<DictionaryInfo> available_dictionaries();

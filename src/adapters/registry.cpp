@@ -14,6 +14,7 @@
 #include "baselines/relativistic_hash.hpp"
 #include "citrus/citrus_cop.hpp"
 #include "citrus/citrus_tree.hpp"
+#include "maint/citrus_cf.hpp"
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/epoch_rcu.hpp"
 #include "rcu/global_lock_rcu.hpp"
@@ -87,17 +88,30 @@ class VectorSnapshot final : public ISnapshot {
 
 }  // namespace
 
-// Weak mode: a succ-chain of independent point reads. Keys ascend
-// strictly, every pair was present at some instant, but the sequence as a
-// whole is not atomic. This is the floor every implementation shares;
-// adapters with a validated scan override and serve stronger levels.
+// Weak mode: a succ-chain of independent point reads — a pred-chain when
+// opts.reverse. Keys ascend (descend) strictly, every pair was present at
+// some instant, but the sequence as a whole is not atomic. This is the
+// floor every implementation shares; adapters with a validated scan
+// override and serve stronger levels.
 std::size_t IDictionary::range(std::int64_t lo, std::int64_t hi,
                                const RangeVisitor& visit,
                                const ScanOptions& opts) const {
   if (hi < lo) return 0;
   std::size_t visited = 0;
-  // Start at lo itself (succ is strict, and lo-1 may not exist).
   std::optional<Entry> cur;
+  if (opts.reverse) {
+    // Start at hi itself (pred is strict, and hi+1 may not exist).
+    if (const auto v = find(hi)) cur = Entry{hi, *v};
+    else cur = pred(hi);
+    while (cur && cur->key >= lo) {
+      if (opts.limit != 0 && visited == opts.limit) break;
+      ++visited;
+      if (!visit(cur->key, cur->value)) break;
+      cur = pred(cur->key);
+    }
+    return visited;
+  }
+  // Start at lo itself (succ is strict, and lo-1 may not exist).
   if (const auto v = find(lo)) cur = Entry{lo, *v};
   else cur = succ(lo);
   while (cur && cur->key <= hi) {
@@ -150,6 +164,15 @@ class TreeAdapter final : public IDictionary {
                bool (*f)(const typename Tree::key_type&,
                          const typename Tree::mapped_type&)) {
         { t.range(k, k, f, std::size_t{0}) };
+      };
+  // Native validated descending scan (Citrus): same shape as the chunked
+  // ascending one. Strategies without it serve reverse at kWeak via the
+  // pred-chain default.
+  static constexpr bool kHasChunkedRangeDesc =
+      requires(const Tree& t, const typename Tree::key_type& k,
+               bool (*f)(const typename Tree::key_type&,
+                         const typename Tree::mapped_type&)) {
+        { t.range_desc(k, k, f, std::size_t{0}, std::size_t{0}) };
       };
 
  public:
@@ -208,6 +231,18 @@ class TreeAdapter final : public IDictionary {
   std::size_t range(std::int64_t lo, std::int64_t hi,
                     const RangeVisitor& visit,
                     const ScanOptions& opts) const override {
+    if (opts.reverse) {
+      if constexpr (kHasChunkedRangeDesc) {
+        if (opts.consistency != ScanConsistency::kWeak) {
+          const std::size_t chunk =
+              opts.consistency == ScanConsistency::kSnapshot
+                  ? 0
+                  : (opts.chunk != 0 ? opts.chunk : Tree::kDefaultScanChunk);
+          return tree_.range_desc(lo, hi, visit, opts.limit, chunk);
+        }
+      }
+      return IDictionary::range(lo, hi, visit, opts);
+    }
     if constexpr (kHasChunkedRange) {
       if (opts.consistency != ScanConsistency::kWeak) {
         // kSnapshot: one unbounded validated pass (chunk 0). kChunked:
@@ -287,6 +322,9 @@ class TreeAdapter final : public IDictionary {
       snap.cop_aborts_htm = s.cop_aborts_htm;
       snap.cop_fallbacks = s.cop_fallbacks;
       snap.cop_validation_failures = s.cop_validation_failures;
+      snap.maint_rebuilds = s.maint_rebuilds;
+      snap.maint_validation_failures = s.maint_validation_failures;
+      snap.maint_nodes_rebuilt = s.maint_nodes_rebuilt;
     }
     return snap;
   }
@@ -362,6 +400,9 @@ class ShardedAdapter final : public IDictionary {
     // ceiling and a kSnapshot request is served at kChunked.
     const std::size_t chunk =
         opts.chunk != 0 ? opts.chunk : Sharded::kDefaultScanChunk;
+    if (opts.reverse) {
+      return dict_.range_desc(lo, hi, visit, opts.limit, chunk);
+    }
     return dict_.range(lo, hi, visit, opts.limit, chunk);
   }
 
@@ -403,6 +444,9 @@ class ShardedAdapter final : public IDictionary {
       out.cop_aborts_htm = s.cop_aborts_htm;
       out.cop_fallbacks = s.cop_fallbacks;
       out.cop_validation_failures = s.cop_validation_failures;
+      out.maint_rebuilds = s.maint_rebuilds;
+      out.maint_validation_failures = s.maint_validation_failures;
+      out.maint_nodes_rebuilt = s.maint_nodes_rebuilt;
       out.size = dict_.shard_size(i);
       snap.grace_periods += out.grace_periods;
       snap.insert_retries += s.insert_retries;
@@ -419,6 +463,9 @@ class ShardedAdapter final : public IDictionary {
       snap.cop_aborts_htm += s.cop_aborts_htm;
       snap.cop_fallbacks += s.cop_fallbacks;
       snap.cop_validation_failures += s.cop_validation_failures;
+      snap.maint_rebuilds += s.maint_rebuilds;
+      snap.maint_validation_failures += s.maint_validation_failures;
+      snap.maint_nodes_rebuilt += s.maint_nodes_rebuilt;
       snap.shards.push_back(out);
     }
     return snap;
@@ -489,6 +536,28 @@ DictionaryFactory cop_factory(const char* name, bool reclaim_default) {
   };
 }
 
+// Citrus with the background structural maintainer (maint/citrus_cf.hpp);
+// same Options::reclaim handling as citrus_factory, except the trait tiers
+// are the maint:: ones (which force kMaintainerRecycles on so wait-free
+// readers guard against the maintainer recycling replaced subtrees even in
+// the leaky bench tier).
+template <typename Rcu>
+DictionaryFactory cf_factory(const char* name, bool reclaim_default) {
+  return [name, reclaim_default](const Options& options) -> std::unique_ptr<IDictionary> {
+    const bool reclaim = options.reclaim.value_or(reclaim_default);
+    DictionaryTraits traits = kCitrusTraits;
+    traits.reclaiming = reclaim;
+    if (reclaim) {
+      return std::make_unique<TreeAdapter<
+          Rcu, maint::CitrusCfTree<Key, Value, Rcu, maint::CfDefaultTraits>>>(
+          name, traits);
+    }
+    return std::make_unique<TreeAdapter<
+        Rcu, maint::CitrusCfTree<Key, Value, Rcu, maint::CfBenchTraits>>>(
+        name, traits);
+  };
+}
+
 // Sharded Citrus: Options::shards (power of two) overrides the name's
 // default count; Options::reclaim picks the traits tier as above. TreeT
 // picks the per-shard update protocol.
@@ -513,6 +582,33 @@ DictionaryFactory sharded_factory(const char* name,
     }
     return std::make_unique<
         ShardedAdapter<CounterFlagRcu, core::BenchTraits, TreeT>>(
+        name, traits, shards);
+  };
+}
+
+// Sharded cf: sharded_factory hardcodes the core:: trait tiers, but
+// CitrusCfTree insists on the maint:: tiers (static_assert on
+// kMaintainerRecycles), so the combination gets its own factory. One
+// maintainer thread per shard.
+DictionaryFactory cf_sharded_factory(const char* name,
+                                     std::size_t default_shards) {
+  return [name, default_shards](const Options& options)
+             -> std::unique_ptr<IDictionary> {
+    std::size_t shards =
+        options.shards != 0 ? options.shards : default_shards;
+    if (!shard::is_power_of_two(shards)) {
+      throw std::invalid_argument("shard count must be a power of two");
+    }
+    using rcu::CounterFlagRcu;
+    const bool reclaim = options.reclaim.value_or(false);
+    const DictionaryTraits traits{true, reclaim, ScanConsistency::kChunked};
+    if (reclaim) {
+      return std::make_unique<ShardedAdapter<
+          CounterFlagRcu, maint::CfDefaultTraits, maint::CitrusCfTree>>(
+          name, traits, shards);
+    }
+    return std::make_unique<ShardedAdapter<
+        CounterFlagRcu, maint::CfBenchTraits, maint::CitrusCfTree>>(
         name, traits, shards);
   };
 }
@@ -580,6 +676,17 @@ const std::map<std::string, RegistryEntry>& registry() {
       {"citrus-cop-shard64",
        {sharded_factory<core::CitrusCopTree>("citrus-cop-shard64", 64),
         shard_traits}},
+      // Lock+validate updates plus a background structural maintainer
+      // that rebuilds skew-degenerated subtrees: its own algorithm family.
+      {"citrus-cf",
+       {cf_factory<CounterFlagRcu>("citrus-cf", false), kCitrusTraits,
+        true}},
+      {"citrus-cf-shard4",
+       {cf_sharded_factory("citrus-cf-shard4", 4), shard_traits}},
+      {"citrus-cf-shard16",
+       {cf_sharded_factory("citrus-cf-shard16", 16), shard_traits}},
+      {"citrus-cf-shard64",
+       {cf_sharded_factory("citrus-cf-shard64", 64), shard_traits}},
       {"rbtree",
        {factory<CounterFlagRcu,
                 baselines::RcuRedBlackTree<Key, Value, CounterFlagRcu,

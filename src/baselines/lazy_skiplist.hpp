@@ -101,9 +101,9 @@ class LazySkiplist {
   }
 
   // Weak-consistency ordered neighbors (see the registry traits): exact
-  // at quiescence (erase unlinks marked nodes before returning), but a
-  // node marked mid-walk may be skipped together with its unmarked
-  // neighborhood — the documented weak scan level of this baseline.
+  // at quiescence (erase unlinks marked nodes before returning), and a
+  // key that stays present for the whole call is never stepped over —
+  // both walks examine every bottom-level node in the answer's span.
   std::optional<std::pair<Key, Value>> succ(const Key& key) const {
     MaybeGuard guard(rcu_);
     Node* preds[kMaxLevel];
@@ -127,7 +127,14 @@ class LazySkiplist {
     MaybeGuard guard(rcu_);
     // Standard descent, remembering the last valid node below `key`;
     // candidates are visited in nondecreasing key order, so the final one
-    // is the predecessor.
+    // is the predecessor. Above the bottom level the walk only advances
+    // across nodes that are valid when inspected: hopping over a marked
+    // tall node would also hop over every bottom-level key behind it with
+    // nothing recorded at or above them, understating the predecessor
+    // (the reverse-scan pred-chain would then skip continuously-present
+    // keys). Descending instead re-examines that span one level lower; at
+    // the bottom level skipping an invalid node is safe because every
+    // later node is still visited individually.
     std::optional<std::pair<Key, Value>> best;
     Node* pred = head_;
     for (int l = kMaxLevel - 1; l >= 0; --l) {
@@ -135,11 +142,12 @@ class LazySkiplist {
       while (compare_bounded(key, curr->bound,
                              curr->bound == Bound::kKey ? curr->key() : key) >
              0) {
-        if (curr->bound == Bound::kKey &&
+        const bool valid =
+            curr->bound == Bound::kKey &&
             curr->fully_linked.load(std::memory_order_acquire) &&
-            !curr->marked.load(std::memory_order_acquire)) {
-          best = std::make_pair(curr->key(), curr->value());
-        }
+            !curr->marked.load(std::memory_order_acquire);
+        if (!valid && l > 0) break;
+        if (valid) best = std::make_pair(curr->key(), curr->value());
         pred = curr;
         curr = pred->next[l].load(std::memory_order_acquire);
       }

@@ -138,6 +138,17 @@ struct CitrusStats {
   std::uint64_t cop_fallbacks = 0;
   std::uint64_t cop_validation_failures = 0;
 
+  // Structural-maintainer counters (src/maint/citrus_cf.hpp; zero on
+  // trees without a maintainer). maint_rebuilds counts published subtree
+  // rebuilds; maint_validation_failures counts rebuilds abandoned because
+  // a concurrent update beat the revalidation (or a lock/allocation could
+  // not be obtained — either way the subtree was left untouched);
+  // maint_nodes_rebuilt counts real nodes copied into published
+  // replacement subtrees.
+  std::uint64_t maint_rebuilds = 0;
+  std::uint64_t maint_validation_failures = 0;
+  std::uint64_t maint_nodes_rebuilt = 0;
+
   // Grace-period engine counters of this tree's RCU domain (zero on
   // domains without the shared gp_seq). Domain-level: if several trees
   // share one domain, each stats() reports the same domain totals.
@@ -162,6 +173,9 @@ struct CitrusStats {
     cop_aborts_htm += o.cop_aborts_htm;
     cop_fallbacks += o.cop_fallbacks;
     cop_validation_failures += o.cop_validation_failures;
+    maint_rebuilds += o.maint_rebuilds;
+    maint_validation_failures += o.maint_validation_failures;
+    maint_nodes_rebuilt += o.maint_nodes_rebuilt;
     gp_started += o.gp_started;
     gp_shared += o.gp_shared;
     gp_expedited += o.gp_expedited;
@@ -328,6 +342,63 @@ class CitrusTree {
         want = chunk == 0 ? left : std::min(chunk, left);
       }
       const bool more = scan_chunk(cursor, cursor_inclusive, &hi, want, &buf);
+      for (const auto& [k, v] : buf) {
+        ++visited;
+        if (!util::visit_entry(f, k, v)) return visited;
+      }
+      if (!more || buf.empty()) return visited;
+      if (limit != 0 && visited >= limit) return visited;
+      cursor_key = buf.back().first;
+      cursor = &cursor_key;
+      cursor_inclusive = false;
+    }
+  }
+
+  // Descending mirror of scan_chunk: atomically collects the first `max`
+  // (0 = all) pairs with key in [lo, hi] in DESCENDING key order; nullptr
+  // bounds are unbounded, `hi_inclusive` false makes the upper bound
+  // exclusive (cursor re-entry). Returns true if in-range keys below the
+  // collected prefix may remain.
+  bool scan_chunk_desc(const Key* lo, const Key* hi, bool hi_inclusive,
+                       std::size_t max,
+                       std::vector<std::pair<Key, Value>>* out) const {
+    out->clear();
+    sync::Backoff bo;
+    for (;;) {
+      const int r = attempt_scan_desc(lo, hi, hi_inclusive, max, out);
+      if (r >= 0) {
+        bump(&CitrusStats::scans);
+        bump_n(&CitrusStats::scan_keys_visited, out->size());
+        return r > 0;
+      }
+      bump(&CitrusStats::scan_retries);
+      out->clear();
+      bo.pause();
+    }
+  }
+
+  // Descending mirror of range(): visits the pairs with lo <= key <= hi
+  // from hi down to lo. Same consistency contract as range() — each chunk
+  // is internally atomic, chunks advance monotonically downward in key,
+  // the visitor runs outside the critical section. Returns pairs visited.
+  template <typename F>
+  std::size_t range_desc(const Key& lo, const Key& hi, F&& f,
+                         std::size_t limit = 0,
+                         std::size_t chunk = kDefaultScanChunk) const {
+    if (hi < lo) return 0;
+    std::vector<std::pair<Key, Value>> buf;
+    std::size_t visited = 0;
+    const Key* cursor = &hi;
+    bool cursor_inclusive = true;
+    Key cursor_key{};
+    for (;;) {
+      std::size_t want = chunk;
+      if (limit != 0) {
+        const std::size_t left = limit - visited;
+        want = chunk == 0 ? left : std::min(chunk, left);
+      }
+      const bool more =
+          scan_chunk_desc(&lo, cursor, cursor_inclusive, want, &buf);
       for (const auto& [k, v] : buf) {
         ++visited;
         if (!util::visit_entry(f, k, v)) return visited;
@@ -595,10 +666,11 @@ class CitrusTree {
       const Node* n;
       const Key* lo;
       const Key* hi;
-      std::size_t depth;
+      std::size_t depth;       // edges from the root, sentinels included
+      std::size_t real_depth;  // real (kReal) ancestors only
     };
     std::vector<Frame> stack;
-    stack.push_back({root_.unguarded_load(), nullptr, nullptr, 0});
+    stack.push_back({root_.unguarded_load(), nullptr, nullptr, 0, 0});
     while (!stack.empty()) {
       Frame f = stack.back();
       stack.pop_back();
@@ -614,14 +686,23 @@ class CitrusTree {
       const Key* hi = f.hi;
       if (f.n->kind == NodeKind::kReal) {
         ++rep.node_count;
+        // Balance picture in real-node terms (the maintainer's metric):
+        // sentinel layers are excluded so the numbers compare directly
+        // against log2(node_count).
+        rep.max_depth = std::max(rep.max_depth, f.real_depth);
+        rep.depth_sum += f.real_depth;
+        if (f.real_depth >= rep.depth_histogram.size()) {
+          rep.depth_histogram.resize(f.real_depth + 1, 0);
+        }
+        ++rep.depth_histogram[f.real_depth];
         const Key& k = f.n->key();
         if ((lo != nullptr && !(*lo < k)) || (hi != nullptr && !(k < *hi))) {
           return fail(rep, "BST order violated");
         }
         stack.push_back({f.n->child[kLeft].unguarded_load(), lo,
-                         &f.n->key(), f.depth + 1});
+                         &f.n->key(), f.depth + 1, f.real_depth + 1});
         stack.push_back({f.n->child[kRight].unguarded_load(), &f.n->key(), hi,
-                         f.depth + 1});
+                         f.depth + 1, f.real_depth + 1});
       } else {
         // Sentinels: −∞ bounds nothing on the left; +∞ keeps all real keys
         // in its left subtree.
@@ -634,14 +715,18 @@ class CitrusTree {
           return fail(rep, "+inf sentinel grew a right child");
         }
         stack.push_back({f.n->child[kLeft].unguarded_load(), lo, hi,
-                         f.depth + 1});
+                         f.depth + 1, f.real_depth});
         stack.push_back({f.n->child[kRight].unguarded_load(), lo, hi,
-                         f.depth + 1});
+                         f.depth + 1, f.real_depth});
       }
     }
     if (rep.node_count != size()) {
       return fail(rep, "size() does not match reachable node count");
     }
+    rep.avg_depth = rep.node_count == 0
+                        ? 0.0
+                        : static_cast<double>(rep.depth_sum) /
+                              static_cast<double>(rep.node_count);
     return rep;
   }
 
@@ -791,6 +876,67 @@ class CitrusTree {
         }
       }
       descend_left(f.right);
+    }
+    if (conflict || !validate_versions(vset)) return -1;
+    return truncated ? 1 : 0;
+  }
+
+  // Descending mirror of attempt_scan: walk the RIGHT spine first so the
+  // stack unwinds in descending key order. Same return protocol. When it
+  // truncates, everything not yet visited is SMALLER than the emitted
+  // prefix, so the prefix is exactly the last `max` in-range pairs.
+  int attempt_scan_desc(const Key* lo, const Key* hi, bool hi_inclusive,
+                        std::size_t max,
+                        std::vector<std::pair<Key, Value>>* out) const {
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    std::vector<VersionSample> vset;
+    struct Frame {
+      const Node* node;
+      const Node* left;  // pruned left child, pre-loaded under the sample
+      bool in_lo;        // key satisfies the lower bound
+      bool in_hi;        // key satisfies the upper bound
+    };
+    std::vector<Frame> stack;
+    bool conflict = false;
+    const auto descend_right = [&](const Node* n) {
+      while (n != nullptr) {
+        const std::uint64_t v = n->version.load(std::memory_order_acquire);
+        if ((v & 1) != 0) {
+          conflict = true;  // a writer is mid-publish on this node
+          return;
+        }
+        check::on_node_access(n);
+        vset.push_back({n, v});
+        const int c_lo = lo != nullptr ? n->compare(*lo) : -1;
+        const int c_hi = hi != nullptr ? n->compare(*hi) : +1;
+        Frame f;
+        f.node = n;
+        f.in_lo = c_lo <= 0;
+        f.in_hi = c_hi > 0 || (c_hi == 0 && hi_inclusive);
+        // Left subtree holds keys < n: relevant unless n <= lo.
+        f.left = c_lo < 0 ? n->child[kLeft].load_protected().get()
+                          : nullptr;
+        stack.push_back(f);
+        // Right subtree holds keys > n: relevant unless n >= hi.
+        n = c_hi > 0 ? n->child[kRight].load_protected().get() : nullptr;
+      }
+    };
+    bool truncated = false;
+    descend_right(root_.load().get());
+    while (!conflict && !stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (f.node->kind == NodeKind::kReal && f.in_lo && f.in_hi) {
+        if (max != 0 && out->size() == max) {
+          truncated = true;
+          break;
+        }
+        // Adjacent-duplicate dedup, descending flavor.
+        if (out->empty() || f.node->key() < out->back().first) {
+          out->push_back({f.node->key(), f.node->value()});
+        }
+      }
+      descend_right(f.left);
     }
     if (conflict || !validate_versions(vset)) return -1;
     return truncated ? 1 : 0;
@@ -1026,9 +1172,23 @@ class CitrusTree {
   // section: the discipline verifier classifies the walk's dereferences by
   // context, and the no-reclaim special case is a property of this tree's
   // configuration, not of the client's discipline.
+  //
+  // A Traits that sets kMaintainerRecycles (src/maint/citrus_cf.hpp) also
+  // forces the section on: the structural maintainer recycles replaced
+  // subtrees through the pool even when update-side kReclaim is off, so
+  // every unlocked traversal must be covered by a grace period again.
+  static constexpr bool kMaintainerRecyclesNodes = [] {
+    if constexpr (requires { Traits::kMaintainerRecycles; }) {
+      return static_cast<bool>(Traits::kMaintainerRecycles);
+    } else {
+      return false;
+    }
+  }();
+
   class MaybeReadGuard {
    public:
-    static constexpr bool kGuard = Traits::kReclaim || check::kEnabled;
+    static constexpr bool kGuard =
+        Traits::kReclaim || kMaintainerRecyclesNodes || check::kEnabled;
     CITRUS_RCU_READ_LOCK_FN explicit MaybeReadGuard(Rcu& rcu) : rcu_(rcu) {
       if constexpr (kGuard) rcu_.read_lock();
     }

@@ -9,20 +9,37 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace citrus::core {
 
 // Quiescent structural audit: valid only while no concurrent operations
 // run. `ok == false` carries a human-readable diagnosis in `error`.
+//
+// Depth fields measure *real* nodes only: a real node's depth is the
+// number of real-node ancestors above it, so the sentinels (−1/∞) and the
+// per-shard dummy layers of the sharded composite do not distort the
+// balance picture the structural maintainer (src/maint/) steers by.
 struct StructureReport {
   bool ok = true;
   std::string error;
   std::size_t node_count = 0;  // real (non-sentinel) reachable nodes
   std::size_t height = 0;      // edges on the longest root→leaf path
 
+  std::size_t max_depth = 0;     // deepest real node (real ancestors only)
+  std::uint64_t depth_sum = 0;   // sum of real-node depths (for avg_depth)
+  double avg_depth = 0.0;        // depth_sum / node_count (0 when empty)
+  // depth_histogram[d] = number of real nodes at real-depth d.
+  std::vector<std::size_t> depth_histogram;
+  // Subtree rebuilds performed by the structural maintainer over this
+  // tree's lifetime (0 for strategies without one).
+  std::uint64_t rebuilds = 0;
+
   // Fold another report (e.g. one shard's) into this one: conjunction of
-  // ok, first error wins, counts add, heights max.
+  // ok, first error wins, counts add, heights/depths max, histograms add
+  // element-wise, average recomputed from the folded sums.
   void merge(const StructureReport& other) {
     if (ok && !other.ok) {
       ok = false;
@@ -30,6 +47,19 @@ struct StructureReport {
     }
     node_count += other.node_count;
     if (other.height > height) height = other.height;
+    if (other.max_depth > max_depth) max_depth = other.max_depth;
+    depth_sum += other.depth_sum;
+    if (other.depth_histogram.size() > depth_histogram.size()) {
+      depth_histogram.resize(other.depth_histogram.size(), 0);
+    }
+    for (std::size_t d = 0; d < other.depth_histogram.size(); ++d) {
+      depth_histogram[d] += other.depth_histogram[d];
+    }
+    rebuilds += other.rebuilds;
+    avg_depth = node_count == 0
+                    ? 0.0
+                    : static_cast<double>(depth_sum) /
+                          static_cast<double>(node_count);
   }
 };
 

@@ -1,0 +1,799 @@
+// CITRUS-CF — Citrus with a background structural maintainer (DESIGN.md §9).
+//
+// The Citrus tree is deliberately unbalanced: the paper's protocol never
+// restructures, so sequential insertion (or a Zipf-hot key range) degrades
+// it toward a linked list and O(log n) lookups toward O(n). This layer
+// closes that hole without touching the logical operations, in the spirit
+// of "A Concurrency-Optimal Binary Search Tree" (Aksenov et al.) —
+// structural and logical changes are separated — using the atomic
+// multi-node-replacement template of "A General Technique for Non-blocking
+// Trees" (Brown et al.): a background thread rebuilds a deep subtree into
+// a perfectly balanced PRIVATE copy and publishes it by swinging exactly
+// one parent child-link with a release CAS.
+//
+// The protocol, per offending subtree:
+//
+//   probe    — one read-side pass computes per-subtree {size, height} and
+//              selects the topmost subtrees with height > c·log2(size)
+//              above a size floor. Purely heuristic: the tree may change
+//              under the probe; safety never depends on it.
+//   collect  — a fresh read-side pass walks the subtree in order,
+//              recording every node's (generation, even seqlock version)
+//              and copying the key/value pairs. Any odd version or marked
+//              node aborts (a writer is mid-flight).
+//   build    — a perfectly balanced copy is built from the node pool while
+//              holding nothing (the cop discipline: allocate before locks;
+//              a losing copy is returned to the pool, no grace period owed).
+//   lock     — bounded try-locks on the parent AND every collected node.
+//              Every structural publish into the subtree requires the lock
+//              of an in-subtree node (or of the parent, for the subtree
+//              root's slot), so full coverage gives mutual exclusion with
+//              every updater; any lock failure aborts — an updater mid-
+//              protocol (e.g. a two-child erase awaiting its grace period,
+//              paper Line 74) holds its locks and wins automatically.
+//   validate — under the locks: the parent's generation is unchanged, it
+//              is unmarked and still points at the collected subtree root;
+//              every collected node's generation and seqlock version are
+//              unchanged (versions are monotonic across pool recycling —
+//              citrus_node.hpp — so this is ABA-proof). Any structural
+//              change between collect and lock bumped an in-subtree
+//              version or replaced the root edge, so validation catches
+//              exactly the updates that raced us; we abort, they win
+//              (counted in maint_validation_failures).
+//   publish  — mark every old node (Lemma 1: only marked nodes become
+//              unreachable), bump the parent's seqlock around one release
+//              CAS of the parent edge. In-flight validated scans that
+//              walked through the parent see the version change at their
+//              validation fence and retry, exactly as for cop publishes;
+//              wait-free searches keep reading the frozen old subtree —
+//              the rebuild preserves content, so either copy answers
+//              correctly — until the grace period below.
+//   retire   — the old subtree is queued behind a start_grace_period()
+//              cookie and recycled by later poll() checks, so reclamation
+//              never blocks the maintainer loop (fault::Site::kReclaimDelay
+//              fires between the elapsed grace period and the recycling,
+//              as for every other deferred-reclaim path).
+//
+// Because the maintainer recycles replaced subtrees through the pool even
+// when the update-side Traits::kReclaim is off, its Traits must set
+// kMaintainerRecycles so the base tree keeps every unlocked traversal
+// inside a read-side critical section (CitrusTree::MaybeReadGuard).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "check/check.hpp"
+#include "citrus/citrus_node.hpp"
+#include "citrus/citrus_traverse.hpp"
+#include "citrus/citrus_tree.hpp"
+#include "citrus/update_status.hpp"
+#include "fault/fault.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "rcu/guarded_ptr.hpp"
+#include "rcu/rcu.hpp"
+#include "sync/backoff.hpp"
+
+namespace citrus::maint {
+
+// Maintainer-aware trait tiers: identical to the core tiers except that
+// kMaintainerRecycles forces read-side critical sections on (see above).
+// Tunables a test Traits may override: kMaintDepthFactor (c in the
+// depth > c·log2(size) trigger), kMaintSizeFloor (smallest subtree worth
+// rebuilding), kMaintIntervalMicros (wakeup period), kMaintLockAttempts
+// (per-node try-lock budget — deliberately small: aborting is cheap).
+struct CfDefaultTraits : core::DefaultTraits {
+  static constexpr bool kMaintainerRecycles = true;
+};
+
+struct CfBenchTraits : core::BenchTraits {
+  static constexpr bool kMaintainerRecycles = true;
+};
+
+// LockSet variant without the fixed capacity of core::LockSet (an update
+// protocol holds at most five locks; a rebuild holds one per collected
+// node). Same bounded try-lock discipline, so maintainer deadlock is
+// impossible by construction and a blocked rebuild aborts instead of
+// stalling updaters.
+template <typename Node>
+class DynamicLockSet {
+ public:
+  explicit DynamicLockSet(std::uint32_t attempts) : attempts_(attempts) {}
+  DynamicLockSet(const DynamicLockSet&) = delete;
+  DynamicLockSet& operator=(const DynamicLockSet&) = delete;
+  ~DynamicLockSet() { release_all(); }
+
+  bool acquire_timed(Node* n) {
+    sync::Backoff bo;
+    for (std::uint32_t i = 0; i < attempts_; ++i) {
+      if (n->lock.try_lock()) {
+        held_.push_back(n);
+        return true;
+      }
+      bo.pause();
+    }
+    return false;
+  }
+
+  void release_all() {
+    while (!held_.empty()) {
+      held_.back()->lock.unlock();
+      held_.pop_back();
+    }
+  }
+
+ private:
+  std::uint32_t attempts_;
+  std::vector<Node*> held_;
+};
+
+template <typename Key, typename Value,
+          rcu::rcu_domain Rcu = rcu::CounterFlagRcu,
+          typename Traits = CfDefaultTraits>
+class CitrusCfTree : public core::CitrusTree<Key, Value, Rcu, Traits> {
+  using Base = core::CitrusTree<Key, Value, Rcu, Traits>;
+  using typename Base::Node;
+  using typename Base::VersionSample;
+  using Base::pool_;
+  using Base::rcu_;
+  using Base::root_;
+  using Base::validate_versions;
+
+  static_assert(Base::kMaintainerRecyclesNodes,
+                "CitrusCfTree recycles replaced subtrees through the pool "
+                "regardless of Traits::kReclaim; its Traits must set "
+                "kMaintainerRecycles so unlocked traversals stay inside "
+                "read-side critical sections (use CfDefaultTraits / "
+                "CfBenchTraits or derive from them)");
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+  using rcu_type = Rcu;
+
+  explicit CitrusCfTree(Rcu& domain) : Base(domain) {
+    if constexpr (background_thread()) {
+      thread_ = std::thread([this] { maintainer_main(); });
+    }
+  }
+
+  ~CitrusCfTree() {
+    {
+      std::lock_guard<std::mutex> lk(wake_mutex_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    wake_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    // The maintainer's epilogue drained its queue behind real grace
+    // periods; anything still pending (a maintain_now() caller racing
+    // destruction is a caller bug, but an abandoned-on-stop pass is not)
+    // is recycled quiescently — destruction is single-owner, no readers.
+    check::ScopedQuiescent quiescent;
+    for (Batch& b : pending_) {
+      for (Node* n : b.nodes) pool_.recycle(n);
+    }
+    pending_.clear();
+  }
+
+  // ── Tuning knobs (Traits overrides) ───────────────────────────────
+
+  static constexpr double depth_factor() noexcept {
+    if constexpr (requires { Traits::kMaintDepthFactor; }) {
+      return Traits::kMaintDepthFactor;
+    } else {
+      return 2.0;
+    }
+  }
+  static constexpr std::size_t size_floor() noexcept {
+    if constexpr (requires { Traits::kMaintSizeFloor; }) {
+      return Traits::kMaintSizeFloor;
+    } else {
+      return 64;
+    }
+  }
+  static constexpr std::uint32_t lock_attempts() noexcept {
+    if constexpr (requires { Traits::kMaintLockAttempts; }) {
+      return Traits::kMaintLockAttempts;
+    } else {
+      return 64;
+    }
+  }
+  static constexpr unsigned interval_micros() noexcept {
+    if constexpr (requires { Traits::kMaintIntervalMicros; }) {
+      return Traits::kMaintIntervalMicros;
+    } else {
+      return 500;
+    }
+  }
+  // Manual mode: no background thread at all; maintenance happens only
+  // when some client thread calls maintain_now(). For embedders that pool
+  // their own maintenance work — and for tests that need a deterministic
+  // single driver.
+  static constexpr bool background_thread() noexcept {
+    if constexpr (requires { Traits::kMaintBackgroundThread; }) {
+      return Traits::kMaintBackgroundThread;
+    } else {
+      return true;
+    }
+  }
+
+  // The rebuild trigger: a subtree of `size` real nodes is an offender
+  // when its height (nodes on the longest path) exceeds this bound. A
+  // perfectly balanced rebuild leaves height ceil(log2(size+1)), so each
+  // rebuild restores a factor-`depth_factor` margin before the next one.
+  static std::size_t depth_bound(std::size_t size) noexcept {
+    if (size < 2) return 1;
+    const double b =
+        depth_factor() * std::log2(static_cast<double>(size) + 1.0);
+    return std::max<std::size_t>(4, static_cast<std::size_t>(std::ceil(b)));
+  }
+
+  // ── Update side (shadows: Base logic + opportunistic depth sampling;
+  //    the read side and the ordered operations are inherited) ────────
+  //
+  // The base class dispatches its bool wrappers to its own try_* forms
+  // non-virtually, so the wrappers are shadowed here as well. Sampling is
+  // 1-in-64 successful structural updates, one extra root-to-key walk on
+  // the sampled operation and nothing at all on the read path.
+
+  bool insert(const Key& key, const Value& value) {
+    return try_insert(key, value) == core::UpdateStatus::kSuccess;
+  }
+  bool erase(const Key& key) {
+    return try_erase(key) == core::UpdateStatus::kSuccess;
+  }
+  bool assign(const Key& key, const Value& value) {
+    return try_assign(key, value) == core::UpdateStatus::kSuccess;
+  }
+  bool insert_or_assign(const Key& key, const Value& value) {
+    for (;;) {
+      switch (try_insert(key, value)) {
+        case core::UpdateStatus::kSuccess:
+          return true;
+        case core::UpdateStatus::kNoMemory:
+          return false;
+        case core::UpdateStatus::kNoOp:
+          break;
+      }
+      switch (try_assign(key, value)) {
+        case core::UpdateStatus::kSuccess:
+        case core::UpdateStatus::kNoMemory:
+          return false;
+        case core::UpdateStatus::kNoOp:
+          break;  // the key vanished between the two calls; start over
+      }
+    }
+  }
+
+  core::UpdateStatus try_insert(const Key& key, const Value& value) {
+    const core::UpdateStatus s =
+        with_direct_reclaim([&] { return Base::try_insert(key, value); });
+    if (s == core::UpdateStatus::kSuccess) maybe_sample(key);
+    return s;
+  }
+  core::UpdateStatus try_assign(const Key& key, const Value& value) {
+    return with_direct_reclaim([&] { return Base::try_assign(key, value); });
+  }
+  core::UpdateStatus try_erase(const Key& key) {
+    const core::UpdateStatus s =
+        with_direct_reclaim([&] { return Base::try_erase(key); });
+    if (s == core::UpdateStatus::kSuccess) maybe_sample(key);
+    return s;
+  }
+
+  // ── Introspection ─────────────────────────────────────────────────
+
+  core::CitrusStats stats() const {
+    core::CitrusStats out = Base::stats();
+    // Maintainer counters live outside AtomicStats (they are not gated on
+    // Traits::kStats: the maintainer's own bookkeeping is what tests and
+    // the depth bench steer by, in bench traits too).
+    out.maint_rebuilds = maint_rebuilds_.load(std::memory_order_relaxed);
+    out.maint_validation_failures =
+        maint_validation_failures_.load(std::memory_order_relaxed);
+    out.maint_nodes_rebuilt =
+        maint_nodes_rebuilt_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  // Quiescent (w.r.t. client operations) structural audit. The gate
+  // excludes the maintainer for the duration, so "no concurrent client
+  // operations" is the whole precondition — the background thread needs
+  // no separate pause.
+  core::StructureReport check_structure() const {
+    std::lock_guard<std::mutex> gate(gate_);
+    core::StructureReport rep = Base::check_structure();
+    rep.rebuilds = maint_rebuilds_.load(std::memory_order_relaxed);
+    return rep;
+  }
+
+  // Nodes replaced by published rebuilds and still awaiting their grace
+  // period (backlog observability for the fault-lane tests).
+  std::size_t pending_reclaim_nodes() const noexcept {
+    return pending_nodes_.load(std::memory_order_relaxed);
+  }
+
+  // Synchronous maintenance: probe + rebuild + a blocking drain of the
+  // retire queue, on the CALLER's thread (which must hold an
+  // Rcu::Registration, like any thread operating on the tree). The
+  // deterministic handle the tests and the depth bench settle on.
+  void maintain_now() {
+    std::lock_guard<std::mutex> gate(gate_);
+    maintenance_pass();
+    drain_pending(true);
+  }
+
+ private:
+  // One real node collected for a rebuild: the revalidation triple. The
+  // pointers deliberately outlive their read-side section — the slots are
+  // type-stable (node_pool.hpp), and the generation + seqlock-version
+  // checks under the full lock set prove the subtree is still exactly
+  // what was collected before anything is trusted.
+  struct OldNode {
+    Node* n;
+    std::uint64_t gen;
+    std::uint64_t version;
+  };
+
+  // A deep subtree nominated by the probe: the parent edge to revalidate.
+  struct Offender {
+    Node* parent;
+    int dir;
+    std::uint64_t parent_gen;
+  };
+
+  // A published rebuild's replaced nodes, awaiting one grace period.
+  static constexpr bool kGpPoll = rcu::gp_poll_domain<Rcu>;
+  struct Batch {
+    rcu::GpCookie cookie = 0;
+    std::vector<Node*> nodes;
+  };
+
+  // Direct reclaim, the updater-side counterpart of the background drains:
+  // a capped pool counts retired-but-unreclaimed rebuild victims as live,
+  // so a kNoMemory verdict may be pressure of the maintainer's own making.
+  // Nothing advances the grace-period sequence by itself — poll() is a pure
+  // probe — so a workload that never synchronizes (inserts only, say) would
+  // otherwise leave the backlog pinned and updaters wedged at the cap for
+  // good. Drive the outstanding grace periods to completion on THIS thread,
+  // hand the backlog to the pool, and retry the operation once. The caller
+  // already holds a Registration (precondition of every tree operation) and
+  // is outside any read-side section here, so blocking in synchronize is
+  // legal; gate_ serializes the queue handoff against the maintainer.
+  template <typename Op>
+  core::UpdateStatus with_direct_reclaim(Op&& op) {
+    core::UpdateStatus s = op();
+    if (s == core::UpdateStatus::kNoMemory &&
+        pending_nodes_.load(std::memory_order_relaxed) != 0) {
+      {
+        std::lock_guard<std::mutex> gate(gate_);
+        drain_pending(true);
+      }
+      s = op();
+    }
+    return s;
+  }
+
+  static constexpr std::uint64_t kSampleMask = 63;  // 1-in-64 updates
+  static constexpr std::size_t kForceProbeEvery = 64;    // wakeups
+  static constexpr std::size_t kMaxPendingNodes = 1u << 16;
+
+  // ── Depth sampling (update-path shadows call this) ────────────────
+
+  void maybe_sample(const Key& key) {
+    if ((sample_ctr_.fetch_add(1, std::memory_order_relaxed) & kSampleMask) !=
+        0) {
+      return;
+    }
+    std::size_t depth = 0;
+    {
+      rcu::ReadGuard<Rcu> guard(rcu_);
+      rcu::protected_ptr<const Node> curr =
+          root_.load()->child[core::kRight].load_protected();
+      while (curr != nullptr) {
+        check::on_node_access(curr.get());
+        if (curr->kind == core::NodeKind::kReal) ++depth;
+        const int c = curr->compare(key);
+        if (c == 0) break;
+        curr = curr->child[c < 0 ? core::kLeft : core::kRight]
+                   .load_protected();
+      }
+    }
+    std::size_t prev = sampled_depth_.load(std::memory_order_relaxed);
+    while (depth > prev &&
+           !sampled_depth_.compare_exchange_weak(prev, depth,
+                                                 std::memory_order_relaxed)) {
+    }
+    if (depth > depth_bound(Base::size())) wake_cv_.notify_one();
+  }
+
+  // ── Maintainer thread ─────────────────────────────────────────────
+
+  void maintainer_main() {
+    typename Rcu::Registration reg(rcu_);
+    std::size_t wakeups = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(wake_mutex_);
+        if (!stop_.load(std::memory_order_relaxed)) {
+          wake_cv_.wait_for(lk, std::chrono::microseconds(interval_micros()));
+        }
+        if (stop_.load(std::memory_order_relaxed)) break;
+      }
+      std::lock_guard<std::mutex> gate(gate_);
+      drain_pending(false);
+      const std::size_t hint =
+          sampled_depth_.exchange(0, std::memory_order_relaxed);
+      const bool force = (++wakeups % kForceProbeEvery) == 0;
+      if (force || hint > depth_bound(Base::size())) {
+        maintenance_pass();
+      }
+      if (pending_nodes_.load(std::memory_order_relaxed) > kMaxPendingNodes) {
+        drain_pending(true);  // backpressure: bound the retire backlog
+      }
+    }
+    // Epilogue: pay the outstanding grace periods while this thread still
+    // holds its registration, so destruction inherits an empty queue.
+    std::lock_guard<std::mutex> gate(gate_);
+    drain_pending(true);
+  }
+
+  void maintenance_pass() {
+    const std::vector<Offender> offenders = probe();
+    for (const Offender& o : offenders) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      if (!rebuild_subtree(o)) {
+        maint_validation_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      drain_pending(false);
+    }
+  }
+
+  // One read-side pass: post-order {size, height} over the real tree,
+  // then a pre-order sweep selecting the TOPMOST offenders (rebuilding a
+  // subtree rebalances everything under it, so descending into an
+  // offender is never useful). The tree may mutate under this walk — the
+  // result is a hint; rebuild_subtree re-establishes every fact it needs.
+  // The parent pointers escape this section re-protected by the recorded
+  // generation, the standard generation-validated handoff of get().
+  // rcu-analyze: allow (probe is heuristic; escaped parents are
+  // generation-validated by rebuild_subtree before anything is trusted)
+  std::vector<Offender> probe() {
+    std::vector<Offender> out;
+    struct Info {
+      std::size_t size;
+      std::size_t height;
+    };
+    std::unordered_map<const Node*, Info> info;
+    rcu::ReadGuard<Rcu> guard(rcu_);
+    rcu::protected_ptr<Node> inf =
+        root_.load()->child[core::kRight].load_protected();
+    Node* top = inf->child[core::kLeft].load_protected().get();
+    if (top == nullptr) return out;
+    // Visit cap: a heavily mutating tree can stretch (never cycle) a
+    // concurrent walk; past the cap this probe just gives up until the
+    // next wakeup.
+    const std::size_t cap = 4 * Base::size() + 1024;
+    std::size_t visits = 0;
+    struct WFrame {
+      const Node* n;
+      const Node* l;
+      const Node* r;
+      bool expanded;
+    };
+    std::vector<WFrame> stack;
+    stack.push_back({top, nullptr, nullptr, false});
+    while (!stack.empty()) {
+      WFrame f = stack.back();
+      stack.pop_back();
+      if (f.n == nullptr || f.n->kind != core::NodeKind::kReal) continue;
+      if (!f.expanded) {
+        if (++visits > cap) return {};
+        check::on_node_access(f.n);
+        f.l = f.n->child[core::kLeft].load_protected().get();
+        f.r = f.n->child[core::kRight].load_protected().get();
+        f.expanded = true;
+        stack.push_back(f);
+        stack.push_back({f.l, nullptr, nullptr, false});
+        stack.push_back({f.r, nullptr, nullptr, false});
+      } else {
+        const auto li = info.find(f.l);
+        const auto ri = info.find(f.r);
+        const Info l = li != info.end() ? li->second : Info{0, 0};
+        const Info r = ri != info.end() ? ri->second : Info{0, 0};
+        info[f.n] = {1 + l.size + r.size, 1 + std::max(l.height, r.height)};
+      }
+    }
+    struct SFrame {
+      Node* parent;
+      int dir;
+    };
+    std::vector<SFrame> sel;
+    sel.push_back({inf.get(), core::kLeft});
+    while (!sel.empty()) {
+      const SFrame s = sel.back();
+      sel.pop_back();
+      Node* child = s.parent->child[s.dir].load_protected().get();
+      if (child == nullptr || child->kind != core::NodeKind::kReal) continue;
+      const auto it = info.find(child);
+      if (it == info.end()) continue;  // appeared mid-probe: skip this round
+      const Info& ci = it->second;
+      if (ci.size >= size_floor() && ci.height > depth_bound(ci.size)) {
+        out.push_back({s.parent, s.dir,
+                       s.parent->generation.load(std::memory_order_acquire)});
+        continue;  // topmost offender: its subtree is covered by the rebuild
+      }
+      sel.push_back({child, core::kLeft});
+      sel.push_back({child, core::kRight});
+    }
+    return out;
+  }
+
+  // The collect → build → lock → validate → publish → retire sequence
+  // described in the header comment. Returns false only for an ABORT
+  // (lock failure, revalidation failure, allocation failure) — the caller
+  // counts those; "nothing to do" outcomes return true.
+  bool rebuild_subtree(const Offender& o) {
+    std::vector<OldNode> old;
+    std::vector<std::pair<Key, Value>> pairs;
+    std::size_t height = 0;
+    Node* sub = nullptr;
+    {
+      // Collect. The subtree root is re-read through the validated parent
+      // edge rather than trusted from the probe, so a recycled-and-reused
+      // slot cannot smuggle a stale snapshot in.
+      rcu::ReadGuard<Rcu> guard(rcu_);
+      check::on_node_header_access(o.parent);
+      if (o.parent->generation.load(std::memory_order_acquire) !=
+              o.parent_gen ||
+          o.parent->marked.load(std::memory_order_acquire)) {
+        return false;  // the parent moved on since the probe
+      }
+      rcu::protected_ptr<Node> sp = o.parent->child[o.dir].load_protected();
+      if (sp == nullptr || sp->kind != core::NodeKind::kReal) {
+        return true;  // subtree vanished: nothing to rebuild
+      }
+      // In-order walk recording the revalidation triple per node and the
+      // payload pairs. A marked node or an odd seqlock version means an
+      // updater is mid-flight in the subtree — abort early, it wins.
+      struct IFrame {
+        Node* n;
+        std::size_t depth;
+      };
+      std::vector<IFrame> istack;
+      Node* n = sp.get();
+      std::size_t depth = 0;
+      bool ok = true;
+      const auto visit = [&](Node* v) {
+        const std::uint64_t ver =
+            v->version.load(std::memory_order_acquire);
+        if ((ver & 1) != 0 ||
+            v->marked.load(std::memory_order_acquire) ||
+            v->kind != core::NodeKind::kReal) {
+          ok = false;
+          return;
+        }
+        check::on_node_access(v);
+        old.push_back(
+            {v, v->generation.load(std::memory_order_acquire), ver});
+      };
+      while (ok && (n != nullptr || !istack.empty())) {
+        while (n != nullptr) {
+          visit(n);
+          if (!ok) break;
+          ++depth;
+          height = std::max(height, depth);
+          istack.push_back({n, depth});
+          n = n->child[core::kLeft].load_protected().get();
+        }
+        if (!ok || istack.empty()) break;
+        const IFrame f = istack.back();
+        istack.pop_back();
+        depth = f.depth;
+        // Adjacent-duplicate dedup: the two-child-erase window (paper
+        // Figure 4) can briefly expose the successor's copy and the
+        // original in adjacent in-order positions.
+        if (pairs.empty() || pairs.back().first < f.n->key()) {
+          pairs.push_back({f.n->key(), f.n->value()});
+        }
+        n = f.n->child[core::kRight].load_protected().get();
+      }
+      if (!ok) return false;
+      // The standard generation-validated handoff: the edge is re-checked
+      // under the full lock set before anything is published.
+      // rcu-analyze: allow (generation+version-validated handoff to the
+      // locking phase; any change aborts the rebuild)
+      sub = sp.escape();
+    }
+
+    if (pairs.size() < size_floor() || height <= depth_bound(pairs.size())) {
+      return true;  // shrank or rebalanced since the probe: nothing to do
+    }
+
+    // Build the balanced private copy while holding nothing.
+    bool oom = false;
+    Node* fresh = build_balanced(pairs, 0, pairs.size(), &oom);
+    if (oom) {
+      // The build may have starved on this maintainer's own retire backlog
+      // (a capped pool counts awaiting-GP slots as live). gate_ is already
+      // held: drive the outstanding grace periods now so the memory is back
+      // for the next attempt — and for any updater hitting the same cap.
+      drain_pending(true);
+      return false;
+    }
+
+    // Lock the parent and the entire collected subtree (see the protocol
+    // argument in the header comment).
+    DynamicLockSet<Node> locks(lock_attempts());
+    if (!locks.acquire_timed(o.parent)) {
+      discard_subtree(fresh);
+      return false;
+    }
+    for (const OldNode& e : old) {
+      if (!locks.acquire_timed(e.n)) {
+        discard_subtree(fresh);
+        return false;
+      }
+    }
+
+    // Validate under the locks.
+    if (o.parent->generation.load(std::memory_order_acquire) !=
+            o.parent_gen ||
+        o.parent->marked.load(std::memory_order_acquire) ||
+        o.parent->child[o.dir].load_locked() != sub) {
+      discard_subtree(fresh);
+      return false;
+    }
+    std::vector<VersionSample> vset;
+    vset.reserve(old.size());
+    for (const OldNode& e : old) {
+      if (e.n->generation.load(std::memory_order_acquire) != e.gen) {
+        discard_subtree(fresh);
+        return false;
+      }
+      vset.push_back({e.n, e.version});
+    }
+    if (!validate_versions(vset)) {
+      discard_subtree(fresh);
+      return false;
+    }
+
+    // Publish: mark first (only marked nodes may become unreachable), then
+    // one release CAS of the parent edge under its seqlock bump. The CAS
+    // cannot lose — the slot was validated under the full lock set — so
+    // only weak-CAS spurious failure loops here.
+    for (const OldNode& e : old) {
+      e.n->marked.store(true, std::memory_order_release);
+    }
+    o.parent->scan_write_begin();
+    Node* expected = sub;
+    while (!o.parent->child[o.dir].compare_exchange_weak(expected, fresh) &&
+           expected == sub) {
+    }
+    assert(expected == sub && "validated edge changed under the full lock set");
+    o.parent->scan_write_end();
+    locks.release_all();
+
+    // Retire the old subtree behind a deferred grace period; pre-existing
+    // wait-free searches may still be walking it, and its frozen content
+    // answers them correctly (the rebuild preserved it exactly).
+    Batch b;
+    b.nodes.reserve(old.size());
+    for (const OldNode& e : old) b.nodes.push_back(e.n);
+    if constexpr (kGpPoll) b.cookie = rcu_.start_grace_period();
+    pending_nodes_.fetch_add(b.nodes.size(), std::memory_order_relaxed);
+    pending_.push_back(std::move(b));
+
+    maint_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    maint_nodes_rebuilt_.fetch_add(pairs.size(), std::memory_order_relaxed);
+    return true;
+  }
+
+  // Perfectly balanced private build over pairs[lo, hi). Never-published
+  // nodes; on any allocation failure the partials go straight back to the
+  // pool (no grace period owed) and *oom aborts the whole rebuild.
+  // rcu-analyze: quiescent (private never-published copies under
+  // construction; the publishing CAS in rebuild_subtree is the release)
+  Node* build_balanced(const std::vector<std::pair<Key, Value>>& pairs,
+                       std::size_t lo, std::size_t hi, bool* oom) {
+    if (lo >= hi) return nullptr;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    Node* left = build_balanced(pairs, lo, mid, oom);
+    if (*oom) return nullptr;
+    Node* right = build_balanced(pairs, mid + 1, hi, oom);
+    if (*oom) {
+      discard_subtree(left);
+      return nullptr;
+    }
+    Node* n = pool_.allocate(false, core::NodeKind::kReal, &pairs[mid].first,
+                             &pairs[mid].second, left, right);
+    if (n == nullptr) {
+      discard_subtree(left);
+      discard_subtree(right);
+      *oom = true;
+      return nullptr;
+    }
+    return n;
+  }
+
+  // Return a never-published private subtree to the pool (cop's
+  // discard_copy, subtree-shaped): no reader can hold any of it, so no
+  // grace period is owed; the marked store satisfies recycle()'s protocol.
+  void discard_subtree(Node* n) {
+    // rcu-analyze: quiescent (private never-published copies; no reader
+    // can reach these links, so the unguarded child loads are safe)
+    std::vector<Node*> stack;
+    if (n != nullptr) stack.push_back(n);
+    while (!stack.empty()) {
+      Node* d = stack.back();
+      stack.pop_back();
+      if (Node* l = d->child[core::kLeft].unguarded_load()) {
+        stack.push_back(l);
+      }
+      if (Node* r = d->child[core::kRight].unguarded_load()) {
+        stack.push_back(r);
+      }
+      d->marked.store(true, std::memory_order_relaxed);
+      pool_.recycle(d);
+    }
+  }
+
+  // Recycle retired batches whose grace period has elapsed; with `block`,
+  // pay for the rest. Caller holds gate_. On a domain without the deferred
+  // API the drain degrades to one blocking synchronize per batch.
+  void drain_pending(bool block) {
+    while (!pending_.empty()) {
+      Batch& b = pending_.front();
+      if constexpr (kGpPoll) {
+        if (!rcu_.poll(b.cookie)) {
+          if (!block) return;
+          rcu_.synchronize(b.cookie);
+        }
+      } else {
+        rcu_.synchronize();
+      }
+      // Fault site: the batch's grace period has elapsed; its callbacks
+      // (the recycles below) have not yet run. rcu-lint: allow (annotated
+      // injection hook, not a node access).
+      fault::inject_stall(fault::Site::kReclaimDelay);
+      for (Node* n : b.nodes) pool_.recycle(n);
+      pending_nodes_.fetch_sub(b.nodes.size(), std::memory_order_relaxed);
+      pending_.pop_front();
+    }
+  }
+
+  // Serializes maintenance passes (thread loop, maintain_now,
+  // check_structure, direct reclaim) against each other. Never held across
+  // the wakeup sleep; blocking drains do hold it while a grace period is
+  // driven, which is safe: no reader ever waits on gate_ from inside a
+  // read-side section.
+  mutable std::mutex gate_;
+  std::deque<Batch> pending_;
+  std::atomic<std::size_t> pending_nodes_{0};
+
+  std::atomic<std::uint64_t> sample_ctr_{0};
+  std::atomic<std::size_t> sampled_depth_{0};
+
+  std::atomic<std::uint64_t> maint_rebuilds_{0};
+  std::atomic<std::uint64_t> maint_validation_failures_{0};
+  std::atomic<std::uint64_t> maint_nodes_rebuilt_{0};
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;  // last member: starts after everything above
+};
+
+}  // namespace citrus::maint

@@ -236,6 +236,74 @@ class ShardedCitrus {
     }
   }
 
+  // Descending windowed merge, mirroring scan_chunk: fetch one descending
+  // chunk per shard, then emit only the merged suffix every shard is known
+  // to have fully covered. A truncated shard may hold unseen keys just
+  // *below* its chunk's last (smallest) key, so nothing below the largest
+  // such frontier can be emitted yet. Signature mirrors
+  // CitrusTree::scan_chunk_desc.
+  bool scan_chunk_desc(const Key* lo, const Key* hi, bool hi_inclusive,
+                       std::size_t max,
+                       std::vector<std::pair<Key, Value>>* out) const {
+    out->clear();
+    std::vector<std::pair<Key, Value>> merged, chunk;
+    bool any_truncated = false;
+    bool have_frontier = false;
+    Key frontier{};
+    for (const auto& s : shards_) {
+      const bool more =
+          s->tree.scan_chunk_desc(lo, hi, hi_inclusive, max, &chunk);
+      if (more) {
+        any_truncated = true;
+        if (!have_frontier || frontier < chunk.back().first) {
+          frontier = chunk.back().first;
+          have_frontier = true;
+        }
+      }
+      merged.insert(merged.end(), chunk.begin(), chunk.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return b.first < a.first; });
+    for (const auto& p : merged) {
+      if (have_frontier && p.first < frontier) break;
+      out->push_back(p);
+      if (max != 0 && out->size() == max) break;
+    }
+    return any_truncated || out->size() < merged.size();
+  }
+
+  // Descending visit of pairs with lo <= key <= hi, from hi down to lo;
+  // same contract as range() with the chunk cursor moving downward.
+  template <typename F>
+  std::size_t range_desc(const Key& lo, const Key& hi, F&& f,
+                         std::size_t limit = 0,
+                         std::size_t chunk = kDefaultScanChunk) const {
+    if (hi < lo) return 0;
+    std::vector<std::pair<Key, Value>> buf;
+    std::size_t visited = 0;
+    const Key* cursor = &hi;
+    bool cursor_inclusive = true;
+    Key cursor_key{};
+    for (;;) {
+      std::size_t want = chunk;
+      if (limit != 0) {
+        const std::size_t left = limit - visited;
+        want = chunk == 0 ? left : std::min(chunk, left);
+      }
+      const bool more =
+          scan_chunk_desc(&lo, cursor, cursor_inclusive, want, &buf);
+      for (const auto& [k, v] : buf) {
+        ++visited;
+        if (!util::visit_entry(f, k, v)) return visited;
+      }
+      if (!more || buf.empty()) return visited;
+      if (limit != 0 && visited >= limit) return visited;
+      cursor_key = buf.back().first;
+      cursor = &cursor_key;
+      cursor_inclusive = false;
+    }
+  }
+
   // Global succ/pred: best candidate over the per-shard exact answers.
   std::optional<std::pair<Key, Value>> succ(const Key& key) const {
     std::optional<std::pair<Key, Value>> best;

@@ -1,0 +1,56 @@
+// expect-finding: publish-not-release
+//
+// Violation class (c), maintainer flavor: the background structural
+// maintainer (src/maint/citrus_cf.hpp) builds a perfectly balanced private
+// copy of a degenerated subtree, then makes the whole copy reachable by
+// swinging exactly ONE parent edge. Every node of the copy is private
+// until that single store — so the store carries the release obligation
+// for the entire subtree's construction: keys, values, and every internal
+// child link. Done relaxed, a wait-free reader's acquire load of the
+// parent edge can reach the copy's root before the interior of the copy is
+// visible and walk half-built links. The real protocol swings the edge
+// with a release compare_exchange under the parent's seqlock bump; this
+// file seeds the raw-atomic relaxed form the analyzer must flag even
+// though (especially because) everything else about the rebuild was done
+// privately and correctly.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace corpus {
+
+struct MaintNode {
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+  std::atomic<MaintNode*> child[2] = {{nullptr}, {nullptr}};
+};
+
+// Balanced private build over pairs[lo, hi): midpoint root, halves as
+// children. All stores are to never-published nodes — genuinely fine.
+inline MaintNode* maint_build_balanced(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& pairs,
+    std::size_t lo, std::size_t hi) {
+  if (lo >= hi) return nullptr;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  MaintNode* n = new MaintNode;
+  n->key = pairs[mid].first;
+  n->value = pairs[mid].second;
+  n->child[0].store(maint_build_balanced(pairs, lo, mid),
+                    std::memory_order_relaxed);  // private: fine
+  n->child[1].store(maint_build_balanced(pairs, mid + 1, hi),
+                    std::memory_order_relaxed);  // private: fine
+  return n;
+}
+
+// The one-edge subtree swing — with the wrong order. Readers traverse
+// parent->child[dir]; relaxed here lets them see the fresh subtree's root
+// without any of the private construction above.
+inline void maint_publish_subtree(
+    MaintNode* parent, int dir,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& pairs) {
+  MaintNode* fresh = maint_build_balanced(pairs, 0, pairs.size());
+  parent->child[dir].store(fresh, std::memory_order_relaxed);
+}
+
+}  // namespace corpus

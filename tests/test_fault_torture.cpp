@@ -23,6 +23,7 @@
 #include "citrus/citrus_cop.hpp"
 #include "citrus/citrus_tree.hpp"
 #include "fault/fault.hpp"
+#include "maint/citrus_cf.hpp"
 #include "lineariz/checker.hpp"
 #include "rcu/counter_flag_rcu.hpp"
 #include "rcu/reclaimer.hpp"
@@ -686,6 +687,57 @@ TEST(ReclaimDelay, DelayedWorkerStillFreesEverything) {
     // The Reclaimer destructor drains through the remaining delays.
   }
   EXPECT_EQ(freed.load(), static_cast<std::uint64_t>(kObjects));
+}
+
+TEST(ReclaimDelay, MaintainerBacklogIsBoundedAndDrains) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "build with -DCITRUS_FAULT_INJECT=ON";
+  }
+  DisarmAll guard;
+  auto& inj = fault::Injector::instance();
+
+  // Delay the maintainer's retire worker at the post-grace-period recycle
+  // site: replaced subtrees pile up as an observable backlog
+  // (pending_reclaim_nodes), then drain completely — a slow worker is a
+  // backlog, never a leak or a use-after-free.
+  fault::Plan p;
+  p.site = fault::Site::kReclaimDelay;
+  p.first = 1;
+  p.every = 1;
+  p.max_fires = 4;
+  p.stall = 20ms;  // timed: self-releasing, no release() needed
+  inj.arm(p);
+
+  CounterFlagRcu domain;
+  citrus::maint::CitrusCfTree<std::int64_t, std::int64_t, CounterFlagRcu,
+                              citrus::maint::CfDefaultTraits>
+      tree(domain);
+  constexpr std::int64_t kN = 4096;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; ++k) {
+      while (tree.try_insert(k, k) != UpdateStatus::kSuccess) {
+      }
+    }
+    // Synchronous pass: the rebuild publishes, then the blocking drain
+    // walks straight into the armed delay — and through it.
+    tree.maintain_now();
+  }
+  EXPECT_GT(inj.occurrences(fault::Site::kReclaimDelay), 0u);
+  EXPECT_EQ(tree.pending_reclaim_nodes(), 0u) << "backlog must fully drain";
+  EXPECT_GT(tree.stats().maint_rebuilds, 0u);
+
+  const auto report = tree.check_structure();
+  EXPECT_TRUE(report.ok) << report.error;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; k += 7) {
+      ASSERT_TRUE(tree.contains(k)) << k;
+    }
+  }
+  // Every replaced node was recycled, none leaked: the live count is the
+  // current tree plus its two sentinels.
+  EXPECT_EQ(tree.live_nodes(), kN + 2);
 }
 
 }  // namespace

@@ -198,6 +198,35 @@ TEST(Linearizability, ShardedCitrusCop) {
   EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
 }
 
+TEST(Linearizability, CitrusCf) {
+  // Background subtree rebuilds are content-preserving (abstract no-ops),
+  // so the same histories must linearize with the maintainer racing every
+  // update. The hot key range keeps the tree small enough that rebuild
+  // candidates come and go while the workers run.
+  auto dict = citrus::adapters::make_dictionary("citrus-cf");
+  const auto r = record_and_check_dict(*dict, kThreads, kOps, kRange, 15);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+  EXPECT_GT(r.events_checked, 0u);
+}
+
+TEST(Linearizability, CitrusCfReclaimSmallHotRange) {
+  // Reclamation on: the maintainer recycles replaced subtrees through real
+  // grace periods while two-child erases park on theirs — the worst-case
+  // interleaving of the two retire paths.
+  citrus::adapters::Options options;
+  options.reclaim = true;
+  auto dict = citrus::adapters::make_dictionary("citrus-cf", options);
+  const auto r = record_and_check_dict(*dict, 3, 600, 48, 16);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
+TEST(Linearizability, ShardedCitrusCf) {
+  // One maintainer per shard; per-shard linearizability must compose.
+  auto dict = citrus::adapters::make_dictionary("citrus-cf-shard4");
+  const auto r = record_and_check_dict(*dict, kThreads, kOps, kRange, 17);
+  EXPECT_TRUE(r.linearizable) << "key " << r.failing_key << ": " << r.detail;
+}
+
 TEST(Linearizability, Avl) {
   const auto r =
       record_and_check<citrus::baselines::BronsonAvlTree<std::int64_t, std::int64_t>,

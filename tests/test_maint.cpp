@@ -1,0 +1,405 @@
+// Background structural maintainer (src/maint/citrus_cf.hpp).
+//
+// The maintainer is an *optimization* with a strong safety contract: every
+// rebuild is an abstract no-op (same key→value map before and after), all
+// client operations stay correct while it runs, and a rebuild that loses
+// any race aborts cleanly. These tests pin both halves: the performance
+// contract (a sequentially-degenerated tree is restored to logarithmic
+// depth) deterministically via maintain_now(), and the safety contract
+// under churn, OOM, and immediate destruction. Concurrency coverage at
+// scale lives in test_scan_torture.cpp / test_linearizability.cpp, which
+// enumerate the citrus-cf registry entries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "adapters/idictionary.hpp"
+#include "maint/citrus_cf.hpp"
+#include "rcu/counter_flag_rcu.hpp"
+#include "sync/backoff.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using citrus::adapters::make_dictionary;
+using citrus::adapters::Options;
+using citrus::adapters::ScanOptions;
+using citrus::core::UpdateStatus;
+using citrus::maint::CfBenchTraits;
+using citrus::maint::CfDefaultTraits;
+using citrus::maint::CitrusCfTree;
+using citrus::rcu::CounterFlagRcu;
+
+using namespace std::chrono_literals;
+
+// TSan multiplies every instrumented atomic's cost by an order of
+// magnitude, and these suites are nothing but atomics; the big-population
+// structural tests only need their *shape* there (races, not asymptotics
+// — the 1e5-key acceptance numbers live in the plain lane and AB5), so
+// scale the populations down under it.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr std::int64_t kLoadScale = 10;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr std::int64_t kLoadScale = 10;
+#else
+inline constexpr std::int64_t kLoadScale = 1;
+#endif
+#else
+inline constexpr std::int64_t kLoadScale = 1;
+#endif
+
+template <typename Pred>
+bool eventually(Pred&& pred, std::chrono::milliseconds limit = 20000ms) {
+  return citrus::sync::spin_until(std::chrono::steady_clock::now() + limit,
+                                  std::forward<Pred>(pred));
+}
+
+// ── The performance contract, deterministically ─────────────────────────
+
+TEST(Maint, SequentialInsertionRestoredToLogDepth) {
+  // Ascending insertion builds a right spine: depth n-1 before
+  // maintenance. maintain_now() must restore the ISSUE's acceptance bound
+  // (max_depth <= 4*log2(n)) and, because a full rebuild is perfectly
+  // balanced, in fact the much tighter ceil(log2(n+1)) height.
+  CounterFlagRcu domain;
+  CitrusCfTree<std::int64_t, std::int64_t> tree(domain);
+  using Tree = decltype(tree);
+  constexpr std::int64_t kN = 100000 / kLoadScale;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; ++k) {
+      // The background thread may transiently hold private build nodes;
+      // treat kNoMemory as retryable (it never fires here without a cap,
+      // but the loop keeps the test honest about the status channel).
+      while (tree.try_insert(k, k) != UpdateStatus::kSuccess) {
+      }
+    }
+    // A handful of passes: the first full rebuild can abort if it races
+    // the background thread's own pass; the gate serializes, so a couple
+    // of retries always converge once inserts have stopped.
+    for (int pass = 0; pass < 8; ++pass) {
+      tree.maintain_now();
+      if (tree.check_structure().max_depth + 1 <= Tree::depth_bound(kN)) {
+        break;
+      }
+    }
+  }
+
+  const auto rep = tree.check_structure();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.node_count, static_cast<std::size_t>(kN));
+  EXPECT_GT(rep.rebuilds, 0u);
+  // Height (nodes on the longest path) within the maintainer's own bound…
+  EXPECT_LE(rep.max_depth + 1, Tree::depth_bound(kN));
+  // …which is far inside the acceptance bound.
+  EXPECT_LE(static_cast<double>(rep.max_depth),
+            4.0 * std::log2(static_cast<double>(kN)));
+  // Histogram bookkeeping is self-consistent.
+  const std::size_t hist_total =
+      std::accumulate(rep.depth_histogram.begin(), rep.depth_histogram.end(),
+                      std::size_t{0});
+  EXPECT_EQ(hist_total, rep.node_count);
+  ASSERT_FALSE(rep.depth_histogram.empty());
+  EXPECT_EQ(rep.depth_histogram.size() - 1, rep.max_depth);
+  EXPECT_GT(rep.avg_depth, 0.0);
+  EXPECT_LE(rep.avg_depth, static_cast<double>(rep.max_depth));
+
+  // The rebuild preserved the map exactly, and the blocking drain left no
+  // retire backlog behind.
+  EXPECT_EQ(tree.size(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(tree.pending_reclaim_nodes(), 0u);
+  const auto stats = tree.stats();
+  EXPECT_GT(stats.maint_rebuilds, 0u);
+  EXPECT_GE(stats.maint_nodes_rebuilt, static_cast<std::uint64_t>(kN) / 2);
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; k += 97) {
+      const auto v = tree.find(k);
+      ASSERT_TRUE(v.has_value()) << k;
+      EXPECT_EQ(*v, k);
+    }
+    EXPECT_TRUE(tree.contains(kN - 1));
+    EXPECT_FALSE(tree.contains(kN));
+  }
+}
+
+TEST(Maint, BackgroundThreadRebalancesUnprompted) {
+  // No maintain_now(): the 1-in-64 depth sampling plus the periodic probe
+  // must notice the spine and fix it within the polling budget.
+  const auto dict = make_dictionary("citrus-cf");
+  constexpr std::int64_t kN = 30000 / kLoadScale;
+  {
+    const auto scope = dict->enter_thread();
+    for (std::int64_t k = 0; k < kN; ++k) dict->insert(k, k);
+  }
+  const double bound = 4.0 * std::log2(static_cast<double>(kN));
+  ASSERT_TRUE(eventually([&] {
+    const auto rep = dict->check_structure();
+    return rep.ok && rep.rebuilds > 0 &&
+           static_cast<double>(rep.max_depth) <= bound;
+  })) << "maintainer did not rebalance: max_depth="
+      << dict->check_structure().max_depth;
+  // Counters flow through the type-erased stats surface.
+  const auto snap = dict->stats();
+  EXPECT_GT(snap.maint_rebuilds, 0u);
+  EXPECT_GT(snap.maint_nodes_rebuilt, 0u);
+}
+
+// ── Safety under concurrent churn ───────────────────────────────────────
+
+TEST(Maint, ConcurrentChurnKeepsStableKeys) {
+  // Stable keys (≡0 mod 3) must survive continuous rebuilds racing
+  // updaters; churned keys (≡1) come and go. DefaultTraits: reclamation
+  // on, so the maintainer's retire queue and the erase path's grace
+  // periods interleave for real.
+  CounterFlagRcu domain;
+  CitrusCfTree<std::int64_t, std::int64_t, CounterFlagRcu, CfDefaultTraits>
+      tree(domain);
+  constexpr std::int64_t kSpan = 6000;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kSpan; k += 3) {
+      ASSERT_TRUE(tree.insert(k, k));
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int u = 0; u < 3; ++u) {
+    threads.emplace_back([&, u] {
+      typename CounterFlagRcu::Registration reg(domain);
+      citrus::util::Xoshiro256 rng(0xCF + u);
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::int64_t k =
+            static_cast<std::int64_t>(rng() % (kSpan / 3)) * 3 + 1;
+        if (rng() & 1) {
+          tree.insert(k, k);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    typename CounterFlagRcu::Registration reg(domain);
+    citrus::util::Xoshiro256 rng(0xF1);
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::int64_t k = static_cast<std::int64_t>(rng() % kSpan);
+      const auto v = tree.find(k);
+      if (k % 3 == 0 && (!v.has_value() || *v != k)) {
+        ADD_FAILURE() << "stable key " << k << " lost mid-run";
+        stop.store(true, std::memory_order_release);
+      }
+    }
+  });
+  // Force rebuild pressure from a fourth participant while they run.
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (int i = 0; i < 20; ++i) {
+      tree.maintain_now();
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  const auto rep = tree.check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kSpan; k += 3) {
+      ASSERT_TRUE(tree.contains(k)) << "stable key " << k;
+    }
+  }
+  // Aborted rebuilds (if any) were counted, not silently retried into
+  // corruption; stats() plumbs the rebuild counter consistently with the
+  // report. The background thread may still be finishing work the churn
+  // left behind, so settle first (a balanced tree yields no offenders):
+  // wait for the counter to hold still, then compare the two surfaces.
+  std::uint64_t last = tree.stats().maint_rebuilds;
+  ASSERT_TRUE(eventually([&] {
+    std::this_thread::sleep_for(100ms);
+    const std::uint64_t now = tree.stats().maint_rebuilds;
+    const bool stable = now == last;
+    last = now;
+    return stable;
+  }));
+  EXPECT_EQ(tree.stats().maint_rebuilds, tree.check_structure().rebuilds);
+}
+
+// ── OOM: a rebuild that cannot allocate must unwind to a no-op ──────────
+
+// Traits for OOM determinism: manual mode — no background thread (it
+// would race the cap with its own rebuild attempts), leaving
+// maintain_now() as the only maintenance driver.
+struct ManualMaintTraits : CfDefaultTraits {
+  static constexpr bool kMaintBackgroundThread = false;
+};
+
+TEST(Maint, OomRebuildUnwindsCleanly) {
+  // Degenerate the tree fully, then cap the pool with slack far below the
+  // spine size: the single maintain_now() pass must hit allocation failure
+  // mid-build, return every partial to the pool, and leave the (still
+  // skewed) tree untouched. Manual mode means exactly this pass runs —
+  // rebuilds stays at zero deterministically.
+  CounterFlagRcu domain;
+  CitrusCfTree<std::int64_t, std::int64_t, CounterFlagRcu, ManualMaintTraits>
+      tree(domain);
+  constexpr std::int64_t kN = 2000;
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; ++k) {
+      ASSERT_EQ(tree.try_insert(k, k), UpdateStatus::kSuccess);
+    }
+    tree.set_max_live_nodes(kN + 2 + 8);  // keys + sentinels + tiny slack
+    tree.maintain_now();
+  }
+  const auto stats = tree.stats();
+  EXPECT_EQ(stats.maint_rebuilds, 0u);
+  EXPECT_GE(stats.maint_validation_failures, 1u);  // the OOM-aborted pass
+  const auto rep = tree.check_structure();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.node_count, static_cast<std::size_t>(kN));
+  EXPECT_EQ(tree.live_nodes(), static_cast<std::size_t>(kN) + 2);
+  EXPECT_EQ(rep.max_depth, static_cast<std::size_t>(kN) - 1);  // untouched
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; k += 13) {
+      ASSERT_TRUE(tree.contains(k)) << k;
+    }
+  }
+}
+
+TEST(Maint, CappedPoolDirectReclaimKeepsUpdatersLive) {
+  // Regression: cap set BEFORE the inserts, background maintainer active.
+  // Mid-insertion rebuilds succeed while slack allows and retire their old
+  // spines; nothing in this workload ever synchronizes, so without direct
+  // reclaim the awaiting-grace-period backlog pins live_ at the cap and
+  // try_insert returns kNoMemory forever (this loop used to wedge). The
+  // updater-side blocking drain must make every insert succeed within one
+  // retry of memory actually being reclaimable.
+  CounterFlagRcu domain;
+  CitrusCfTree<std::int64_t, std::int64_t> tree(domain);
+  constexpr std::int64_t kN = 2000;
+  tree.set_max_live_nodes(kN + 2 + 8);
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; ++k) {
+      // A background build may transiently hold the whole slack; bounded
+      // retry, not unbounded: each failure reclaims or yields.
+      while (tree.try_insert(k, k) != UpdateStatus::kSuccess) {
+        std::this_thread::yield();
+      }
+    }
+    tree.maintain_now();
+  }
+  const auto rep = tree.check_structure();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.node_count, static_cast<std::size_t>(kN));
+  EXPECT_EQ(tree.pending_reclaim_nodes(), 0u);
+  EXPECT_EQ(tree.live_nodes(), static_cast<std::size_t>(kN) + 2);
+  {
+    typename CounterFlagRcu::Registration reg(domain);
+    for (std::int64_t k = 0; k < kN; k += 13) {
+      ASSERT_TRUE(tree.contains(k)) << k;
+    }
+  }
+}
+
+// ── Sharded composition ─────────────────────────────────────────────────
+
+TEST(Maint, ShardedCfAggregatesMaintStats) {
+  const auto dict = make_dictionary("citrus-cf-shard4");
+  constexpr std::int64_t kN = 20000 / kLoadScale;
+  {
+    const auto scope = dict->enter_thread();
+    // Ascending key order reaches every shard in ascending order too, so
+    // each per-shard tree degenerates and every maintainer has work.
+    for (std::int64_t k = 0; k < kN; ++k) dict->insert(k, k);
+  }
+  ASSERT_TRUE(eventually([&] { return dict->stats().maint_rebuilds > 0; }));
+  // Settle: with updates stopped, the per-shard maintainers converge (a
+  // balanced shard yields no offenders) — wait for the counter to hold
+  // still so the three snapshots below describe the same quiescent state.
+  std::uint64_t last = dict->stats().maint_rebuilds;
+  ASSERT_TRUE(eventually([&] {
+    std::this_thread::sleep_for(200ms);
+    const std::uint64_t now = dict->stats().maint_rebuilds;
+    const bool stable = now == last;
+    last = now;
+    return stable;
+  }));
+  const auto snap = dict->stats();
+  ASSERT_EQ(snap.shards.size(), 4u);
+  std::uint64_t per_shard = 0;
+  for (const auto& s : snap.shards) per_shard += s.maint_rebuilds;
+  EXPECT_EQ(per_shard, snap.maint_rebuilds);
+  const auto rep = dict->check_structure();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.node_count, static_cast<std::size_t>(kN));
+  EXPECT_EQ(rep.rebuilds, snap.maint_rebuilds);
+
+  // Descending scan across the rebuilt shards stays exact.
+  const auto scope = dict->enter_thread();
+  ScanOptions opts;
+  opts.reverse = true;
+  std::int64_t expect = 499;
+  std::size_t seen = 0;
+  dict->range(100, 499,
+              [&](std::int64_t k, std::int64_t v) {
+                EXPECT_EQ(k, expect);
+                EXPECT_EQ(v, k);
+                --expect;
+                ++seen;
+                return true;
+              },
+              opts);
+  EXPECT_EQ(seen, 400u);
+}
+
+// ── Lifecycle ───────────────────────────────────────────────────────────
+
+TEST(Maint, DestructionRightAfterRebuildActivity) {
+  // Destroy the tree immediately after heavy rebuild traffic: the
+  // maintainer's epilogue must drain its retire queue behind real grace
+  // periods and join cleanly (asan/tsan lanes make this assertion real).
+  for (int round = 0; round < 3; ++round) {
+    CounterFlagRcu domain;
+    CitrusCfTree<std::int64_t, std::int64_t, CounterFlagRcu, CfDefaultTraits>
+        tree(domain);
+    {
+      typename CounterFlagRcu::Registration reg(domain);
+      for (std::int64_t k = 0; k < 5000; ++k) tree.insert(k, k);
+      tree.maintain_now();
+      // Leave fresh skew behind so the background thread is likely
+      // mid-pass at destruction time.
+      for (std::int64_t k = 5000; k < 9000; ++k) tree.insert(k, k);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Maint, RegistryExposesCfFamily) {
+  for (const char* name :
+       {"citrus-cf", "citrus-cf-shard4", "citrus-cf-shard16",
+        "citrus-cf-shard64"}) {
+    const auto dict = make_dictionary(name);
+    EXPECT_EQ(dict->name(), name);
+    const auto scope = dict->enter_thread();
+    EXPECT_TRUE(dict->insert(1, 2));
+    EXPECT_EQ(dict->find(1).value_or(-1), 2);
+  }
+  // Options::reclaim picks the reclaiming tier, as for plain citrus.
+  Options options;
+  options.reclaim = true;
+  const auto dict = make_dictionary("citrus-cf", options);
+  EXPECT_TRUE(dict->traits().reclaiming);
+}
+
+}  // namespace

@@ -46,6 +46,21 @@ std::vector<std::int64_t> oracle_range(const Oracle& oracle, std::int64_t lo,
   return keys;
 }
 
+std::vector<std::int64_t> oracle_range_desc(const Oracle& oracle,
+                                            std::int64_t lo, std::int64_t hi,
+                                            std::size_t limit) {
+  std::vector<std::int64_t> keys;
+  if (hi < lo) return keys;
+  auto it = oracle.upper_bound(hi);
+  while (it != oracle.begin()) {
+    --it;
+    if (it->first < lo) break;
+    if (limit != 0 && keys.size() == limit) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
 // Probe keys worth testing: every present key, the gaps next to them, the
 // extremes of the int64 domain, and a spread of random keys.
 std::vector<std::int64_t> probe_keys(const Oracle& oracle,
@@ -135,6 +150,27 @@ void check_ranges(IDictionary& dict, const Oracle& oracle,
       EXPECT_EQ(got, want)
           << dict.name() << " range[" << c.lo << "," << c.hi << "] limit "
           << c.limit << " level " << static_cast<int>(level);
+
+      // Same window descending: every strategy serves reverse (natively
+      // or via the pred-chain fallback), so the oracle applies verbatim.
+      const auto want_desc = oracle_range_desc(oracle, c.lo, c.hi, c.limit);
+      std::vector<std::int64_t> got_desc;
+      ScanOptions desc_opts = opts;
+      desc_opts.reverse = true;
+      const std::size_t nd = dict.range(
+          c.lo, c.hi,
+          [&](std::int64_t k, std::int64_t v) {
+            got_desc.push_back(k);
+            EXPECT_EQ(v, oracle.at(k)) << dict.name();
+            return true;
+          },
+          desc_opts);
+      EXPECT_EQ(nd, want_desc.size())
+          << dict.name() << " range_desc[" << c.lo << "," << c.hi
+          << "] limit " << c.limit << " level " << static_cast<int>(level);
+      EXPECT_EQ(got_desc, want_desc)
+          << dict.name() << " range_desc[" << c.lo << "," << c.hi
+          << "] limit " << c.limit << " level " << static_cast<int>(level);
     }
   }
 }
@@ -286,6 +322,24 @@ TEST(OrderedOpsTyped, CitrusChunkBoundariesExact) {
   const auto stats = tree.stats();
   EXPECT_GT(stats.scans, 0u);
   EXPECT_GT(stats.scan_keys_visited, 0u);
+}
+
+TEST(OrderedOpsTyped, CitrusDescChunkBoundariesExact) {
+  // Descending cursor re-entry (exclusive upper bound after the first
+  // chunk) must not skip or duplicate keys either.
+  citrus::rcu::CounterFlagRcu domain;
+  citrus::core::CitrusTree<long, long> tree(domain);
+  citrus::rcu::CounterFlagRcu::Registration reg(domain);
+  std::vector<long> want;
+  for (long k = 0; k < 100; ++k) tree.insert(k, k);
+  for (long k = 99; k >= 0; --k) want.push_back(k);
+  for (const std::size_t chunk : {1u, 2u, 3u, 7u, 99u, 100u, 1000u}) {
+    std::vector<long> got;
+    tree.range_desc(
+        0, 99, [&](const long& k, const long&) { got.push_back(k); },
+        /*limit=*/0, chunk);
+    EXPECT_EQ(got, want) << "chunk=" << chunk;
+  }
 }
 
 TEST(OrderedOpsTyped, ScanStatsFlowThroughAdapter) {

@@ -41,6 +41,7 @@ struct TortureParams {
   std::size_t chunk;
   bool expect_scan_stats = false;  // implementation tracks scan counters
   bool reclaim = false;            // force DefaultTraits (stats + reclaim)
+  bool reverse = false;            // descending scans (ScanOptions::reverse)
 };
 
 void run_torture(const TortureParams& p, int updaters, int scanners,
@@ -83,6 +84,7 @@ void run_torture(const TortureParams& p, int updaters, int scanners,
       ScanOptions opts;
       opts.consistency = p.level;
       opts.chunk = p.chunk;
+      opts.reverse = p.reverse;
       for (int round = 0; round < scan_rounds; ++round) {
         const auto lo = static_cast<std::int64_t>(rng() % kKeySpan);
         const auto hi =
@@ -97,12 +99,19 @@ void run_torture(const TortureParams& p, int updaters, int scanners,
               return true;
             },
             opts);
-        // Strictly ascending, in bounds.
+        // Strictly monotone (ascending, or descending in reverse mode),
+        // in bounds.
         for (std::size_t i = 0; i < got.size(); ++i) {
           if (got[i] < lo || got[i] > hi) failures.fetch_add(1);
-          if (i > 0 && got[i - 1] >= got[i]) failures.fetch_add(1);
+          if (i > 0 && (p.reverse ? got[i - 1] <= got[i]
+                                  : got[i - 1] >= got[i])) {
+            failures.fetch_add(1);
+          }
           if (got[i] % 3 == 2) failures.fetch_add(1);  // never inserted
         }
+        // The stable-key sweep below walks ascending; flip a descending
+        // emission first.
+        if (p.reverse) std::reverse(got.begin(), got.end());
         // Every stable key in [lo, hi] must appear (present throughout:
         // a validated chunk covering it must see it, and a weak succ
         // chain cannot step over a continuously-present key).
@@ -186,6 +195,50 @@ TEST(ScanTorture, CopShardedMerge) {
 TEST(ScanTorture, ShardedMerge) {
   run_torture({"citrus-shard4", ScanConsistency::kChunked, 48, true, true}, 3, 3,
               100);
+}
+
+TEST(ScanTorture, CfChunked) {
+  // Scans racing background subtree rebuilds: the parent seqlock bump
+  // around the one-edge swing must force any validated chunk through the
+  // rebuilt neighborhood to retry, never emit a mix of old and new copy.
+  run_torture({"citrus-cf", ScanConsistency::kChunked, 64}, 3, 3, 150);
+}
+
+TEST(ScanTorture, CfReclaimChunked) {
+  // Maintainer + reclamation: replaced subtrees retire through real grace
+  // periods while scans re-enter by key cursor (rcucheck canaries catch a
+  // chunk chasing a recycled rebuilt-away node).
+  run_torture({"citrus-cf", ScanConsistency::kChunked, 32, true, true}, 3, 3,
+              150);
+}
+
+TEST(ScanTorture, CfShardedMerge) {
+  run_torture({"citrus-cf-shard4", ScanConsistency::kChunked, 48, true, true},
+              3, 3, 100);
+}
+
+TEST(ScanTorture, CitrusReverseChunked) {
+  // Descending validated scans under churn: same invariants, mirrored.
+  run_torture({"citrus", ScanConsistency::kChunked, 64, false, false, true},
+              3, 3, 150);
+}
+
+TEST(ScanTorture, CfReverseChunked) {
+  // Descending scans racing the maintainer's one-edge subtree swings.
+  run_torture({"citrus-cf", ScanConsistency::kChunked, 64, false, false, true},
+              3, 3, 100);
+}
+
+TEST(ScanTorture, ShardedReverseMerge) {
+  run_torture(
+      {"citrus-shard4", ScanConsistency::kChunked, 48, true, true, true}, 3, 3,
+      100);
+}
+
+TEST(ScanTorture, WeakReverseFallback) {
+  // The pred-chain fallback must uphold the stable-key invariants too.
+  run_torture({"skiplist", ScanConsistency::kWeak, 0, false, false, true}, 2,
+              2, 30);
 }
 
 TEST(ScanTorture, BonsaiSnapshot) {
